@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the control plane: event ingestion and
+//! reconciliation throughput (flat vs hierarchical), and the real
+//! thread-contention cost of the strongly consistent shared view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iotctl::concurrent::stress;
+use iotctl::controller::{Controller, ControllerConfig};
+use iotctl::hier::{HierarchicalController, Partitioning};
+use iotdev::device::{DeviceClass, DeviceId};
+use iotdev::events::{SecurityEvent, SecurityEventKind};
+use iotnet::time::SimTime;
+use iotpolicy::compile::PolicyCompiler;
+use umbox::element::ViewHandle;
+
+fn policy(n: u32) -> iotpolicy::policy::FsmPolicy {
+    let mut c = PolicyCompiler::new();
+    for i in 0..n {
+        c.device(DeviceId(i), DeviceClass::Camera, &[]);
+    }
+    for p in 0..n / 10 {
+        c.protect_on_suspicion(DeviceId(p * 10), DeviceId(p * 10 + 1));
+    }
+    c.build()
+}
+
+fn burst(n: u32) -> Vec<SecurityEvent> {
+    (0..200u64)
+        .map(|i| {
+            SecurityEvent::new(
+                SimTime::from_micros(i * 10),
+                DeviceId((i % n as u64) as u32),
+                SecurityEventKind::AuthFailureBurst,
+            )
+        })
+        .collect()
+}
+
+fn bench_flat_vs_hier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_burst_200_events");
+    for n in [50u32, 200] {
+        group.bench_with_input(BenchmarkId::new("flat", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ctl = Controller::new(policy(n), ControllerConfig::default(), ViewHandle::new());
+                ctl.reconcile(SimTime::ZERO);
+                for e in burst(n) {
+                    ctl.ingest(e);
+                }
+                std::hint::black_box(ctl.step(SimTime::from_secs(3600)).len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hier", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ctl = HierarchicalController::new(
+                    policy(n),
+                    Partitioning::ByCoupling,
+                    ControllerConfig::default(),
+                    ViewHandle::new(),
+                );
+                ctl.reconcile(SimTime::ZERO);
+                for e in burst(n) {
+                    ctl.ingest(e);
+                }
+                std::hint::black_box(ctl.step(SimTime::from_secs(3600)).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_view(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_view_stress");
+    group.sample_size(10);
+    for writers in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(writers), &writers, |b, &w| {
+            b.iter(|| std::hint::black_box(stress(w, 2, 2_000, 64).writes));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_vs_hier, bench_concurrent_view);
+criterion_main!(benches);

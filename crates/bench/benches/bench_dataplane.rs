@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the network substrate: wire codec, flow
+//! lookup, end-to-end simulated delivery, and a full world tick — the
+//! simulator's own cost, which bounds experiment scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iotdev::proto::{AppMessage, TelemetryKind};
+use iotnet::addr::{Ipv4Addr, MacAddr, PortNo};
+use iotnet::flow::{FlowAction, FlowMatch, FlowRule, FlowTable};
+use iotnet::link::LinkParams;
+use iotnet::net::Network;
+use iotnet::packet::{Packet, TransportHeader};
+use iotnet::time::SimTime;
+use iotnet::topology::TopologyBuilder;
+use iotsec::defense::Defense;
+use iotsec::scenario;
+use iotsec::world::World;
+
+fn sample_packet() -> Packet {
+    Packet::new(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        TransportHeader::udp(5683, 5683),
+        AppMessage::Telemetry { kind: TelemetryKind::Power, value: 1.5 }.encode(),
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let pkt = sample_packet();
+    let wire = pkt.to_wire();
+    c.bench_function("packet_encode", |b| b.iter(|| std::hint::black_box(pkt.to_wire())));
+    c.bench_function("packet_decode", |b| {
+        b.iter(|| std::hint::black_box(Packet::from_wire(&wire).unwrap()))
+    });
+}
+
+fn bench_flow_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_lookup");
+    for rules in [16u32, 256, 1024] {
+        let mut table = FlowTable::new();
+        for i in 0..rules {
+            table.install(FlowRule::new(
+                (i % 100) as u16,
+                FlowMatch::to_host(Ipv4Addr::from_index(i + 100)),
+                FlowAction::Drop,
+            ));
+        }
+        table.install(FlowRule::new(200, FlowMatch::any(), FlowAction::Normal));
+        let pkt = sample_packet();
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, _| {
+            b.iter(|| std::hint::black_box(table.lookup(PortNo(0), &pkt).is_some()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_delivery(c: &mut Criterion) {
+    c.bench_function("net_send_and_deliver_100", |b| {
+        b.iter(|| {
+            let mut builder = TopologyBuilder::new();
+            let sw = builder.add_switch();
+            let a = builder.attach_endpoint(sw, LinkParams::lan());
+            let z = builder.attach_endpoint(sw, LinkParams::lan());
+            let mut net = Network::new(builder.build(), 1);
+            let pkt = Packet::new(
+                net.mac_of(a),
+                net.mac_of(z),
+                net.ip_of(a),
+                net.ip_of(z),
+                TransportHeader::udp(1, 2),
+                AppMessage::Telemetry { kind: TelemetryKind::Power, value: 0.0 }.encode(),
+            );
+            for i in 0..100u64 {
+                net.send(a, SimTime::from_micros(i), pkt.clone());
+            }
+            std::hint::black_box(net.step_until(SimTime::from_secs(1)).len())
+        });
+    });
+}
+
+fn bench_world_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_second_of_simulation");
+    group.sample_size(20);
+    for (label, defense) in [("undefended", Defense::None), ("iotsec", Defense::iotsec())] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| {
+                let (d, _) = scenario::smart_home(defense.clone(), 7);
+                let mut w = World::new(&d);
+                w.run(iotnet::time::SimDuration::from_secs(1));
+                std::hint::black_box(w.clock)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_flow_lookup, bench_end_to_end_delivery, bench_world_tick);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks for the policy layer: evaluation cost per
+//! state, factoring cost, and corpus compilation — the inner loops of
+//! the controller (E1's wall-clock companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iotdev::device::{DeviceClass, DeviceId};
+use iotdev::vuln::Vulnerability;
+use iotpolicy::compile::PolicyCompiler;
+use iotpolicy::context::SecurityContext;
+use iotpolicy::prune::factor;
+use iotpolicy::recipe::{default_target_pool, table2_corpus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn policy(n: u32) -> iotpolicy::policy::FsmPolicy {
+    let mut c = PolicyCompiler::new();
+    for i in 0..n {
+        let vulns = if i % 3 == 0 { vec![Vulnerability::default_admin_admin()] } else { vec![] };
+        c.device(DeviceId(i), DeviceClass::Camera, &vulns);
+    }
+    for p in 0..n / 10 {
+        c.protect_on_suspicion(DeviceId(p * 10), DeviceId(p * 10 + 1));
+    }
+    c.build()
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_evaluate");
+    for n in [10u32, 50, 100, 500] {
+        let p = policy(n);
+        let state = p
+            .schema
+            .initial_state()
+            .with_context(&p.schema, DeviceId(0), SecurityContext::Suspicious);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(p.evaluate(&state)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_factor");
+    for n in [50u32, 200, 500] {
+        let p = policy(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(factor(&p).effective_states()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_table2_generation(c: &mut Criterion) {
+    c.bench_function("table2_corpus_generate_478", |b| {
+        let pool = default_target_pool();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            std::hint::black_box(table2_corpus(&pool, &mut rng))
+        });
+    });
+}
+
+fn bench_conflict_scan(c: &mut Criterion) {
+    let pool = default_target_pool();
+    let mut rng = StdRng::seed_from_u64(7);
+    let recipes: Vec<_> =
+        table2_corpus(&pool, &mut rng).into_iter().flat_map(|(_, r)| r).collect();
+    c.bench_function("conflict_scan_478_recipes", |b| {
+        b.iter(|| std::hint::black_box(iotpolicy::conflict::find_recipe_conflicts(&recipes).len()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_evaluate,
+    bench_factor,
+    bench_table2_generation,
+    bench_conflict_scan
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion benchmarks for the µmbox data plane: chain processing
+//! throughput per posture and IDS ruleset size (E10's wall-clock
+//! companion), plus lifecycle churn.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iotdev::device::{AdminCreds, DeviceId};
+use iotdev::proto::{ports, AppMessage, TelemetryKind};
+use iotdev::registry::Sku;
+use iotlearn::signature::{AttackSignature, Matcher, Severity};
+use iotnet::addr::{Ipv4Addr, MacAddr};
+use iotnet::packet::{Packet, TransportHeader};
+use iotnet::time::SimTime;
+use iotpolicy::posture::{Posture, SecurityModule};
+use umbox::chain::{build_chain, ChainConfig};
+use umbox::element::{EventSink, ViewHandle};
+use umbox::lifecycle::{LifecycleManager, VmKind};
+
+fn packet() -> Packet {
+    Packet::new(
+        MacAddr::from_index(3),
+        MacAddr::from_index(1),
+        Ipv4Addr::new(10, 0, 0, 3),
+        Ipv4Addr::new(10, 0, 0, 5),
+        TransportHeader::udp(5683, ports::TELEMETRY),
+        AppMessage::Telemetry { kind: TelemetryKind::Power, value: 4.2 }.encode(),
+    )
+}
+
+fn cfg(sigs: usize) -> ChainConfig {
+    let sku = Sku::new("acme", "widget", "1");
+    ChainConfig {
+        device: DeviceId(0),
+        required_creds: AdminCreds::owner_default(),
+        cleared_sources: vec![],
+        signatures: (0..sigs)
+            .map(|i| {
+                AttackSignature::new(
+                    sku.clone(),
+                    "x",
+                    Matcher::PayloadContains(vec![0xF0, i as u8]),
+                    Severity::Low,
+                )
+            })
+            .collect(),
+        view: ViewHandle::new(),
+        events: EventSink::new(),
+    }
+}
+
+fn bench_chain_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_per_packet");
+    let cases: Vec<(&str, Posture, usize)> = vec![
+        ("proxy", Posture::of(SecurityModule::PasswordProxy), 0),
+        ("ids_10", Posture::of(SecurityModule::Ids { ruleset: 1 }), 10),
+        ("ids_1000", Posture::of(SecurityModule::Ids { ruleset: 1 }), 1000),
+        (
+            "full_chain",
+            Posture::of(SecurityModule::PasswordProxy)
+                .with(SecurityModule::Ids { ruleset: 1 })
+                .with(SecurityModule::RateLimit { pps: 1_000_000 })
+                .with(SecurityModule::ProtocolWhitelist)
+                .with(SecurityModule::Mirror),
+            10,
+        ),
+    ];
+    for (label, posture, sigs) in cases {
+        let mut chain = build_chain(&posture, &cfg(sigs));
+        let pkt = packet();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| std::hint::black_box(chain.run(SimTime::ZERO, pkt.clone()).latency));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lifecycle_churn(c: &mut Criterion) {
+    c.bench_function("lifecycle_launch_retire_100_pooled", |b| {
+        b.iter(|| {
+            let mut mgr = LifecycleManager::new(128);
+            let ids: Vec<_> = (0..100)
+                .map(|i| mgr.launch(DeviceId(i), VmKind::UnikernelPooled, SimTime::ZERO).0)
+                .collect();
+            mgr.advance(SimTime::from_secs(1));
+            for id in ids {
+                mgr.retire(id);
+            }
+            std::hint::black_box(mgr.pool_available)
+        });
+    });
+}
+
+fn bench_signature_matching(c: &mut Criterion) {
+    let sig = AttackSignature::new(
+        Sku::new("belkin", "wemo", "1.0"),
+        "open-dns-resolver",
+        Matcher::RecursiveDnsFromExternal,
+        Severity::Medium,
+    );
+    let pkt = Packet::new(
+        MacAddr::from_index(9),
+        MacAddr::from_index(1),
+        Ipv4Addr::new(203, 0, 113, 7),
+        Ipv4Addr::new(10, 0, 0, 5),
+        TransportHeader::udp(5353, ports::DNS),
+        AppMessage::DnsQuery { name: "amp.example".into(), recursion: true }.encode(),
+    );
+    c.bench_function("signature_match_dns", |b| {
+        b.iter(|| std::hint::black_box(sig.matcher.matches(&pkt)));
+    });
+}
+
+criterion_group!(benches, bench_chain_throughput, bench_lifecycle_churn, bench_signature_matching);
+criterion_main!(benches);

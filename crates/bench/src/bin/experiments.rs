@@ -1,0 +1,65 @@
+//! The experiment runner: regenerates every table and figure of the
+//! paper plus the quantitative E-series.
+//!
+//! ```text
+//! cargo run --release -p iotsec-bench --bin experiments          # all
+//! cargo run --release -p iotsec-bench --bin experiments table1   # one
+//! ```
+
+use iotsec_bench::{exp_anomaly, exp_crowd, exp_ctl, exp_models, exp_pipeline, exp_policy, exp_umbox, exp_world};
+
+const SEED: u64 = 20151116; // HotNets '15, November 16
+
+fn run(id: &str) -> bool {
+    match id {
+        "table1" | "t1" => exp_world::table1().print(),
+        "table2" | "t2" => exp_policy::table2(SEED).print(),
+        "fig3" | "f3" => exp_world::figure3().print(),
+        "fig4" | "f4" => exp_world::figure4().print(),
+        "fig5" | "f5" => exp_world::figure5().print(),
+        "state_space" | "e1" => exp_policy::state_space().print(),
+        "state_space_ablation" | "a1" => exp_policy::state_space_ablation().print(),
+        "conflicts" | "e2" => exp_policy::conflicts(SEED).print(),
+        "crowd" | "e3" | "a3" => exp_crowd::crowd(SEED).print(),
+        "coverage" | "e4" => exp_crowd::coverage(SEED).print(),
+        "fuzz" | "e5" => exp_models::fuzz(SEED).print(),
+        "attack_graph" | "e6" => exp_models::attack_graph(SEED).print(),
+        "control_plane" | "e7" | "a2" => exp_ctl::control_plane().print(),
+        "consistency" | "e8" => exp_ctl::consistency().print(),
+        "umbox_agility" | "e9" => exp_umbox::umbox_agility().print(),
+        "dataplane" | "e10" => exp_umbox::dataplane().print(),
+        "endtoend" | "e11" => {
+            for t in exp_world::endtoend() {
+                t.print();
+            }
+        }
+        "anomaly" | "e12" => exp_anomaly::anomaly(SEED).print(),
+        "mining" | "e13" => exp_pipeline::mining().print(),
+        "fingerprinting" | "e14" => exp_pipeline::fingerprinting(SEED).print(),
+        _ => return false,
+    }
+    true
+}
+
+const ALL: &[&str] = &[
+    "table1", "table2", "fig3", "fig4", "fig5", "state_space", "state_space_ablation",
+    "conflicts", "crowd", "coverage", "fuzz", "attack_graph", "control_plane", "consistency",
+    "umbox_agility", "dataplane", "endtoend", "anomaly", "mining", "fingerprinting",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!("# IoTSec reproduction — experiment run (seed {SEED})");
+    if args.is_empty() || args[0] == "all" {
+        for id in ALL {
+            assert!(run(id), "unknown experiment {id}");
+        }
+        return;
+    }
+    for id in &args {
+        if !run(id) {
+            eprintln!("unknown experiment '{id}'. available: all {}", ALL.join(" "));
+            std::process::exit(2);
+        }
+    }
+}

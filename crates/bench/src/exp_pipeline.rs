@@ -1,0 +1,213 @@
+//! Pipeline experiments for the §4.1 extensions: E13 (signature mining
+//! from captures) and E14 (SKU fingerprinting accuracy).
+
+use crate::Table;
+use iotdev::proto::{ports, AppMessage, ControlAction, ControlAuth, TelemetryKind};
+use iotdev::registry::{Sku, SkuRegistry};
+use iotlearn::fingerprint::{Fingerprint, FingerprintDb};
+use iotlearn::mine::mine_signatures;
+use iotnet::addr::{Ipv4Addr, MacAddr};
+use iotnet::packet::{Packet, TransportHeader};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+const WAN: Ipv4Addr = Ipv4Addr([100, 64, 0, 9]);
+
+fn pkt(src: Ipv4Addr, dst_port: u16, msg: &AppMessage) -> Packet {
+    Packet::new(
+        MacAddr::from_index(9),
+        MacAddr::from_index(1),
+        src,
+        Ipv4Addr::new(10, 0, 0, 5),
+        TransportHeader::udp(4000, dst_port),
+        msg.encode(),
+    )
+}
+
+/// The canonical attack window for each Table 1 row, as wire packets.
+fn attack_window(row: u8) -> Vec<Packet> {
+    match row {
+        1 => vec![
+            pkt(WAN, ports::MGMT, &AppMessage::MgmtLogin { user: "admin".into(), pass: "admin".into() }),
+            pkt(WAN, ports::MGMT, &AppMessage::MgmtLogin { user: "admin".into(), pass: "1234".into() }),
+        ],
+        2 | 3 => vec![pkt(
+            WAN,
+            ports::MGMT,
+            &AppMessage::MgmtCommand { token: 0, command: iotdev::proto::MgmtCommand::GetConfig },
+        )],
+        4 => vec![pkt(
+            WAN,
+            ports::CONTROL,
+            &AppMessage::Control {
+                action: ControlAction::TurnOff,
+                auth: ControlAuth::Key(0x5eed_c0de_5eed_c0de),
+            },
+        )],
+        5 => vec![pkt(
+            WAN,
+            ports::CONTROL,
+            &AppMessage::Control { action: ControlAction::SetPhase(2), auth: ControlAuth::None },
+        )],
+        6 => vec![pkt(
+            WAN,
+            ports::DNS,
+            &AppMessage::DnsQuery { name: "amp.example".into(), recursion: true },
+        )],
+        7 => vec![pkt(WAN, ports::CLOUD, &AppMessage::CloudCommand { action: ControlAction::TurnOn })],
+        _ => unreachable!(),
+    }
+}
+
+/// E13 — signature mining: for every Table 1 exploit class, mine a
+/// signature from the canonical attack capture and verify it (a)
+/// matches its own evidence and (b) stays selective.
+pub fn mining() -> Table {
+    let mut t = Table::new(
+        "E13: signature mining from captured attack windows",
+        &["row", "mined vuln id", "matcher", "matches evidence", "selective"],
+    );
+    let registry = SkuRegistry::table1();
+    for row in 1..=7u8 {
+        let sku = registry.by_row(row).unwrap().sku.clone();
+        let window = attack_window(row);
+        let mined = mine_signatures(&window, &sku);
+        if mined.is_empty() {
+            t.rowd(&[row.to_string(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        for sig in &mined {
+            let matches = window.iter().any(|p| sig.matcher.matches(p));
+            t.rowd(&[
+                row.to_string(),
+                sig.vuln_id.clone(),
+                format!("{:?}", sig.matcher).chars().take(44).collect::<String>(),
+                matches.to_string(),
+                sig.matcher.is_selective().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Perturb a reference fingerprint: drop/add a port or telemetry kind
+/// with the given probability (observation noise).
+fn perturb(reference: &Fingerprint, noise: f64, rng: &mut StdRng) -> Fingerprint {
+    let mut f = reference.clone();
+    if rng.gen_bool(noise) {
+        // Miss one served port.
+        if let Some(&p) = f.served_ports.iter().next() {
+            f.served_ports.remove(&p);
+        }
+    }
+    if rng.gen_bool(noise) {
+        // Observe a spurious port (some unrelated flow).
+        f.served_ports.insert(40000 + rng.gen_range(0..100));
+    }
+    if rng.gen_bool(noise / 2.0) {
+        f.telemetry.insert(TelemetryKind::Status);
+    }
+    f
+}
+
+/// E14 — fingerprinting accuracy: identify each Table 1 SKU from noisy
+/// observations of its canonical fingerprint.
+pub fn fingerprinting(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E14: SKU fingerprinting accuracy under observation noise",
+        &["noise", "trials", "correct SKU", "wrong SKU", "unidentified"],
+    );
+    let db = FingerprintDb::with_table1();
+    let registry = SkuRegistry::table1();
+    // References: re-derive from the db itself through identify on the
+    // clean fingerprint (sanity) and then under noise.
+    let references: Vec<(Sku, Fingerprint)> = (1..=7u8)
+        .map(|row| {
+            let sku = registry.by_row(row).unwrap().sku.clone();
+            // Clean observation = the db's own entry; reconstruct by
+            // probing identify at zero noise.
+            (sku, db_reference(&db, row))
+        })
+        .collect();
+    for noise in [0.0, 0.1, 0.2, 0.4] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut correct, mut wrong, mut unknown) = (0u32, 0u32, 0u32);
+        const TRIALS: u32 = 100;
+        for trial in 0..TRIALS {
+            let (sku, reference) = &references[(trial as usize) % references.len()];
+            let observed = perturb(reference, noise, &mut rng);
+            match db.identify(&observed, 0.6) {
+                Some(id) if id.sku == *sku => correct += 1,
+                Some(_) => wrong += 1,
+                None => unknown += 1,
+            }
+        }
+        t.rowd(&[
+            format!("{:.0}%", noise * 100.0),
+            TRIALS.to_string(),
+            correct.to_string(),
+            wrong.to_string(),
+            unknown.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Rebuild the canonical fingerprint for a row (mirrors
+/// `FingerprintDb::with_table1`, used as the noise-free observation).
+fn db_reference(_db: &FingerprintDb, row: u8) -> Fingerprint {
+    let mut f = Fingerprint::default();
+    match row {
+        1 => {
+            f.serve(ports::MGMT).serve(ports::CONTROL).emit(TelemetryKind::Motion);
+            f.period_s = 5;
+        }
+        2 => {
+            f.serve(ports::MGMT).serve(ports::CONTROL).emit(TelemetryKind::Status);
+            f.period_s = 5;
+        }
+        3 => {
+            f.serve(ports::MGMT).emit(TelemetryKind::Status);
+            f.period_s = 5;
+        }
+        4 => {
+            f.serve(ports::MGMT).serve(ports::CONTROL).emit(TelemetryKind::Motion);
+            f.period_s = 10;
+        }
+        5 => {
+            f.serve(ports::CONTROL).emit(TelemetryKind::Status);
+            f.period_s = 5;
+        }
+        6 => {
+            f.serve(ports::MGMT).serve(ports::CONTROL).serve(ports::DNS).emit(TelemetryKind::Power);
+            f.period_s = 5;
+        }
+        7 => {
+            f.serve(ports::MGMT).serve(ports::CONTROL).serve(ports::CLOUD).emit(TelemetryKind::Power);
+            f.period_s = 5;
+        }
+        _ => unreachable!(),
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mining_covers_all_rows() {
+        let t = mining();
+        assert!(t.len() >= 7);
+        let s = t.render();
+        assert!(!s.contains("false"), "every mined signature must match and be selective:\n{s}");
+    }
+
+    #[test]
+    fn fingerprinting_is_perfect_without_noise() {
+        let s = fingerprinting(3).render();
+        let first_data_row = s.lines().find(|l| l.starts_with("| 0%")).unwrap();
+        assert!(first_data_row.contains("| 100 "), "{first_data_row}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment harness for the IoTSec reproduction.
+//!
+//! Every table and figure of the paper — plus the quantitative
+//! experiments (E1–E12) its prose demands and the ablations (A1–A3) —
+//! has a function here that regenerates it. The `experiments` binary
+//! dispatches on experiment id and prints markdown tables;
+//! EXPERIMENTS.md records the outputs against the paper's claims.
+//!
+//! Experiment ↔ module map (see DESIGN.md §3 for the full index):
+//!
+//! | ids | module |
+//! |---|---|
+//! | T1, F3, F4, F5, E11 | [`exp_world`] |
+//! | T2, E1, E2, A1 | [`exp_policy`] |
+//! | E3, E4, A3 | [`exp_crowd`] |
+//! | E5, E6 | [`exp_models`] |
+//! | E7, E8, A2 | [`exp_ctl`] |
+//! | E9, E10 | [`exp_umbox`] |
+//! | E12 | [`exp_anomaly`] |
+//! | E13, E14 | [`exp_pipeline`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp_anomaly;
+pub mod exp_crowd;
+pub mod exp_ctl;
+pub mod exp_models;
+pub mod exp_pipeline;
+pub mod exp_policy;
+pub mod exp_umbox;
+pub mod exp_world;
+pub mod table;
+
+pub use table::Table;

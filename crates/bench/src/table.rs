@@ -1,0 +1,104 @@
+//! Markdown table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned markdown table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of displayable items.
+    pub fn rowd<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as aligned markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n### {}\n", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, " {c:<w$} |");
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.rowd(&["alpha", "1"]);
+        t.rowd(&["beta-long", "22"]);
+        let s = t.render();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("| alpha     | 1     |"));
+        assert!(s.contains("| beta-long | 22    |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.rowd(&["only-one"]);
+    }
+}

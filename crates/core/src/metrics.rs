@@ -1,0 +1,113 @@
+//! Ground-truth outcome metrics.
+//!
+//! The simulator knows exactly what happened — which devices accepted
+//! attacker actuation, what data left, whether the window ended up open
+//! with nobody home. These are the rows of the Table 1 / end-to-end
+//! experiment outputs.
+
+use iotdev::attacker::AttackOutcome;
+use iotdev::device::DeviceId;
+use iotnet::time::SimTime;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// Aggregated outcome of one simulated run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Metrics {
+    /// Devices that accepted attacker control.
+    pub compromised: BTreeSet<DeviceId>,
+    /// Devices whose sensitive data left to a non-owner.
+    pub privacy_leaked: BTreeSet<DeviceId>,
+    /// Whether the run ended (or passed through) a physical breach
+    /// state: window open or door unlocked while nobody is home.
+    pub physical_breach: bool,
+    /// When the first breach state was entered.
+    pub breach_at: Option<SimTime>,
+    /// Amplified DNS bytes delivered to the victim host.
+    pub ddos_bytes_at_victim: u64,
+    /// DNS queries the attacker fired.
+    pub ddos_queries: u64,
+    /// Packets dropped by µmbox chains.
+    pub umbox_drops: u64,
+    /// Packets answered by µmbox chains on a device's behalf (proxy
+    /// denials).
+    pub umbox_intercepts: u64,
+    /// Packets dropped by switch policy (perimeter, quarantine rules).
+    pub policy_drops: u64,
+    /// Control-plane directives executed.
+    pub directives: u64,
+    /// Security events the controller processed.
+    pub controller_events: u64,
+    /// Per-step attacker outcomes.
+    pub attack_outcomes: Vec<AttackOutcome>,
+    /// Recipes the hub fired.
+    pub recipes_fired: u64,
+}
+
+impl Metrics {
+    /// Whether the whole campaign succeeded (every step).
+    pub fn campaign_succeeded(&self) -> bool {
+        !self.attack_outcomes.is_empty() && self.attack_outcomes.iter().all(|o| o.success)
+    }
+
+    /// How many campaign steps succeeded.
+    pub fn steps_succeeded(&self) -> usize {
+        self.attack_outcomes.iter().filter(|o| o.success).count()
+    }
+
+    /// A one-line summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "compromised={} leaks={} breach={} ddos_bytes={} steps_ok={}/{}",
+            self.compromised.len(),
+            self.privacy_leaked.len(),
+            self.physical_breach,
+            self.ddos_bytes_at_victim,
+            self.steps_succeeded(),
+            self.attack_outcomes.len(),
+        )
+    }
+}
+
+/// A labelled `(defense, metrics)` pair — one row of a comparison table.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignReport {
+    /// Scenario label.
+    pub scenario: String,
+    /// Defense label.
+    pub defense: String,
+    /// Outcomes.
+    pub metrics: Metrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_success_requires_all_steps() {
+        let mut m = Metrics::default();
+        assert!(!m.campaign_succeeded()); // empty = nothing succeeded
+        m.attack_outcomes.push(AttackOutcome {
+            step: 0,
+            label: "a".into(),
+            success: true,
+            at: SimTime::ZERO,
+        });
+        assert!(m.campaign_succeeded());
+        m.attack_outcomes.push(AttackOutcome {
+            step: 1,
+            label: "b".into(),
+            success: false,
+            at: SimTime::ZERO,
+        });
+        assert!(!m.campaign_succeeded());
+        assert_eq!(m.steps_succeeded(), 1);
+    }
+
+    #[test]
+    fn summary_is_stable() {
+        let m = Metrics::default();
+        assert!(m.summary().contains("compromised=0"));
+    }
+}

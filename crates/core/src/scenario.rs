@@ -1,0 +1,237 @@
+//! Canned scenarios reproducing the paper's figures and tables.
+//!
+//! Each function returns a ready-to-run [`Deployment`]; the examples,
+//! integration tests and the benchmark harness all draw from here so
+//! that "Figure 4" means exactly one thing across the repository.
+
+use crate::defense::Defense;
+use crate::deployment::{Deployment, DeviceSetup, StepSpec};
+use iotdev::classes::PlugLoad;
+use iotdev::device::{DeviceClass, DeviceId};
+use iotdev::env::EnvVar;
+use iotdev::proto::{ControlAction, MgmtCommand};
+use iotdev::vuln::Vulnerability;
+use iotnet::time::SimDuration;
+use iotpolicy::recipe::{Recipe, RecipeAction, Trigger};
+
+/// Figure 4: the IoT security gateway.
+///
+/// A D-Link-style camera ships with a hardcoded `admin`/`admin` account
+/// the user cannot delete. The attacker dictionary-cracks the account
+/// and pulls images. Returns `(deployment, camera)`.
+pub fn figure4(defense: Defense) -> (Deployment, DeviceId) {
+    let mut d = Deployment::new();
+    let cam = d.device(DeviceSetup::table1_row(1));
+    d.campaign(vec![
+        StepSpec::DictionaryLogin(cam),
+        StepSpec::Mgmt(cam, MgmtCommand::GetImage),
+        StepSpec::Mgmt(cam, MgmtCommand::GetConfig),
+    ]);
+    d.defend_with(defense);
+    (d, cam)
+}
+
+/// Figure 5: the cross-device policy.
+///
+/// A backdoored Wemo powers the smart oven (a fire hazard). The policy
+/// allows "ON" to the Wemo only when the camera sees somebody home. The
+/// attacker hits the cloud backdoor while the house is empty. Returns
+/// `(deployment, wemo, camera)`.
+pub fn figure5(defense: Defense) -> (Deployment, DeviceId, DeviceId) {
+    let mut d = Deployment::new();
+    let wemo = d.device(
+        DeviceSetup::table1_row(7).powering(PlugLoad::Oven),
+    );
+    let cam = d.device(DeviceSetup::clean(DeviceClass::Camera));
+    let _oven = d.device(DeviceSetup::clean(DeviceClass::Oven));
+    d.gate(wemo, EnvVar::Occupancy, "present");
+    d.campaign(vec![
+        // The plug ships ON; the attacker cycles it OFF then ON via the
+        // backdoor to seize the oven's power while nobody is home.
+        StepSpec::Cloud(wemo, ControlAction::TurnOff),
+        StepSpec::Cloud(wemo, ControlAction::TurnOn),
+    ]);
+    d.defend_with(defense);
+    (d, wemo, cam)
+}
+
+/// Figure 3: the fire-alarm / window-actuator FSM policy.
+///
+/// The fire alarm carries a cloud backdoor; accessing it must flip the
+/// system into a state where "open" messages to the window are blocked.
+/// Returns `(deployment, fire alarm, window)`.
+pub fn figure3(defense: Defense) -> (Deployment, DeviceId, DeviceId) {
+    let mut d = Deployment::new();
+    let alarm = d.device(
+        DeviceSetup::clean(DeviceClass::FireAlarm).with_vuln(Vulnerability::CloudBypassBackdoor),
+    );
+    let window = d.device(
+        DeviceSetup::clean(DeviceClass::WindowActuator).with_vuln(Vulnerability::NoAuthControl),
+    );
+    d.protect(alarm, window);
+    d.campaign(vec![
+        // Stage 1: touch the alarm's backdoor (the "FireAlarm backdoor
+        // accessed" transition in the figure).
+        StepSpec::Cloud(alarm, ControlAction::TurnOff),
+        // Stage 2: try to open the window for the break-in.
+        StepSpec::Control(window, ControlAction::Open, iotdev::attacker::AttackAuth::None),
+    ]);
+    d.defend_with(defense);
+    (d, alarm, window)
+}
+
+/// The paper's implicit-coupling break-in chain (§2.1): compromise the
+/// AC's smart plug, let the room heat up, and wait for the "open windows
+/// to cool down" IFTTT recipe to breach the house. Returns
+/// `(deployment, plug, window)`.
+pub fn breakin_chain(defense: Defense) -> (Deployment, DeviceId, DeviceId) {
+    let mut d = Deployment::new();
+    let plug = d.device(
+        DeviceSetup::table1_row(7).powering(PlugLoad::AirConditioner),
+    );
+    let thermostat = d.device(DeviceSetup::clean(DeviceClass::Thermostat));
+    let window = d.device(DeviceSetup::clean(DeviceClass::WindowActuator));
+    let _ = thermostat;
+    d.recipe(Recipe {
+        id: 0,
+        trigger: Trigger::EnvEquals(EnvVar::Temperature, "high"),
+        action: RecipeAction { target: window, action: ControlAction::Open },
+    });
+    d.campaign(vec![
+        StepSpec::Cloud(plug, ControlAction::TurnOff),
+        StepSpec::Wait(SimDuration::from_secs(1800)),
+    ]);
+    d.defend_with(defense);
+    (d, plug, window)
+}
+
+/// One Table 1 row as an attack scenario: the canonical exploit for that
+/// row's vulnerability class, against a device of that row's SKU.
+/// Returns `(deployment, device)`.
+pub fn table1_row(row: u8, defense: Defense) -> (Deployment, DeviceId) {
+    let mut d = Deployment::new();
+    let dev = d.device(DeviceSetup::table1_row(row));
+    let steps = match row {
+        1 => vec![StepSpec::DictionaryLogin(dev), StepSpec::Mgmt(dev, MgmtCommand::GetImage)],
+        2 | 3 => vec![
+            StepSpec::Login(dev, "anyone", "anything"),
+            StepSpec::Mgmt(dev, MgmtCommand::GetConfig),
+        ],
+        4 => vec![StepSpec::Control(
+            dev,
+            ControlAction::TurnOff,
+            iotdev::attacker::AttackAuth::StolenKey,
+        )],
+        5 => vec![StepSpec::Control(
+            dev,
+            ControlAction::SetPhase(2),
+            iotdev::attacker::AttackAuth::None,
+        )],
+        6 => vec![
+            StepSpec::DnsReflect { reflector: dev, queries: 100 },
+            StepSpec::Wait(SimDuration::from_secs(5)),
+        ],
+        7 => vec![StepSpec::Cloud(dev, ControlAction::TurnOff)],
+        _ => panic!("Table 1 has rows 1..=7"),
+    };
+    // Row 4 (leaked key pair): the attacker already holds the fleet-wide
+    // key, extracted offline from the public firmware image.
+    if row == 4 {
+        for v in &d.devices[dev.0 as usize].vulns {
+            if let Vulnerability::ExposedKeyPair { key } = v {
+                d.pre_stolen_keys.push(*key);
+            }
+        }
+    }
+    d.campaign(steps);
+    d.defend_with(defense);
+    (d, dev)
+}
+
+/// A mixed smart home: every Table 1 row plus a handful of clean
+/// devices, the Table 2-style recipes, and the Figure 5 gate. The
+/// end-to-end scenario (E11). Returns the deployment and the ids of the
+/// vulnerable devices in row order.
+pub fn smart_home(defense: Defense, seed: u64) -> (Deployment, Vec<DeviceId>) {
+    let mut d = Deployment::new();
+    d.seed = seed;
+    let vulnerable: Vec<DeviceId> = (1..=7).map(|row| d.device(DeviceSetup::table1_row(row))).collect();
+    let bulb = d.device(DeviceSetup::clean(DeviceClass::LightBulb));
+    let motion = d.device(DeviceSetup::clean(DeviceClass::MotionSensor));
+    let lock = d.device(DeviceSetup::clean(DeviceClass::SmartLock));
+    let alarm = d.device(DeviceSetup::clean(DeviceClass::FireAlarm));
+    let _ = (motion, lock, alarm);
+    d.recipe(Recipe {
+        id: 0,
+        trigger: Trigger::Event(DeviceClass::FireAlarm, iotdev::proto::EventKind::SmokeAlarm),
+        action: RecipeAction { target: bulb, action: ControlAction::SetColor(1) },
+    });
+    d.recipe(Recipe {
+        id: 1,
+        trigger: Trigger::EnvEquals(EnvVar::Occupancy, "absent"),
+        action: RecipeAction { target: vulnerable[6], action: ControlAction::TurnOff },
+    });
+    d.gate(vulnerable[6], EnvVar::Occupancy, "present");
+    // The campaign sweeps the exploit for every vulnerable device.
+    let steps = vec![
+        StepSpec::DictionaryLogin(vulnerable[0]),
+        StepSpec::Mgmt(vulnerable[0], MgmtCommand::GetImage),
+        StepSpec::Login(vulnerable[1], "x", "y"),
+        StepSpec::Mgmt(vulnerable[1], MgmtCommand::GetConfig),
+        StepSpec::Control(
+            vulnerable[4],
+            ControlAction::SetPhase(2),
+            iotdev::attacker::AttackAuth::None,
+        ),
+        StepSpec::DnsReflect { reflector: vulnerable[5], queries: 50 },
+        StepSpec::Cloud(vulnerable[6], ControlAction::TurnOff),
+    ];
+    d.campaign(steps);
+    d.defend_with(defense);
+    (d, vulnerable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn figure4_shapes() {
+        let (d, cam) = figure4(Defense::None);
+        assert_eq!(cam, DeviceId(0));
+        assert_eq!(d.campaign.len(), 3);
+        assert!(d.devices[0].vulns.iter().any(|v| v.id() == "default-credentials"));
+    }
+
+    #[test]
+    fn figure5_gates_the_wemo() {
+        let (d, wemo, _) = figure5(Defense::iotsec());
+        assert!(d.gates.iter().any(|(dev, var, val)| {
+            *dev == wemo && *var == EnvVar::Occupancy && *val == "present"
+        }));
+    }
+
+    #[test]
+    fn figure3_has_protection_pair() {
+        let (d, alarm, window) = figure3(Defense::iotsec());
+        assert_eq!(d.protect_pairs, vec![(alarm, window)]);
+    }
+
+    #[test]
+    fn table1_rows_all_construct_and_run_briefly() {
+        for row in 1..=7 {
+            let (d, _) = table1_row(row, Defense::None);
+            let mut w = World::new(&d);
+            w.run(SimDuration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn smart_home_has_all_rows() {
+        let (d, vulnerable) = smart_home(Defense::None, 1);
+        assert_eq!(vulnerable.len(), 7);
+        assert_eq!(d.devices.len(), 11);
+        assert!(!d.recipes.is_empty());
+    }
+}

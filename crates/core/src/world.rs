@@ -1,0 +1,910 @@
+//! The simulation world: Figure 2 running.
+//!
+//! The world owns the network, the physical environment, the devices,
+//! the hub, the attacker, and — when IoTSec is deployed — the controller
+//! and the µmbox runtime. A fixed tick (default 100 ms) drives device
+//! FSMs, physics, the hub and the attacker; the packet-level event
+//! engine runs at full resolution between ticks.
+
+use crate::defense::{upnp_pinholes, Defense, IoTSecConfig};
+use crate::deployment::{AttackerLocation, Deployment, StepSpec};
+use crate::hub::Hub;
+use crate::metrics::Metrics;
+use iotdev::attacker::{AttackPlan, AttackStep, Attacker, AttackerEmit};
+use iotdev::classes::DeviceLogic;
+use iotdev::device::{AdminCreds, DeviceId, DeviceOutput, IoTDevice, OutMessage};
+use iotdev::env::{EnvVar, Environment};
+use iotdev::events::SecurityEvent;
+use iotdev::proto::AppMessage;
+use iotdev::vuln::Vulnerability;
+use iotlearn::signature::{AttackSignature, Matcher, Severity};
+use iotctl::controller::{Controller, ControllerConfig};
+use iotctl::directive::Directive;
+use iotctl::hier::{HierarchicalController, Partitioning};
+use iotnet::addr::{EndpointId, Ipv4Addr, SwitchId};
+use iotnet::flow::{FlowAction, FlowMatch, FlowRule, SteerId};
+use iotnet::link::LinkParams;
+use iotnet::net::{InlineProcessor, InlineVerdict, Network};
+use iotnet::packet::{Packet, TcpFlags, TransportHeader};
+use iotnet::time::{SimDuration, SimTime};
+use iotnet::topology::TopologyBuilder;
+use iotpolicy::compile::PolicyCompiler;
+use iotpolicy::posture::Posture;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use umbox::chain::{build_chain, ChainConfig, UmboxChain};
+use umbox::element::{EventSink, ViewHandle};
+use umbox::lifecycle::{LifecycleManager, UmboxId};
+use umbox::resource::Cluster;
+
+/// Who owns an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Entity {
+    Device(usize),
+    Hub,
+    Attacker,
+    Victim,
+}
+
+/// A chain shared between the world (for reconfiguration and stats) and
+/// the network's steer registry.
+struct SharedChain(Rc<RefCell<UmboxChain>>);
+
+impl InlineProcessor for SharedChain {
+    fn process(&mut self, now: SimTime, pkt: Packet) -> InlineVerdict {
+        self.0.borrow_mut().process(now, pkt)
+    }
+
+    fn label(&self) -> &str {
+        "umbox-chain"
+    }
+}
+
+enum ControlPlane {
+    Flat(Box<Controller>),
+    Hier(Box<HierarchicalController>),
+}
+
+impl ControlPlane {
+    fn ingest(&mut self, event: SecurityEvent) {
+        match self {
+            ControlPlane::Flat(c) => c.ingest(event),
+            ControlPlane::Hier(h) => h.ingest(event),
+        }
+    }
+
+    fn ingest_env(&mut self, at: SimTime, values: &[(EnvVar, &'static str)]) {
+        match self {
+            ControlPlane::Flat(c) => c.ingest_env(at, values),
+            ControlPlane::Hier(h) => h.ingest_env(at, values),
+        }
+    }
+
+    fn step(&mut self, now: SimTime) -> Vec<Directive> {
+        match self {
+            ControlPlane::Flat(c) => c.step(now),
+            ControlPlane::Hier(h) => h.step(now),
+        }
+    }
+
+    fn reconcile(&mut self, now: SimTime) -> Vec<Directive> {
+        match self {
+            ControlPlane::Flat(c) => c.reconcile(now),
+            ControlPlane::Hier(h) => h.reconcile(now),
+        }
+    }
+
+    fn events_processed(&self) -> u64 {
+        match self {
+            ControlPlane::Flat(c) => c.stats.events_processed,
+            ControlPlane::Hier(h) => h.total_processed(),
+        }
+    }
+}
+
+struct UmboxSlot {
+    steer: SteerId,
+    chain: Rc<RefCell<UmboxChain>>,
+    instance: UmboxId,
+}
+
+/// The running world.
+pub struct World {
+    /// Current simulated time.
+    pub clock: SimTime,
+    tick: SimDuration,
+    /// The network substrate.
+    pub net: Network,
+    /// The physical environment.
+    pub env: Environment,
+    devices: Vec<IoTDevice>,
+    device_endpoints: Vec<EndpointId>,
+    entities: HashMap<EndpointId, Entity>,
+    hub: Option<(Hub, EndpointId)>,
+    attacker: Option<(Attacker, EndpointId)>,
+    victim_bytes: u64,
+    control: Option<ControlPlane>,
+    lifecycle: Option<LifecycleManager>,
+    cluster: Option<Cluster>,
+    chains: HashMap<DeviceId, UmboxSlot>,
+    pending_steers: Vec<(SimTime, DeviceId, Rc<RefCell<UmboxChain>>, UmboxId)>,
+    pending_swaps: Vec<(SimTime, DeviceId, UmboxChain)>,
+    gate_view: ViewHandle,
+    event_sink: EventSink,
+    cfg: Option<IoTSecConfig>,
+    subscribed_signatures: Vec<AttackSignature>,
+    /// Per-device operator-known flaws (the policy compiler's input).
+    known_vulns: Vec<Vec<Vulnerability>>,
+    core_switch: SwitchId,
+    device_switch: Vec<SwitchId>,
+    next_steer: u32,
+    pending_events: Vec<SecurityEvent>,
+    /// Whether a physical breach state has been entered.
+    pub physical_breach: bool,
+    breach_at: Option<SimTime>,
+    retired_drops: u64,
+    retired_intercepts: u64,
+    recipes_fired_seed: u64,
+}
+
+impl World {
+    /// Build a world from a deployment description.
+    pub fn new(deployment: &Deployment) -> World {
+        // --- topology -----------------------------------------------------
+        let mut b = TopologyBuilder::new();
+        let (core, edge_switches): (SwitchId, Vec<SwitchId>) = match deployment.site {
+            crate::deployment::Site::Home => {
+                let sw = b.add_switch();
+                (sw, vec![sw])
+            }
+            crate::deployment::Site::Enterprise { edges } => {
+                let core = b.add_switch();
+                let edges = (0..edges.max(1))
+                    .map(|_| {
+                        let e = b.add_switch();
+                        b.connect_switches(core, e, LinkParams::lan());
+                        e
+                    })
+                    .collect();
+                (core, edges)
+            }
+        };
+        // Devices spread round-robin over the edge switches.
+        let device_switch: Vec<SwitchId> = (0..deployment.devices.len())
+            .map(|i| edge_switches[i % edge_switches.len()])
+            .collect();
+        let device_endpoints: Vec<EndpointId> = device_switch
+            .iter()
+            .map(|sw| b.attach_endpoint(*sw, LinkParams::wifi()))
+            .collect();
+        let hub_ep = deployment
+            .with_hub
+            .then(|| b.attach_endpoint_with(core, LinkParams::lan(), Ipv4Addr::new(10, 0, 200, 1)));
+        let attacker_ep = (!deployment.campaign.is_empty()).then(|| match deployment.attacker_location {
+            AttackerLocation::Wan => {
+                b.attach_endpoint_with(core, LinkParams::wan(), Ipv4Addr::new(100, 64, 0, 99))
+            }
+            AttackerLocation::Lan => b.attach_endpoint(edge_switches[0], LinkParams::wifi()),
+        });
+        let victim_ep = deployment
+            .needs_victim()
+            .then(|| b.attach_endpoint_with(core, LinkParams::wan(), Ipv4Addr::new(203, 0, 113, 50)));
+        let mut net = Network::new(b.build(), deployment.seed);
+
+        // --- devices ------------------------------------------------------
+        let mut devices = Vec::with_capacity(deployment.devices.len());
+        let mut entities = HashMap::new();
+        let hub_ip = hub_ep.map(|ep| net.ip_of(ep));
+        for (i, setup) in deployment.devices.iter().enumerate() {
+            let ep = device_endpoints[i];
+            let ip = net.ip_of(ep);
+            let mut dev = IoTDevice::new(
+                DeviceId(i as u32),
+                setup.sku.clone(),
+                setup.class,
+                ip,
+                setup.all_vulns(), // the device has every flaw it shipped with
+            );
+            if let (Some(load), DeviceLogic::SmartPlug(plug)) = (setup.load, &mut dev.logic) {
+                plug.load = load;
+            }
+            dev.hub = hub_ip;
+            dev.owner = hub_ip;
+            devices.push(dev);
+            entities.insert(ep, Entity::Device(i));
+        }
+
+        // --- hub ----------------------------------------------------------
+        let hub = hub_ep.map(|ep| {
+            let mut hub = Hub::new(net.ip_of(ep), AdminCreds::owner_default());
+            for (i, dev) in devices.iter().enumerate() {
+                hub.register(DeviceId(i as u32), dev.ip, dev.class);
+            }
+            for r in &deployment.recipes {
+                hub.add_recipe(r.clone());
+            }
+            entities.insert(ep, Entity::Hub);
+            (hub, ep)
+        });
+
+        // --- attacker -----------------------------------------------------
+        let victim_ip = victim_ep.map(|ep| net.ip_of(ep));
+        let attacker = attacker_ep.map(|ep| {
+            entities.insert(ep, Entity::Attacker);
+            let plan = resolve_plan(&deployment.campaign, &devices, victim_ip);
+            let mut attacker = Attacker::new(net.ip_of(ep), plan);
+            for key in &deployment.pre_stolen_keys {
+                attacker.learn_key(*key);
+            }
+            (attacker, ep)
+        });
+        if let Some(ep) = victim_ep {
+            entities.insert(ep, Entity::Victim);
+        }
+
+        // --- defense ------------------------------------------------------
+        let gate_view = ViewHandle::new();
+        let event_sink = EventSink::new();
+        let mut control = None;
+        let mut lifecycle = None;
+        let mut cluster = None;
+        let mut cfg = None;
+        match &deployment.defense {
+            Defense::None => {}
+            Defense::Perimeter => {
+                if let (Some((_, atk_ep)), AttackerLocation::Wan) =
+                    (&attacker, deployment.attacker_location)
+                {
+                    let wan_port = net.topology().endpoint(*atk_ep).port;
+                    // Pinholes first (higher priority), then default-deny
+                    // for WAN-originated traffic.
+                    for dev in &devices {
+                        for port in upnp_pinholes(&dev.vulns) {
+                            let matcher = if matches!(
+                                port,
+                                iotdev::proto::ports::MGMT | iotdev::proto::ports::CLOUD
+                            ) {
+                                FlowMatch::to_tcp_service(dev.ip, port)
+                            } else {
+                                FlowMatch::to_udp_service(dev.ip, port)
+                            }
+                            .with_in_port(wan_port);
+                            net.install_rule(
+                                core,
+                                FlowRule::new(200, matcher, FlowAction::Normal).with_cookie(u64::MAX),
+                            );
+                        }
+                    }
+                    net.install_rule(
+                        core,
+                        FlowRule::new(
+                            150,
+                            FlowMatch::any().with_in_port(wan_port),
+                            FlowAction::Drop,
+                        )
+                        .with_cookie(u64::MAX),
+                    );
+                }
+            }
+            Defense::IoTSec(config) => {
+                let mut compiler = PolicyCompiler::new();
+                for (i, setup) in deployment.devices.iter().enumerate() {
+                    compiler.device(DeviceId(i as u32), setup.class, &setup.vulns);
+                    // Subscribed repository signatures for this SKU put a
+                    // standing IDS in front of the device.
+                    if deployment.subscribed_signatures.iter().any(|s| s.sku == setup.sku) {
+                        compiler.rule(
+                            iotpolicy::policy::PolicyRule::new(
+                                iotpolicy::compile::priority::MITIGATION,
+                                iotpolicy::policy::StatePattern::any(),
+                                DeviceId(i as u32),
+                                Posture::of(iotpolicy::posture::SecurityModule::Ids { ruleset: 1 }),
+                            )
+                            .with_origin(&format!("repo:{}", setup.sku)),
+                        );
+                    }
+                }
+                for var in EnvVar::ALL {
+                    compiler.env(var);
+                }
+                for (device, var, value) in &deployment.gates {
+                    compiler.gate_actuation(*device, *var, value);
+                }
+                for (watched, protected) in &deployment.protect_pairs {
+                    compiler.protect_on_suspicion(*watched, *protected);
+                }
+                let policy = compiler.build();
+                let ctl_config = ControllerConfig {
+                    view_propagation: config.view_propagation,
+                    ..ControllerConfig::default()
+                };
+                control = Some(if config.hierarchical {
+                    ControlPlane::Hier(Box::new(HierarchicalController::new(
+                        policy,
+                        Partitioning::ByCoupling,
+                        ctl_config,
+                        gate_view.clone(),
+                    )))
+                } else {
+                    ControlPlane::Flat(Box::new(Controller::new(policy, ctl_config, gate_view.clone())))
+                });
+                lifecycle = Some(LifecycleManager::new(config.pool));
+                cluster = Some(match deployment.site {
+                    crate::deployment::Site::Home => Cluster::iot_router(),
+                    crate::deployment::Site::Enterprise { .. } => Cluster::enterprise(
+                        4,
+                        8192,
+                        umbox::resource::PlacementPolicy::LeastLoaded,
+                    ),
+                });
+                cfg = Some(*config);
+            }
+        }
+
+        let mut world = World {
+            clock: SimTime::ZERO,
+            tick: deployment.tick,
+            net,
+            env: Environment::new(),
+            devices,
+            device_endpoints,
+            entities,
+            hub,
+            attacker,
+            victim_bytes: 0,
+            control,
+            lifecycle,
+            cluster,
+            chains: HashMap::new(),
+            pending_steers: Vec::new(),
+            pending_swaps: Vec::new(),
+            gate_view,
+            event_sink,
+            cfg,
+            subscribed_signatures: deployment.subscribed_signatures.clone(),
+            known_vulns: deployment.devices.iter().map(|d| d.vulns.clone()).collect(),
+            core_switch: core,
+            device_switch,
+            next_steer: 1,
+            pending_events: Vec::new(),
+            physical_breach: false,
+            breach_at: None,
+            retired_drops: 0,
+            retired_intercepts: 0,
+            recipes_fired_seed: 0,
+        };
+
+        // Initial reconciliation installs standing mitigations before any
+        // traffic flows.
+        if let Some(mut control) = world.control.take() {
+            let directives = control.reconcile(SimTime::ZERO);
+            world.control = Some(control);
+            for d in directives {
+                world.execute_directive(d, SimTime::ZERO);
+            }
+        }
+        world
+    }
+
+    /// Access a device.
+    pub fn device(&self, id: DeviceId) -> &IoTDevice {
+        &self.devices[id.0 as usize]
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The attacker, if deployed.
+    pub fn attacker(&self) -> Option<&Attacker> {
+        self.attacker.as_ref().map(|(a, _)| a)
+    }
+
+    /// Whether the campaign has finished.
+    pub fn attack_done(&self) -> bool {
+        self.attacker.as_ref().is_none_or(|(a, _)| a.done())
+    }
+
+    /// Bytes of (amplified) traffic delivered to the victim host.
+    pub fn victim_bytes(&self) -> u64 {
+        self.victim_bytes
+    }
+
+    /// The controller's data-plane view (what gates read).
+    pub fn gate_view(&self) -> &ViewHandle {
+        &self.gate_view
+    }
+
+    /// The core/gateway switch (where the WAN, hub and NFV cluster
+    /// attach).
+    pub fn core_switch(&self) -> SwitchId {
+        self.core_switch
+    }
+
+    /// The first-hop switch of a device.
+    pub fn switch_of(&self, id: DeviceId) -> SwitchId {
+        self.device_switch[id.0 as usize]
+    }
+
+    /// Advance one tick.
+    pub fn step(&mut self) {
+        self.clock += self.tick;
+        let now = self.clock;
+
+        // 1. Activate µmboxes that finished booting / reconfiguring.
+        self.activate_pending(now);
+
+        // 2. Device FSM ticks + physics.
+        self.env.begin_tick();
+        for i in 0..self.devices.len() {
+            let out = self.devices[i].tick(now, &mut self.env);
+            self.dispatch(self.device_endpoints[i], now, out);
+        }
+        self.env.step(self.tick.as_secs_f64());
+        if (self.env.window_open || !self.env.door_locked) && !self.env.occupied {
+            if !self.physical_breach {
+                self.breach_at = Some(now);
+            }
+            self.physical_breach = true;
+        }
+
+        // 3. Hub: env-edge recipes + environment reporting.
+        let denv = self.env.discretize();
+        if let Some((mut hub, ep)) = self.hub.take() {
+            let sends = hub.on_env(denv);
+            self.hub = Some((hub, ep));
+            for m in sends {
+                self.send_message(ep, now, &m, None);
+            }
+        }
+        if let Some(control) = &mut self.control {
+            let values: Vec<(EnvVar, &'static str)> =
+                EnvVar::ALL.iter().map(|v| (*v, denv.get(*v))).collect();
+            control.ingest_env(now, &values);
+        }
+
+        // 4. Attacker.
+        if let Some((mut attacker, ep)) = self.attacker.take() {
+            let emits = attacker.poll(now);
+            self.attacker = Some((attacker, ep));
+            for AttackerEmit { out, spoof_src } in emits {
+                self.send_message(ep, now, &out, spoof_src);
+            }
+        }
+
+        // 5. Drain the packet plane (replies can cascade within a tick).
+        loop {
+            let deliveries = self.net.step_until(now);
+            if deliveries.is_empty() {
+                break;
+            }
+            for d in deliveries {
+                self.route_delivery(d);
+            }
+        }
+
+        // 6. Control plane: collect events, step, execute directives.
+        let mut events = std::mem::take(&mut self.pending_events);
+        events.extend(self.event_sink.drain());
+        if let Some(control) = &mut self.control {
+            for e in events {
+                control.ingest(e);
+            }
+            let directives = control.step(now);
+            for d in directives {
+                self.execute_directive(d, now);
+            }
+        }
+        if let Some(lc) = &mut self.lifecycle {
+            lc.advance(now);
+        }
+    }
+
+    /// Run for a duration.
+    pub fn run(&mut self, duration: SimDuration) {
+        let end = self.clock + duration;
+        while self.clock + self.tick <= end {
+            self.step();
+        }
+    }
+
+    /// Run until the campaign completes (or `limit` elapses).
+    pub fn run_until_attack_done(&mut self, limit: SimDuration) {
+        let end = self.clock + limit;
+        while !self.attack_done() && self.clock + self.tick <= end {
+            self.step();
+        }
+        // A little settling time for physics and the control plane.
+        self.run(SimDuration::from_secs(2));
+    }
+
+    fn activate_pending(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.pending_steers.len() {
+            if self.pending_steers[i].0 <= now {
+                let (_, device, chain, instance) = self.pending_steers.remove(i);
+                let steer = SteerId(self.next_steer);
+                self.next_steer += 1;
+                let detour = self.cfg.map_or(SimDuration::ZERO, |c| c.steer_detour);
+                self.net.register_steer(steer, Box::new(SharedChain(chain.clone())), detour);
+                let ip = self.devices[device.0 as usize].ip;
+                let sw = self.device_switch[device.0 as usize];
+                self.net.install_rule(
+                    sw,
+                    FlowRule::new(300, FlowMatch::to_host(ip), FlowAction::Steer(steer))
+                        .with_cookie(cookie(device)),
+                );
+                self.chains.insert(device, UmboxSlot { steer, chain, instance });
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.pending_swaps.len() {
+            if self.pending_swaps[i].0 <= now {
+                let (_, device, mut new_chain) = self.pending_swaps.remove(i);
+                if let Some(slot) = self.chains.get(&device) {
+                    // An in-place reconfiguration keeps the instance's
+                    // counters (it is the same µmbox, new rules).
+                    let mut old = slot.chain.borrow_mut();
+                    new_chain.processed = old.processed;
+                    new_chain.dropped = old.dropped;
+                    new_chain.intercepted = old.intercepted;
+                    new_chain.busy = old.busy;
+                    *old = new_chain;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn signatures_for(&self, device: DeviceId) -> Vec<AttackSignature> {
+        let Some(cfg) = &self.cfg else { return Vec::new() };
+        let dev = &self.devices[device.0 as usize];
+        // Repository subscriptions apply regardless of whether local
+        // vulnerability knowledge is enabled — that is their whole point.
+        let subscribed = self
+            .subscribed_signatures
+            .iter()
+            .filter(|s| s.sku == dev.sku)
+            .cloned();
+        if !cfg.signatures {
+            return subscribed.collect();
+        }
+        let known = &self.known_vulns[device.0 as usize];
+        subscribed
+            .chain(known.iter().map(|v| {
+                let matcher = match v {
+                    Vulnerability::DefaultCredentials { user, pass } => {
+                        Matcher::DefaultCredLogin { user: user.clone(), pass: pass.clone() }
+                    }
+                    Vulnerability::OpenMgmtAccess => Matcher::MgmtFromExternal,
+                    Vulnerability::ExposedKeyPair { key } => Matcher::KeyAuthControl { key: *key },
+                    Vulnerability::NoAuthControl => Matcher::UnauthenticatedControl,
+                    Vulnerability::OpenDnsResolver => Matcher::RecursiveDnsFromExternal,
+                    Vulnerability::CloudBypassBackdoor => Matcher::CloudCommand,
+                };
+                AttackSignature::new(dev.sku.clone(), v.id(), matcher, Severity::High)
+            }))
+            .collect()
+    }
+
+    fn chain_config(&self, device: DeviceId) -> ChainConfig {
+        ChainConfig {
+            device,
+            required_creds: self.devices[device.0 as usize].creds.clone(),
+            cleared_sources: self.hub.as_ref().map(|(h, _)| vec![h.ip]).unwrap_or_default(),
+            signatures: self.signatures_for(device),
+            view: self.gate_view.clone(),
+            events: self.event_sink.clone(),
+        }
+    }
+
+    fn execute_directive(&mut self, directive: Directive, now: SimTime) {
+        match directive {
+            Directive::Launch { device, posture } => self.launch_umbox(device, &posture, now),
+            Directive::Reconfigure { device, posture } => {
+                if self.chains.contains_key(&device) {
+                    let new_chain = build_chain(&posture, &self.chain_config(device));
+                    let done_at = {
+                        let slot = self.chains.get(&device).unwrap();
+                        self.lifecycle.as_mut().map(|lc| lc.reconfigure(slot.instance, now))
+                    };
+                    self.pending_swaps.push((done_at.unwrap_or(now), device, new_chain));
+                } else {
+                    // Reconfigure for a chain still booting: queue a launch
+                    // with the final posture instead.
+                    self.launch_umbox(device, &posture, now);
+                }
+            }
+            Directive::Retire { device } => {
+                if let Some(slot) = self.chains.remove(&device) {
+                    {
+                        let chain = slot.chain.borrow();
+                        self.retired_drops += chain.dropped;
+                        self.retired_intercepts += chain.intercepted;
+                    }
+                    self.net.remove_rules_by_cookie(cookie(device));
+                    self.net.unregister_steer(slot.steer);
+                    if let Some(lc) = &mut self.lifecycle {
+                        lc.retire(slot.instance);
+                    }
+                    if let Some(cl) = &mut self.cluster {
+                        cl.release(device);
+                    }
+                }
+            }
+        }
+    }
+
+    fn launch_umbox(&mut self, device: DeviceId, posture: &Posture, now: SimTime) {
+        // Replace any existing chain outright (covers repeated launches).
+        if self.chains.contains_key(&device) {
+            self.execute_directive(Directive::Retire { device }, now);
+        }
+        let Some(cfg) = self.cfg else { return };
+        if let Some(cl) = &mut self.cluster {
+            if cl.place(device, cfg.vm_kind).is_err() {
+                return; // capacity exhausted: the device stays unprotected
+            }
+        }
+        let Some(lc) = &mut self.lifecycle else { return };
+        let (instance, ready_at) = lc.launch(device, cfg.vm_kind, now);
+        let chain = Rc::new(RefCell::new(build_chain(posture, &self.chain_config(device))));
+        self.pending_steers.push((ready_at, device, chain, instance));
+    }
+
+    fn route_delivery(&mut self, d: iotnet::net::Delivery) {
+        let Some(&entity) = self.entities.get(&d.endpoint) else { return };
+        let Ok(msg) = AppMessage::decode(&d.packet.payload) else { return };
+        match entity {
+            Entity::Device(i) => {
+                let out = self.devices[i].handle_message(
+                    d.at,
+                    d.packet.ip.src,
+                    d.packet.transport.src_port(),
+                    d.packet.transport.dst_port(),
+                    msg,
+                    &mut self.env,
+                );
+                self.dispatch(self.device_endpoints[i], d.at, out);
+            }
+            Entity::Hub => {
+                if let AppMessage::Event { kind } = msg {
+                    if let Some((mut hub, ep)) = self.hub.take() {
+                        let sends = hub.on_event(d.packet.ip.src, kind);
+                        self.hub = Some((hub, ep));
+                        for m in sends {
+                            self.send_message(ep, d.at, &m, None);
+                        }
+                    }
+                }
+            }
+            Entity::Attacker => {
+                if let Some((attacker, _)) = &mut self.attacker {
+                    attacker.on_delivery(d.at, d.packet.ip.src, &msg);
+                }
+            }
+            Entity::Victim => {
+                self.victim_bytes += d.packet.wire_len() as u64;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, from: EndpointId, at: SimTime, out: DeviceOutput) {
+        for m in out.messages {
+            self.send_message(from, at, &m, None);
+        }
+        self.pending_events.extend(out.events);
+    }
+
+    fn send_message(&mut self, from: EndpointId, at: SimTime, m: &OutMessage, spoof: Option<Ipv4Addr>) {
+        let Some(dst_ep) = self.net.endpoint_by_ip(m.dst) else { return };
+        let transport = if m.msg.is_tcp_plane() {
+            TransportHeader::tcp(m.src_port, m.dst_port, 0, TcpFlags::ACK)
+        } else {
+            TransportHeader::udp(m.src_port, m.dst_port)
+        };
+        let pkt = Packet::new(
+            self.net.mac_of(from),
+            self.net.mac_of(dst_ep),
+            spoof.unwrap_or_else(|| self.net.ip_of(from)),
+            m.dst,
+            transport,
+            m.msg.encode(),
+        );
+        self.net.send(from, at, pkt);
+    }
+
+    /// Assemble the run's metrics.
+    pub fn report(&self) -> Metrics {
+        let mut metrics = Metrics {
+            physical_breach: self.physical_breach,
+            breach_at: self.breach_at,
+            ddos_bytes_at_victim: self.victim_bytes,
+            policy_drops: self.net.stats.dropped_policy,
+            ..Metrics::default()
+        };
+        for dev in &self.devices {
+            if dev.compromised {
+                metrics.compromised.insert(dev.id);
+            }
+            if dev.privacy_leaked {
+                metrics.privacy_leaked.insert(dev.id);
+            }
+        }
+        if let Some((attacker, _)) = &self.attacker {
+            metrics.attack_outcomes = attacker.outcomes().to_vec();
+            metrics.ddos_queries = attacker.dns_queries_sent;
+        }
+        metrics.umbox_drops += self.retired_drops;
+        metrics.umbox_intercepts += self.retired_intercepts;
+        for slot in self.chains.values() {
+            let chain = slot.chain.borrow();
+            metrics.umbox_drops += chain.dropped;
+            metrics.umbox_intercepts += chain.intercepted;
+        }
+        if let Some(control) = &self.control {
+            metrics.controller_events = control.events_processed();
+        }
+        if let Some((hub, _)) = &self.hub {
+            metrics.recipes_fired = hub.fired;
+        }
+        let _ = self.recipes_fired_seed;
+        metrics
+    }
+}
+
+fn cookie(device: DeviceId) -> u64 {
+    0x1000 + device.0 as u64
+}
+
+fn resolve_plan(steps: &[StepSpec], devices: &[IoTDevice], victim: Option<Ipv4Addr>) -> AttackPlan {
+    let ip = |id: DeviceId| devices[id.0 as usize].ip;
+    let resolved = steps
+        .iter()
+        .map(|s| match s {
+            StepSpec::Probe(d) => AttackStep::Probe { target: ip(*d) },
+            StepSpec::Login(d, user, pass) => AttackStep::Login {
+                target: ip(*d),
+                user: (*user).into(),
+                pass: (*pass).into(),
+            },
+            StepSpec::DictionaryLogin(d) => AttackStep::DictionaryLogin { target: ip(*d) },
+            StepSpec::Mgmt(d, command) => {
+                AttackStep::Mgmt { target: ip(*d), command: command.clone() }
+            }
+            StepSpec::Control(d, action, auth) => {
+                AttackStep::Control { target: ip(*d), action: *action, auth: auth.clone() }
+            }
+            StepSpec::Cloud(d, action) => AttackStep::Cloud { target: ip(*d), action: *action },
+            StepSpec::DnsReflect { reflector, queries } => AttackStep::DnsReflect {
+                reflector: ip(*reflector),
+                victim: victim.expect("victim host required for DnsReflect"),
+                queries: *queries,
+            },
+            StepSpec::Wait(duration) => AttackStep::Wait { duration: *duration },
+        })
+        .collect();
+    AttackPlan::new("campaign", resolved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::DeviceSetup;
+    use iotdev::device::DeviceClass;
+    use iotdev::proto::{ControlAction, MgmtCommand};
+
+    fn camera_deployment(defense: Defense) -> Deployment {
+        let mut d = Deployment::new();
+        let cam = d.device(DeviceSetup::table1_row(1)); // admin/admin camera
+        d.campaign(vec![
+            StepSpec::DictionaryLogin(cam),
+            StepSpec::Mgmt(cam, MgmtCommand::GetImage),
+        ]);
+        d.defend_with(defense);
+        d
+    }
+
+    #[test]
+    fn undefended_camera_is_cracked() {
+        let mut w = World::new(&camera_deployment(Defense::None));
+        w.run_until_attack_done(SimDuration::from_secs(120));
+        let m = w.report();
+        assert!(m.campaign_succeeded(), "{:?}", m.attack_outcomes);
+        assert!(m.privacy_leaked.contains(&DeviceId(0)));
+    }
+
+    #[test]
+    fn perimeter_does_not_save_an_exposed_camera() {
+        // The camera has a UPnP pinhole on the management port — that is
+        // how it got on SHODAN — so the perimeter passes the attack.
+        let mut w = World::new(&camera_deployment(Defense::Perimeter));
+        w.run_until_attack_done(SimDuration::from_secs(120));
+        let m = w.report();
+        assert!(m.campaign_succeeded(), "{:?}", m.attack_outcomes);
+        assert!(m.privacy_leaked.contains(&DeviceId(0)));
+    }
+
+    #[test]
+    fn perimeter_blocks_unexposed_services() {
+        // A clean camera exposes nothing: the WAN probe dies at the wall.
+        let mut d = Deployment::new();
+        let cam = d.device(DeviceSetup::clean(DeviceClass::Camera));
+        d.campaign(vec![StepSpec::Probe(cam)]);
+        d.defend_with(Defense::Perimeter);
+        let mut w = World::new(&d);
+        w.run_until_attack_done(SimDuration::from_secs(120));
+        let m = w.report();
+        assert!(!m.campaign_succeeded());
+        assert!(m.policy_drops > 0);
+    }
+
+    #[test]
+    fn iotsec_password_proxy_patches_the_camera() {
+        let mut w = World::new(&camera_deployment(Defense::iotsec()));
+        w.run_until_attack_done(SimDuration::from_secs(120));
+        let m = w.report();
+        assert!(!m.campaign_succeeded(), "{:?}", m.attack_outcomes);
+        assert!(m.privacy_leaked.is_empty());
+        assert!(!w.device(DeviceId(0)).privacy_leaked);
+    }
+
+    #[test]
+    fn iotsec_blocks_cloud_backdoor() {
+        let mut d = Deployment::new();
+        let plug = d.device(DeviceSetup::table1_row(7)); // cloud backdoor Wemo
+        d.campaign(vec![StepSpec::Cloud(plug, ControlAction::TurnOff)]);
+        d.defend_with(Defense::iotsec());
+        let mut w = World::new(&d);
+        w.run_until_attack_done(SimDuration::from_secs(120));
+        let m = w.report();
+        assert!(m.compromised.is_empty(), "{:?}", m.attack_outcomes);
+        // And without IoTSec the same campaign wins.
+        let mut d2 = Deployment::new();
+        let plug = d2.device(DeviceSetup::table1_row(7));
+        d2.campaign(vec![StepSpec::Cloud(plug, ControlAction::TurnOff)]);
+        let mut w2 = World::new(&d2);
+        w2.run_until_attack_done(SimDuration::from_secs(120));
+        assert!(w2.report().compromised.contains(&plug));
+    }
+
+    #[test]
+    fn dns_reflection_amplifies_without_defense_only() {
+        let run = |defense: Defense| {
+            let mut d = Deployment::new();
+            let plug = d.device(DeviceSetup::table1_row(6)); // open resolver
+            d.campaign(vec![
+                StepSpec::DnsReflect { reflector: plug, queries: 50 },
+                StepSpec::Wait(SimDuration::from_secs(5)),
+            ]);
+            d.defend_with(defense);
+            let mut w = World::new(&d);
+            w.run_until_attack_done(SimDuration::from_secs(60));
+            w.report()
+        };
+        let open = run(Defense::None);
+        assert!(open.ddos_bytes_at_victim > 10_000, "bytes {}", open.ddos_bytes_at_victim);
+        let defended = run(Defense::iotsec());
+        assert_eq!(defended.ddos_bytes_at_victim, 0);
+    }
+
+    #[test]
+    fn environment_breach_detection() {
+        // No window device in this deployment — the actuator FSM would
+        // re-assert its own (closed) position each tick.
+        let mut d = Deployment::new();
+        let _cam = d.device(DeviceSetup::clean(DeviceClass::Camera));
+        let mut w = World::new(&d);
+        w.env.occupied = false;
+        w.env.window_open = true;
+        w.step();
+        assert!(w.physical_breach);
+        assert!(w.report().physical_breach);
+        assert!(w.report().breach_at.is_some());
+    }
+}

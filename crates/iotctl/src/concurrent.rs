@@ -1,0 +1,156 @@
+//! A thread-safe global view for multicore controller deployments.
+//!
+//! The paper notes that classic SDN scaling tricks assume weakly
+//! consistent state, while IoT context "does change often" and must be
+//! handled consistently. This module provides the strongly consistent
+//! shared view — a single [`parking_lot::RwLock`] around the
+//! [`GlobalView`] — and a stress harness used by the control-plane bench
+//! to measure what that consistency costs in real thread contention
+//! (many event-ingest writers vs. many policy-evaluating readers).
+
+use crate::view::GlobalView;
+use iotdev::device::DeviceId;
+use iotdev::events::{SecurityEvent, SecurityEventKind};
+use iotnet::time::SimTime;
+use iotpolicy::context::SecurityContext;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A shareable, strongly consistent view.
+#[derive(Clone, Default)]
+pub struct ConcurrentView {
+    inner: Arc<RwLock<GlobalView>>,
+}
+
+impl ConcurrentView {
+    /// A fresh view.
+    pub fn new() -> ConcurrentView {
+        ConcurrentView::default()
+    }
+
+    /// Apply an event (writer path).
+    pub fn apply_event(&self, event: &SecurityEvent) -> bool {
+        self.inner.write().apply_event(event)
+    }
+
+    /// Read a device's context (reader path).
+    pub fn context(&self, id: DeviceId) -> SecurityContext {
+        self.inner.read().context(id)
+    }
+
+    /// Current view version.
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
+    }
+
+    /// Snapshot the context pairs (what a policy evaluation reads).
+    pub fn snapshot_contexts(&self) -> Vec<(DeviceId, SecurityContext)> {
+        self.inner.read().context_pairs()
+    }
+}
+
+/// Stress result: events ingested and reads served per wall-clock run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StressOutcome {
+    /// Total events written.
+    pub writes: u64,
+    /// Total snapshot reads.
+    pub reads: u64,
+    /// Final view version.
+    pub final_version: u64,
+}
+
+/// Run `writers` writer threads × `events_each` events against `readers`
+/// reader threads doing continuous snapshots; used by `bench_ctl` to put
+/// a real number on strong-consistency contention.
+pub fn stress(writers: usize, readers: usize, events_each: u64, devices: u32) -> StressOutcome {
+    let view = ConcurrentView::new();
+    let reads = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    crossbeam::scope(|s| {
+        for r in 0..readers {
+            let view = view.clone();
+            let reads = reads.clone();
+            let stop = stop.clone();
+            s.spawn(move |_| {
+                let _ = r;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let snap = view.snapshot_contexts();
+                    std::hint::black_box(snap);
+                    reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        let mut handles = Vec::new();
+        for w in 0..writers {
+            let view = view.clone();
+            handles.push(s.spawn(move |_| {
+                for i in 0..events_each {
+                    let device = DeviceId(((w as u64 * events_each + i) % devices as u64) as u32);
+                    let kind = if i % 2 == 0 {
+                        SecurityEventKind::AuthFailureBurst
+                    } else {
+                        SecurityEventKind::OccupancyChanged(i % 4 == 1)
+                    };
+                    view.apply_event(&SecurityEvent::new(SimTime::from_nanos(i), device, kind));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    })
+    .unwrap();
+    StressOutcome {
+        writes: writers as u64 * events_each,
+        reads: reads.load(std::sync::atomic::Ordering::Relaxed),
+        final_version: view.version(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_view_applies_events() {
+        let view = ConcurrentView::new();
+        assert_eq!(view.context(DeviceId(0)), SecurityContext::Normal);
+        view.apply_event(&SecurityEvent::new(
+            SimTime::ZERO,
+            DeviceId(0),
+            SecurityEventKind::SignatureMatch,
+        ));
+        assert_eq!(view.context(DeviceId(0)), SecurityContext::Suspicious);
+        assert_eq!(view.version(), 1);
+    }
+
+    #[test]
+    fn stress_is_lossless_under_contention() {
+        let out = stress(4, 2, 500, 16);
+        assert_eq!(out.writes, 2000);
+        // Every device escalated exactly once (idempotent after that),
+        // plus occupancy flips bump the version; version > 0 suffices as
+        // a liveness check, the exact count depends on interleaving.
+        assert!(out.final_version > 0);
+        assert!(out.reads > 0);
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let view = ConcurrentView::new();
+        let v2 = view.clone();
+        crossbeam::scope(|s| {
+            s.spawn(move |_| {
+                v2.apply_event(&SecurityEvent::new(
+                    SimTime::ZERO,
+                    DeviceId(5),
+                    SecurityEventKind::BackdoorAccessed,
+                ));
+            });
+        })
+        .unwrap();
+        assert_eq!(view.context(DeviceId(5)), SecurityContext::Compromised);
+    }
+}

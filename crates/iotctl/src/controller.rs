@@ -1,0 +1,310 @@
+//! The (flat) IoTSec controller.
+//!
+//! The controller ingests security events and environment reports into
+//! its [`GlobalView`], evaluates the [`FsmPolicy`] at the current system
+//! state, diffs posture vectors and emits [`Directive`]s. Two costs are
+//! modelled explicitly because the paper's scalability argument depends
+//! on them:
+//!
+//! * **Service time** per event grows with the number of policy rules in
+//!   the controller's scope (policy evaluation is the controller's inner
+//!   loop). Events queue; queueing delay is the responsiveness metric of
+//!   experiment E7.
+//! * **View propagation delay** from the controller to the data-plane
+//!   gates ([`ViewHandle`]) models the consistency spectrum of
+//!   experiment E8 — `ZERO` is strong consistency, anything larger is
+//!   eventual.
+
+use crate::directive::{plan_transition, Directive};
+use crate::view::GlobalView;
+use iotdev::env::EnvVar;
+use iotdev::events::SecurityEvent;
+use iotnet::stats::DurationHist;
+use iotnet::time::{SimDuration, SimTime};
+use iotpolicy::policy::FsmPolicy;
+use iotpolicy::posture::PostureVector;
+use serde::Serialize;
+use std::collections::VecDeque;
+use umbox::element::ViewHandle;
+
+/// Controller tuning.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ControllerConfig {
+    /// Fixed per-event processing cost.
+    pub service_base: SimDuration,
+    /// Additional per-event cost per policy rule in scope.
+    pub service_per_rule: SimDuration,
+    /// Delay before view changes reach data-plane gates (`ZERO` =
+    /// strong consistency).
+    pub view_propagation: SimDuration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            service_base: SimDuration::from_micros(200),
+            service_per_rule: SimDuration::from_micros(10),
+            view_propagation: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Controller counters.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ControllerStats {
+    /// Events processed.
+    pub events_processed: u64,
+    /// Directives emitted.
+    pub directives: u64,
+    /// Event queueing+service latency distribution.
+    pub latency: DurationHist,
+    /// Maximum queue depth observed.
+    pub max_queue: usize,
+}
+
+/// The flat (single-instance) controller.
+pub struct Controller {
+    /// The compiled policy this controller enforces.
+    pub policy: FsmPolicy,
+    /// The assembled view.
+    pub view: GlobalView,
+    config: ControllerConfig,
+    queue: VecDeque<(SimTime, SecurityEvent)>,
+    busy_until: SimTime,
+    /// Posture vector currently installed in the data plane.
+    pub installed: PostureVector,
+    gate_view: ViewHandle,
+    pending_view: VecDeque<(SimTime, EnvVar, &'static str)>,
+    /// Counters.
+    pub stats: ControllerStats,
+}
+
+impl Controller {
+    /// A controller enforcing `policy`, pushing gate state into
+    /// `gate_view`.
+    pub fn new(policy: FsmPolicy, config: ControllerConfig, gate_view: ViewHandle) -> Controller {
+        Controller {
+            policy,
+            view: GlobalView::new(),
+            config,
+            queue: VecDeque::new(),
+            busy_until: SimTime::ZERO,
+            installed: PostureVector::new(),
+            gate_view,
+            pending_view: VecDeque::new(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The per-event service time at the current policy size.
+    pub fn service_time(&self) -> SimDuration {
+        self.config.service_base + self.config.service_per_rule * self.policy.rules.len() as u64
+    }
+
+    /// Enqueue an event (arrival time = event time).
+    pub fn ingest(&mut self, event: SecurityEvent) {
+        self.queue.push_back((event.at, event));
+        self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+    }
+
+    /// Ingest an environment report immediately (cheap, version-checked).
+    pub fn ingest_env(&mut self, at: SimTime, values: &[(EnvVar, &'static str)]) {
+        if self.view.apply_env_report(at, values) {
+            for (var, value) in values {
+                self.pending_view.push_back((at + self.config.view_propagation, *var, value));
+            }
+        }
+    }
+
+    /// Process queued work up to `now`; returns directives to execute.
+    pub fn step(&mut self, now: SimTime) -> Vec<Directive> {
+        // Propagate due view updates to the data-plane gates.
+        while let Some((due, var, value)) = self.pending_view.front().copied() {
+            if due > now {
+                break;
+            }
+            self.pending_view.pop_front();
+            self.gate_view.set(var, value);
+        }
+
+        // Serve queued events.
+        let service = self.service_time();
+        let mut changed = false;
+        while let Some((arrival, _)) = self.queue.front().copied() {
+            let start = self.busy_until.max(arrival);
+            let done = start + service;
+            if done > now {
+                break;
+            }
+            let (_, event) = self.queue.pop_front().unwrap();
+            self.busy_until = done;
+            self.stats.events_processed += 1;
+            self.stats.latency.record(done.duration_since(arrival));
+            changed |= self.view.apply_event(&event);
+        }
+        if !changed {
+            return Vec::new();
+        }
+
+        self.reconcile(now)
+    }
+
+    /// Recompute postures from the current view and emit the directive
+    /// diff.
+    pub fn reconcile(&mut self, _now: SimTime) -> Vec<Directive> {
+        let state = self.state_from_view();
+        let target = self.policy.evaluate(&state);
+        let mut directives = Vec::new();
+        for device in self.installed.diff(&target) {
+            if let Some(d) = plan_transition(device, &self.installed.posture(device), &target.posture(device)) {
+                directives.push(d);
+            }
+        }
+        self.installed = target;
+        self.stats.directives += directives.len() as u64;
+        directives
+    }
+
+    /// Build the policy-state from the view (unknown env vars keep their
+    /// first domain value — the benign default).
+    pub fn state_from_view(&self) -> iotpolicy::state_space::SystemState {
+        let mut state = self.policy.schema.initial_state();
+        for (id, ctx) in self.view.context_pairs() {
+            state = state.with_context(&self.policy.schema, id, ctx);
+        }
+        for (var, value) in &self.view.env {
+            state = state.with_env(&self.policy.schema, *var, value);
+        }
+        state
+    }
+
+    /// Pending event-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotdev::device::{DeviceClass, DeviceId};
+    use iotdev::events::SecurityEventKind;
+    use iotdev::vuln::Vulnerability;
+    use iotpolicy::compile::PolicyCompiler;
+    use iotpolicy::posture::SecurityModule;
+
+    fn fig3_controller() -> Controller {
+        let mut c = PolicyCompiler::new();
+        c.device(DeviceId(0), DeviceClass::FireAlarm, &[Vulnerability::CloudBypassBackdoor]);
+        c.device(DeviceId(1), DeviceClass::WindowActuator, &[]);
+        c.protect_on_suspicion(DeviceId(0), DeviceId(1));
+        Controller::new(c.build(), ControllerConfig::default(), ViewHandle::new())
+    }
+
+    fn event(device: u32, kind: SecurityEventKind, at: SimTime) -> SecurityEvent {
+        SecurityEvent::new(at, DeviceId(device), kind)
+    }
+
+    #[test]
+    fn initial_reconcile_installs_standing_mitigations() {
+        let mut ctl = fig3_controller();
+        let directives = ctl.reconcile(SimTime::ZERO);
+        // The fire alarm ships with a backdoor → standing Block(Cloud).
+        assert!(directives
+            .iter()
+            .any(|d| matches!(d, Directive::Launch { device: DeviceId(0), .. })));
+    }
+
+    #[test]
+    fn suspicion_drives_fig3_directives() {
+        let mut ctl = fig3_controller();
+        ctl.reconcile(SimTime::ZERO);
+        ctl.ingest(event(0, SecurityEventKind::SignatureMatch, SimTime::from_millis(10)));
+        let directives = ctl.step(SimTime::from_secs(1));
+        // The *window* gets a new posture because the *alarm* is
+        // suspicious — the cross-device reaction.
+        let win = directives.iter().find(|d| d.device() == DeviceId(1)).unwrap();
+        match win {
+            Directive::Launch { posture, .. } | Directive::Reconfigure { posture, .. } => {
+                assert!(posture.contains(&SecurityModule::Block(
+                    iotpolicy::posture::BlockClass::OpenVerbs
+                )));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_queue_and_latency_is_recorded() {
+        let mut ctl = fig3_controller();
+        ctl.reconcile(SimTime::ZERO);
+        // A burst: all 100 events arrive at the same instant, so the
+        // tail of the queue pays ~99 service times of queueing delay.
+        for _ in 0..100 {
+            ctl.ingest(event(0, SecurityEventKind::AuthFailureBurst, SimTime::from_millis(1)));
+        }
+        assert_eq!(ctl.queue_depth(), 100);
+        ctl.step(SimTime::from_secs(10));
+        assert_eq!(ctl.queue_depth(), 0);
+        assert_eq!(ctl.stats.events_processed, 100);
+        // The 100th event waited behind 99 service times.
+        assert!(ctl.stats.latency.max() > ctl.service_time() * 50);
+    }
+
+    #[test]
+    fn step_respects_now_budget() {
+        let mut ctl = fig3_controller();
+        ctl.reconcile(SimTime::ZERO);
+        for i in 0..100 {
+            ctl.ingest(event(0, SecurityEventKind::AuthFailureBurst, SimTime::from_millis(i)));
+        }
+        // Only ~service-budget worth of events fit in 1 ms.
+        ctl.step(SimTime::from_millis(1));
+        assert!(ctl.queue_depth() > 0);
+    }
+
+    #[test]
+    fn view_propagation_delays_gate_updates() {
+        let gate_view = ViewHandle::new();
+        let mut c = PolicyCompiler::new();
+        c.device(DeviceId(0), DeviceClass::SmartPlug, &[]);
+        c.gate_actuation(DeviceId(0), EnvVar::Occupancy, "present");
+        let mut ctl = Controller::new(
+            c.build(),
+            ControllerConfig { view_propagation: SimDuration::from_millis(50), ..Default::default() },
+            gate_view.clone(),
+        );
+        ctl.ingest_env(SimTime::from_secs(1), &[(EnvVar::Occupancy, "present")]);
+        ctl.step(SimTime::from_secs(1));
+        assert_eq!(gate_view.get(EnvVar::Occupancy), None); // not yet propagated
+        ctl.step(SimTime::from_secs(1) + SimDuration::from_millis(50));
+        assert_eq!(gate_view.get(EnvVar::Occupancy), Some("present"));
+    }
+
+    #[test]
+    fn strong_consistency_is_the_zero_delay_limit() {
+        let gate_view = ViewHandle::new();
+        let mut c = PolicyCompiler::new();
+        c.device(DeviceId(0), DeviceClass::SmartPlug, &[]);
+        c.gate_actuation(DeviceId(0), EnvVar::Occupancy, "present");
+        let mut ctl = Controller::new(
+            c.build(),
+            ControllerConfig { view_propagation: SimDuration::ZERO, ..Default::default() },
+            gate_view.clone(),
+        );
+        ctl.ingest_env(SimTime::from_secs(1), &[(EnvVar::Occupancy, "absent")]);
+        ctl.step(SimTime::from_secs(1));
+        assert_eq!(gate_view.get(EnvVar::Occupancy), Some("absent"));
+    }
+
+    #[test]
+    fn service_time_grows_with_policy() {
+        let small = fig3_controller();
+        let mut c = PolicyCompiler::new();
+        for i in 0..50 {
+            c.device(DeviceId(i), DeviceClass::Camera, &[Vulnerability::default_admin_admin()]);
+        }
+        let big = Controller::new(c.build(), ControllerConfig::default(), ViewHandle::new());
+        assert!(big.service_time() > small.service_time());
+    }
+}

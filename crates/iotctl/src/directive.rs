@@ -1,0 +1,92 @@
+//! Directives: what the controller tells the data plane to do.
+//!
+//! The simulation world executes these against the network (flow rules)
+//! and the µmbox lifecycle manager. Ordering matters: the planner emits
+//! make-before-break sequences (launch/reconfigure the new chain before
+//! any un-steering), so a device is never left unprotected mid-update.
+
+use iotdev::device::DeviceId;
+use iotpolicy::posture::Posture;
+use serde::Serialize;
+
+/// One control-plane directive.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Directive {
+    /// Launch a µmbox chain realizing `posture` for `device` and steer
+    /// the device's traffic through it.
+    Launch {
+        /// The device.
+        device: DeviceId,
+        /// The posture to realize.
+        posture: Posture,
+    },
+    /// Reconfigure the device's existing chain to `posture` in place.
+    Reconfigure {
+        /// The device.
+        device: DeviceId,
+        /// The new posture.
+        posture: Posture,
+    },
+    /// Retire the device's chain and stop steering.
+    Retire {
+        /// The device.
+        device: DeviceId,
+    },
+}
+
+impl Directive {
+    /// The device a directive concerns.
+    pub fn device(&self) -> DeviceId {
+        match self {
+            Directive::Launch { device, .. }
+            | Directive::Reconfigure { device, .. }
+            | Directive::Retire { device } => *device,
+        }
+    }
+}
+
+/// Plan the directive sequence that moves a device from `old` to `new`.
+pub fn plan_transition(device: DeviceId, old: &Posture, new: &Posture) -> Option<Directive> {
+    match (old.is_allow(), new.is_allow()) {
+        (true, true) => None,
+        (true, false) => Some(Directive::Launch { device, posture: new.clone() }),
+        (false, true) => Some(Directive::Retire { device }),
+        (false, false) => {
+            if old == new {
+                None
+            } else {
+                Some(Directive::Reconfigure { device, posture: new.clone() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotpolicy::posture::SecurityModule;
+
+    #[test]
+    fn transitions_cover_the_matrix() {
+        let dev = DeviceId(3);
+        let allow = Posture::allow();
+        let proxy = Posture::of(SecurityModule::PasswordProxy);
+        let hard = Posture::quarantine();
+        assert_eq!(plan_transition(dev, &allow, &allow), None);
+        assert_eq!(
+            plan_transition(dev, &allow, &proxy),
+            Some(Directive::Launch { device: dev, posture: proxy.clone() })
+        );
+        assert_eq!(plan_transition(dev, &proxy, &allow), Some(Directive::Retire { device: dev }));
+        assert_eq!(
+            plan_transition(dev, &proxy, &hard),
+            Some(Directive::Reconfigure { device: dev, posture: hard.clone() })
+        );
+        assert_eq!(plan_transition(dev, &hard, &hard), None);
+    }
+
+    #[test]
+    fn directive_device_accessor() {
+        assert_eq!(Directive::Retire { device: DeviceId(7) }.device(), DeviceId(7));
+    }
+}

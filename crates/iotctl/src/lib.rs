@@ -1,0 +1,39 @@
+//! `iotctl` — the IoTSec control plane (paper §5.1).
+//!
+//! "A logically centralized IoTSec controller monitors the contexts of
+//! different devices and the operating environment and generates a
+//! global view for cross-device policy enforcement. Based on this view,
+//! it instantiates and configures individual µmboxes and the necessary
+//! forwarding mechanisms."
+//!
+//! The paper's two control-plane challenges are both modelled:
+//!
+//! * **Scale and responsiveness.** Controllers have an explicit
+//!   per-event service time that grows with the policy scope they
+//!   manage, and an event queue — so the flat controller saturates as
+//!   deployments grow (experiment E7), while the
+//!   [`hier::HierarchicalController`] partitions devices by interaction
+//!   frequency (the paper's own suggestion) and keeps local decisions
+//!   local.
+//! * **Consistency.** The controller's environment view propagates to
+//!   data-plane gates with a configurable delay; strong consistency is
+//!   the zero-delay limit. Experiment E8 measures the stale-enforcement
+//!   window and the wrong-gate decisions it causes.
+//!
+//! [`concurrent`] provides a thread-safe shared-view variant used by the
+//! control-plane scalability bench to measure real contention on a
+//! multicore host.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrent;
+pub mod controller;
+pub mod directive;
+pub mod hier;
+pub mod view;
+
+pub use controller::{Controller, ControllerConfig, ControllerStats};
+pub use directive::Directive;
+pub use hier::{HierarchicalController, Partitioning};
+pub use view::GlobalView;

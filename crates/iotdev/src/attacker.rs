@@ -1,0 +1,649 @@
+//! The attacker: a network endpoint that exploits Table 1 flaws and
+//! chains multi-stage, cyber-physical campaigns.
+//!
+//! An [`Attacker`] executes an [`AttackPlan`] — an ordered list of
+//! [`AttackStep`]s — as a state machine driven by the simulation loop:
+//! `poll` emits the next step's packets, `on_delivery` consumes replies,
+//! and per-step [`AttackOutcome`]s accumulate as ground truth for the
+//! experiments ("did the campaign succeed with defense X in place?").
+
+use crate::device::OutMessage;
+use crate::proto::{ports, AppMessage, ControlAction, ControlAuth, MgmtCommand};
+use iotnet::addr::Ipv4Addr;
+use iotnet::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a control-plane step authenticates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackAuth {
+    /// No credentials (works only against `no-auth-control` devices).
+    None,
+    /// Explicit credentials (e.g. well-known defaults).
+    Creds {
+        /// Username.
+        user: String,
+        /// Password.
+        pass: String,
+    },
+    /// A session token captured by an earlier successful login against
+    /// the same target.
+    Session,
+    /// A key pair stolen earlier via `ExtractKeys` (from any device of
+    /// the SKU — the paper's point about fleet-wide keys).
+    StolenKey,
+}
+
+/// One step of an attack plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttackStep {
+    /// Probe a management interface (any answer counts as "present").
+    Probe {
+        /// Target device address.
+        target: Ipv4Addr,
+    },
+    /// Attempt one management login.
+    Login {
+        /// Target device address.
+        target: Ipv4Addr,
+        /// Username to try.
+        user: String,
+        /// Password to try.
+        pass: String,
+    },
+    /// Run a dictionary of well-known default credentials.
+    DictionaryLogin {
+        /// Target device address.
+        target: Ipv4Addr,
+    },
+    /// Issue a management command (uses a captured session token if one
+    /// exists for the target, else token 0 — which only wide-open
+    /// interfaces accept).
+    Mgmt {
+        /// Target device address.
+        target: Ipv4Addr,
+        /// The command.
+        command: MgmtCommand,
+    },
+    /// Send a control-plane actuation.
+    Control {
+        /// Target device address.
+        target: Ipv4Addr,
+        /// The action.
+        action: ControlAction,
+        /// Authentication method.
+        auth: AttackAuth,
+    },
+    /// Send a vendor-cloud backdoor command.
+    Cloud {
+        /// Target device address.
+        target: Ipv4Addr,
+        /// The action.
+        action: ControlAction,
+    },
+    /// Reflect DNS off an open resolver toward a victim (source-spoofed).
+    DnsReflect {
+        /// The open resolver to bounce off.
+        reflector: Ipv4Addr,
+        /// The spoofed source — where the amplified responses land.
+        victim: Ipv4Addr,
+        /// Number of queries to fire.
+        queries: u32,
+    },
+    /// Wait for the physical world to evolve (e.g. for the room to heat
+    /// up after cutting the AC).
+    Wait {
+        /// How long.
+        duration: SimDuration,
+    },
+}
+
+impl AttackStep {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            AttackStep::Probe { target } => format!("probe {target}"),
+            AttackStep::Login { target, user, .. } => format!("login {user}@{target}"),
+            AttackStep::DictionaryLogin { target } => format!("dictionary-login {target}"),
+            AttackStep::Mgmt { target, command } => format!("mgmt {command:?} @{target}"),
+            AttackStep::Control { target, action, .. } => format!("control {action:?} @{target}"),
+            AttackStep::Cloud { target, action } => format!("cloud {action:?} @{target}"),
+            AttackStep::DnsReflect { reflector, victim, queries } => {
+                format!("dns-reflect x{queries} via {reflector} -> {victim}")
+            }
+            AttackStep::Wait { duration } => format!("wait {duration}"),
+        }
+    }
+}
+
+/// An ordered campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackPlan {
+    /// Campaign name (for reports).
+    pub name: String,
+    /// The steps, executed in order.
+    pub steps: Vec<AttackStep>,
+}
+
+impl AttackPlan {
+    /// Build a plan.
+    pub fn new(name: &str, steps: Vec<AttackStep>) -> AttackPlan {
+        AttackPlan { name: name.into(), steps }
+    }
+}
+
+/// The recorded result of one step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Step index in the plan.
+    pub step: usize,
+    /// Step label.
+    pub label: String,
+    /// Whether the step achieved its goal.
+    pub success: bool,
+    /// When the outcome was decided.
+    pub at: SimTime,
+}
+
+/// A message the attacker wants injected, possibly with a spoofed source
+/// (DNS reflection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackerEmit {
+    /// The message.
+    pub out: OutMessage,
+    /// Spoofed source address, if any.
+    pub spoof_src: Option<Ipv4Addr>,
+}
+
+/// The default credential dictionary (well-known IoT defaults).
+pub fn default_dictionary() -> Vec<(String, String)> {
+    [
+        ("admin", "admin"),
+        ("admin", "1234"),
+        ("root", "root"),
+        ("admin", "password"),
+        ("user", "user"),
+    ]
+    .iter()
+    .map(|(u, p)| (u.to_string(), p.to_string()))
+    .collect()
+}
+
+const REPLY_TIMEOUT: SimDuration = SimDuration::from_secs(2);
+
+#[derive(Debug)]
+enum AttackerState {
+    Idle,
+    Awaiting { deadline: SimTime, dict_idx: usize },
+    Waiting { until: SimTime },
+    Done,
+}
+
+/// The attacker endpoint.
+#[derive(Debug)]
+pub struct Attacker {
+    /// The attacker's own address (on the WAN side in most scenarios).
+    pub ip: Ipv4Addr,
+    plan: AttackPlan,
+    step_idx: usize,
+    state: AttackerState,
+    tokens: HashMap<Ipv4Addr, u32>,
+    stolen_keys: Vec<u64>,
+    dictionary: Vec<(String, String)>,
+    outcomes: Vec<AttackOutcome>,
+    next_src_port: u16,
+    /// Total DNS queries fired (for the DDoS accounting).
+    pub dns_queries_sent: u64,
+}
+
+impl Attacker {
+    /// An attacker at `ip` executing `plan`.
+    pub fn new(ip: Ipv4Addr, plan: AttackPlan) -> Attacker {
+        Attacker {
+            ip,
+            plan,
+            step_idx: 0,
+            state: AttackerState::Idle,
+            tokens: HashMap::new(),
+            stolen_keys: Vec::new(),
+            dictionary: default_dictionary(),
+            outcomes: vec![],
+            next_src_port: 40_000,
+            dns_queries_sent: 0,
+        }
+    }
+
+    /// Whether the plan has finished.
+    pub fn done(&self) -> bool {
+        matches!(self.state, AttackerState::Done)
+    }
+
+    /// Per-step outcomes so far.
+    pub fn outcomes(&self) -> &[AttackOutcome] {
+        &self.outcomes
+    }
+
+    /// Whether every step succeeded (and the plan completed).
+    pub fn campaign_succeeded(&self) -> bool {
+        self.done()
+            && self.outcomes.len() == self.plan.steps.len()
+            && self.outcomes.iter().all(|o| o.success)
+    }
+
+    /// A key stolen during the campaign, if any.
+    pub fn stolen_key(&self) -> Option<u64> {
+        self.stolen_keys.first().copied()
+    }
+
+    /// Seed a key obtained out of band — e.g. extracted offline from a
+    /// publicly downloadable firmware image, which is precisely how the
+    /// Table 1 row 4 CCTV keys leaked (the key is fleet-wide).
+    pub fn learn_key(&mut self, key: u64) {
+        self.stolen_keys.push(key);
+    }
+
+    /// A captured session token for `target`, if any.
+    pub fn token_for(&self, target: Ipv4Addr) -> Option<u32> {
+        self.tokens.get(&target).copied()
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_src_port;
+        self.next_src_port = self.next_src_port.wrapping_add(1).max(40_000);
+        p
+    }
+
+    fn record(&mut self, now: SimTime, success: bool) {
+        let label = self.plan.steps[self.step_idx].label();
+        self.outcomes.push(AttackOutcome { step: self.step_idx, label, success, at: now });
+        self.step_idx += 1;
+        self.state =
+            if self.step_idx >= self.plan.steps.len() { AttackerState::Done } else { AttackerState::Idle };
+    }
+
+    fn emit_to(&mut self, target: Ipv4Addr, msg: AppMessage) -> AttackerEmit {
+        let dst_port = msg.plane_port();
+        AttackerEmit {
+            out: OutMessage { dst: target, dst_port, src_port: self.alloc_port(), msg },
+            spoof_src: None,
+        }
+    }
+
+    /// Drive the attacker: returns packets to inject at `now`.
+    pub fn poll(&mut self, now: SimTime) -> Vec<AttackerEmit> {
+        match self.state {
+            AttackerState::Done => Vec::new(),
+            AttackerState::Waiting { until } => {
+                if now >= until {
+                    self.record(now, true);
+                }
+                Vec::new()
+            }
+            AttackerState::Awaiting { deadline, dict_idx } => {
+                if now >= deadline {
+                    // Timed out; dictionary steps try the next entry.
+                    if let AttackStep::DictionaryLogin { target } = self.plan.steps[self.step_idx].clone()
+                    {
+                        if dict_idx + 1 < self.dictionary.len() {
+                            let (user, pass) = self.dictionary[dict_idx + 1].clone();
+                            let emit =
+                                self.emit_to(target, AppMessage::MgmtLogin { user, pass });
+                            self.state = AttackerState::Awaiting {
+                                deadline: now + REPLY_TIMEOUT,
+                                dict_idx: dict_idx + 1,
+                            };
+                            return vec![emit];
+                        }
+                    }
+                    self.record(now, false);
+                }
+                Vec::new()
+            }
+            AttackerState::Idle => {
+                if self.step_idx >= self.plan.steps.len() {
+                    self.state = AttackerState::Done;
+                    return Vec::new();
+                }
+                let step = self.plan.steps[self.step_idx].clone();
+                match step {
+                    AttackStep::Probe { target } => {
+                        let emit = self.emit_to(
+                            target,
+                            AppMessage::MgmtLogin { user: "probe".into(), pass: "probe".into() },
+                        );
+                        self.state =
+                            AttackerState::Awaiting { deadline: now + REPLY_TIMEOUT, dict_idx: 0 };
+                        vec![emit]
+                    }
+                    AttackStep::Login { target, user, pass } => {
+                        let emit = self.emit_to(target, AppMessage::MgmtLogin { user, pass });
+                        self.state =
+                            AttackerState::Awaiting { deadline: now + REPLY_TIMEOUT, dict_idx: 0 };
+                        vec![emit]
+                    }
+                    AttackStep::DictionaryLogin { target } => {
+                        let (user, pass) = self.dictionary[0].clone();
+                        let emit = self.emit_to(target, AppMessage::MgmtLogin { user, pass });
+                        self.state =
+                            AttackerState::Awaiting { deadline: now + REPLY_TIMEOUT, dict_idx: 0 };
+                        vec![emit]
+                    }
+                    AttackStep::Mgmt { target, command } => {
+                        let token = self.token_for(target).unwrap_or(0);
+                        let emit =
+                            self.emit_to(target, AppMessage::MgmtCommand { token, command });
+                        self.state =
+                            AttackerState::Awaiting { deadline: now + REPLY_TIMEOUT, dict_idx: 0 };
+                        vec![emit]
+                    }
+                    AttackStep::Control { target, action, auth } => {
+                        let auth = match auth {
+                            AttackAuth::None => ControlAuth::None,
+                            AttackAuth::Creds { user, pass } => ControlAuth::Password { user, pass },
+                            AttackAuth::Session => {
+                                ControlAuth::Token(self.token_for(target).unwrap_or(0))
+                            }
+                            AttackAuth::StolenKey => {
+                                ControlAuth::Key(self.stolen_key().unwrap_or(0))
+                            }
+                        };
+                        let emit = self.emit_to(target, AppMessage::Control { action, auth });
+                        self.state =
+                            AttackerState::Awaiting { deadline: now + REPLY_TIMEOUT, dict_idx: 0 };
+                        vec![emit]
+                    }
+                    AttackStep::Cloud { target, action } => {
+                        let emit = self.emit_to(target, AppMessage::CloudCommand { action });
+                        self.state =
+                            AttackerState::Awaiting { deadline: now + REPLY_TIMEOUT, dict_idx: 0 };
+                        vec![emit]
+                    }
+                    AttackStep::DnsReflect { reflector, victim, queries } => {
+                        let mut emits = Vec::with_capacity(queries as usize);
+                        for i in 0..queries {
+                            let msg = AppMessage::DnsQuery {
+                                name: format!("amp{i}.example"),
+                                recursion: true,
+                            };
+                            let src_port = self.alloc_port();
+                            emits.push(AttackerEmit {
+                                out: OutMessage {
+                                    dst: reflector,
+                                    dst_port: ports::DNS,
+                                    src_port,
+                                    msg,
+                                },
+                                spoof_src: Some(victim),
+                            });
+                        }
+                        self.dns_queries_sent += queries as u64;
+                        // Fire-and-forget: responses go to the victim.
+                        self.record(now, true);
+                        emits
+                    }
+                    AttackStep::Wait { duration } => {
+                        self.state = AttackerState::Waiting { until: now + duration };
+                        Vec::new()
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feed a packet delivered to the attacker's endpoint.
+    pub fn on_delivery(&mut self, now: SimTime, from: Ipv4Addr, msg: &AppMessage) {
+        let AttackerState::Awaiting { .. } = self.state else {
+            return;
+        };
+        if self.step_idx >= self.plan.steps.len() {
+            return;
+        }
+        let step = self.plan.steps[self.step_idx].clone();
+        match (step, msg) {
+            (AttackStep::Probe { target }, _) if from == target => {
+                self.record(now, true);
+            }
+            (AttackStep::Login { target, .. }, AppMessage::MgmtLoginOk { token })
+            | (AttackStep::DictionaryLogin { target }, AppMessage::MgmtLoginOk { token })
+                if from == target =>
+            {
+                self.tokens.insert(target, *token);
+                self.record(now, true);
+            }
+            (AttackStep::Login { target, .. }, AppMessage::MgmtDenied) if from == target => {
+                self.record(now, false);
+            }
+            (AttackStep::DictionaryLogin { target }, AppMessage::MgmtDenied) if from == target => {
+                // Try the next dictionary entry immediately.
+                let AttackerState::Awaiting { dict_idx, .. } = self.state else {
+                    return;
+                };
+                if dict_idx + 1 < self.dictionary.len() {
+                    self.state = AttackerState::Awaiting {
+                        deadline: now, // poll() fires the next try
+                        dict_idx,
+                    };
+                } else {
+                    self.record(now, false);
+                }
+            }
+            (AttackStep::Mgmt { target, command }, AppMessage::MgmtResult { ok, data })
+                if from == target =>
+            {
+                if *ok && command == MgmtCommand::ExtractKeys && data.len() >= 8 {
+                    let mut k = [0u8; 8];
+                    k.copy_from_slice(&data[..8]);
+                    self.stolen_keys.push(u64::from_be_bytes(k));
+                }
+                self.record(now, *ok);
+            }
+            (AttackStep::Mgmt { target, .. }, AppMessage::MgmtDenied) if from == target => {
+                self.record(now, false);
+            }
+            (AttackStep::Control { target, .. }, AppMessage::ControlAck { ok })
+            | (AttackStep::Cloud { target, .. }, AppMessage::ControlAck { ok })
+                if from == target =>
+            {
+                self.record(now, *ok);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceClass, DeviceId, IoTDevice};
+    use crate::env::Environment;
+    use crate::registry::Sku;
+    use crate::vuln::Vulnerability;
+
+    fn drive(attacker: &mut Attacker, device: &mut IoTDevice, rounds: usize) {
+        // A minimal in-memory "network": zero-latency, loss-free.
+        let mut env = Environment::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..rounds {
+            let emits = attacker.poll(now);
+            for e in emits {
+                let src = e.spoof_src.unwrap_or(attacker.ip);
+                if e.out.dst == device.ip {
+                    let out = device.handle_message(
+                        now,
+                        src,
+                        e.out.src_port,
+                        e.out.dst_port,
+                        e.out.msg.clone(),
+                        &mut env,
+                    );
+                    for m in out.messages {
+                        if m.dst == attacker.ip {
+                            attacker.on_delivery(now, device.ip, &m.msg);
+                        }
+                    }
+                }
+            }
+            now += SimDuration::from_millis(100);
+            if attacker.done() {
+                break;
+            }
+        }
+    }
+
+    fn cam_with_default_creds() -> IoTDevice {
+        IoTDevice::new(
+            DeviceId(0),
+            Sku::new("avtech", "ip-cam", "1.3"),
+            DeviceClass::Camera,
+            Ipv4Addr::new(10, 0, 0, 5),
+            vec![Vulnerability::default_admin_admin()],
+        )
+    }
+
+    #[test]
+    fn dictionary_login_cracks_default_creds() {
+        let mut cam = cam_with_default_creds();
+        let target = cam.ip;
+        let mut atk = Attacker::new(
+            Ipv4Addr::new(100, 64, 0, 9),
+            AttackPlan::new(
+                "crack",
+                vec![
+                    AttackStep::DictionaryLogin { target },
+                    AttackStep::Mgmt { target, command: MgmtCommand::GetImage },
+                ],
+            ),
+        );
+        drive(&mut atk, &mut cam, 100);
+        assert!(atk.campaign_succeeded(), "{:?}", atk.outcomes());
+        assert!(cam.privacy_leaked);
+        assert!(atk.token_for(target).is_some());
+    }
+
+    #[test]
+    fn dictionary_fails_on_secure_device() {
+        let mut cam = IoTDevice::new(
+            DeviceId(0),
+            Sku::new("secure", "cam", "9"),
+            DeviceClass::Camera,
+            Ipv4Addr::new(10, 0, 0, 5),
+            vec![],
+        );
+        let target = cam.ip;
+        let mut atk = Attacker::new(
+            Ipv4Addr::new(100, 64, 0, 9),
+            AttackPlan::new("crack", vec![AttackStep::DictionaryLogin { target }]),
+        );
+        drive(&mut atk, &mut cam, 100);
+        assert!(atk.done());
+        assert!(!atk.campaign_succeeded());
+        assert!(!cam.privacy_leaked);
+    }
+
+    #[test]
+    fn key_theft_then_replay() {
+        let key = 0x5eed_c0de_5eed_c0de;
+        let mut cam = IoTDevice::new(
+            DeviceId(0),
+            Sku::new("cctvcorp", "dvr-cam", "4.1"),
+            DeviceClass::Camera,
+            Ipv4Addr::new(10, 0, 0, 6),
+            vec![Vulnerability::ExposedKeyPair { key }, Vulnerability::OpenMgmtAccess],
+        );
+        let target = cam.ip;
+        let mut atk = Attacker::new(
+            Ipv4Addr::new(100, 64, 0, 9),
+            AttackPlan::new(
+                "steal-key",
+                vec![
+                    AttackStep::Mgmt { target, command: MgmtCommand::ExtractKeys },
+                    AttackStep::Control {
+                        target,
+                        action: ControlAction::TurnOff,
+                        auth: AttackAuth::StolenKey,
+                    },
+                ],
+            ),
+        );
+        drive(&mut atk, &mut cam, 100);
+        assert!(atk.campaign_succeeded(), "{:?}", atk.outcomes());
+        assert_eq!(atk.stolen_key(), Some(key));
+        assert!(cam.compromised);
+    }
+
+    #[test]
+    fn cloud_backdoor_campaign() {
+        let mut plug = IoTDevice::new(
+            DeviceId(0),
+            Sku::new("belkin", "wemo", "1.1"),
+            DeviceClass::SmartPlug,
+            Ipv4Addr::new(10, 0, 0, 7),
+            vec![Vulnerability::CloudBypassBackdoor],
+        );
+        let target = plug.ip;
+        let mut atk = Attacker::new(
+            Ipv4Addr::new(100, 64, 0, 9),
+            AttackPlan::new(
+                "backdoor-off",
+                vec![AttackStep::Cloud { target, action: ControlAction::TurnOff }],
+            ),
+        );
+        drive(&mut atk, &mut plug, 100);
+        assert!(atk.campaign_succeeded());
+        assert!(plug.compromised);
+    }
+
+    #[test]
+    fn dns_reflect_spoofs_victim() {
+        let victim = Ipv4Addr::new(203, 0, 113, 50);
+        let reflector = Ipv4Addr::new(10, 0, 0, 8);
+        let mut atk = Attacker::new(
+            Ipv4Addr::new(100, 64, 0, 9),
+            AttackPlan::new(
+                "ddos",
+                vec![AttackStep::DnsReflect { reflector, victim, queries: 25 }],
+            ),
+        );
+        let emits = atk.poll(SimTime::ZERO);
+        assert_eq!(emits.len(), 25);
+        assert!(emits.iter().all(|e| e.spoof_src == Some(victim)));
+        assert!(emits.iter().all(|e| e.out.dst == reflector));
+        assert!(atk.done());
+        assert!(atk.campaign_succeeded());
+        assert_eq!(atk.dns_queries_sent, 25);
+    }
+
+    #[test]
+    fn wait_step_elapses() {
+        let mut atk = Attacker::new(
+            Ipv4Addr::new(100, 64, 0, 9),
+            AttackPlan::new(
+                "patience",
+                vec![AttackStep::Wait { duration: SimDuration::from_secs(10) }],
+            ),
+        );
+        assert!(atk.poll(SimTime::ZERO).is_empty());
+        assert!(!atk.done());
+        atk.poll(SimTime::from_secs(5));
+        assert!(!atk.done());
+        atk.poll(SimTime::from_secs(10));
+        assert!(atk.done());
+        assert!(atk.campaign_succeeded());
+    }
+
+    #[test]
+    fn unanswered_probe_times_out_as_failure() {
+        let mut atk = Attacker::new(
+            Ipv4Addr::new(100, 64, 0, 9),
+            AttackPlan::new(
+                "probe-the-void",
+                vec![AttackStep::Probe { target: Ipv4Addr::new(10, 0, 0, 99) }],
+            ),
+        );
+        atk.poll(SimTime::ZERO);
+        atk.poll(SimTime::from_secs(5)); // past the timeout
+        assert!(atk.done());
+        assert!(!atk.campaign_succeeded());
+        assert!(!atk.outcomes()[0].success);
+    }
+}

@@ -1,0 +1,369 @@
+//! The shared physical environment.
+//!
+//! IoT devices are coupled not only through explicit packets but through
+//! the physical world: the paper's running example is an attacker who
+//! turns off a smart plug powering the air-conditioner, which raises the
+//! temperature, which triggers an IFTTT rule that opens the windows —
+//! a physical break-in achieved without ever touching the window actuator.
+//!
+//! The environment holds a small set of continuous and boolean variables
+//! with simple first-order dynamics, plus a **discretization** into the
+//! `EnvVar = value` form the policy layer (§3.2 of the paper) operates on.
+
+use serde::{Deserialize, Serialize};
+
+/// Discrete environmental variables, as seen by the policy layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EnvVar {
+    /// Room temperature, discretized Low / Normal / High.
+    Temperature,
+    /// Smoke present, Yes / No.
+    Smoke,
+    /// Ambient light, Dark / Bright.
+    Light,
+    /// Somebody at home, Present / Absent.
+    Occupancy,
+    /// Window actuator position, Open / Closed.
+    Window,
+    /// Front door lock, Locked / Unlocked.
+    Door,
+    /// Mains power draw, Normal / High (the Wemo Insight's own metric).
+    PowerDraw,
+}
+
+impl EnvVar {
+    /// All modelled variables.
+    pub const ALL: [EnvVar; 7] = [
+        EnvVar::Temperature,
+        EnvVar::Smoke,
+        EnvVar::Light,
+        EnvVar::Occupancy,
+        EnvVar::Window,
+        EnvVar::Door,
+        EnvVar::PowerDraw,
+    ];
+
+    /// The discrete values this variable ranges over.
+    pub fn domain(self) -> &'static [&'static str] {
+        match self {
+            EnvVar::Temperature => &["low", "normal", "high"],
+            EnvVar::Smoke => &["no", "yes"],
+            EnvVar::Light => &["dark", "bright"],
+            EnvVar::Occupancy => &["absent", "present"],
+            EnvVar::Window => &["closed", "open"],
+            EnvVar::Door => &["locked", "unlocked"],
+            EnvVar::PowerDraw => &["normal", "high"],
+        }
+    }
+}
+
+/// The continuous physical state plus actuation inputs.
+///
+/// Devices write through typed setters (the actuation surface); dynamics
+/// advance on [`Environment::step`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Environment {
+    /// Room temperature in °C.
+    pub temperature_c: f64,
+    /// Outdoor/ambient temperature the room relaxes toward.
+    pub ambient_c: f64,
+    /// Smoke density (0 = clear; ≥ smoke threshold = alarm-worthy).
+    pub smoke_density: f64,
+    /// Ambient light level in arbitrary lux-like units.
+    pub light_level: f64,
+    /// Daylight contribution (scenario-driven).
+    pub daylight: f64,
+    /// Whether anyone is home (scenario-driven).
+    pub occupied: bool,
+    /// Window actuator position.
+    pub window_open: bool,
+    /// Door lock state.
+    pub door_locked: bool,
+
+    // ----- actuation inputs (written by devices each tick) -----
+    /// Air-conditioner duty (0..1); cools toward `ac_setpoint_c`. Written
+    /// by the thermostat.
+    pub ac_duty: f64,
+    /// AC setpoint in °C.
+    pub ac_setpoint_c: f64,
+    /// Whether the AC's power source (a smart plug, in the paper's
+    /// attack scenario) is on. The AC only runs when powered.
+    pub ac_breaker_on: bool,
+    /// Oven heat output (0..1). Written by the oven.
+    pub oven_duty: f64,
+    /// Whether the oven's power source is on (the Wemo in Figure 5).
+    pub oven_breaker_on: bool,
+    /// Number of lit bulbs (each adds light).
+    pub bulbs_on: u32,
+    /// Total device power draw in watts (plugs report in).
+    pub power_w: f64,
+
+    // ----- hazard bookkeeping -----
+    /// Seconds the oven has been on while nobody is home.
+    pub unattended_oven_s: f64,
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Environment {
+            temperature_c: 21.0,
+            ambient_c: 28.0,
+            smoke_density: 0.0,
+            light_level: 0.0,
+            daylight: 50.0,
+            occupied: true,
+            window_open: false,
+            door_locked: true,
+            ac_duty: 0.0,
+            ac_setpoint_c: 21.0,
+            ac_breaker_on: true,
+            oven_duty: 0.0,
+            oven_breaker_on: true,
+            bulbs_on: 0,
+            power_w: 0.0,
+            unattended_oven_s: 0.0,
+        }
+    }
+}
+
+/// Thresholds used by [`Environment::discretize`].
+pub mod thresholds {
+    /// Below this, Temperature = low.
+    pub const TEMP_LOW_C: f64 = 17.0;
+    /// Above this, Temperature = high.
+    pub const TEMP_HIGH_C: f64 = 27.0;
+    /// At or above this smoke density, Smoke = yes.
+    pub const SMOKE_ALARM: f64 = 0.5;
+    /// At or above this light level, Light = bright.
+    pub const LIGHT_BRIGHT: f64 = 30.0;
+    /// Above this wattage, PowerDraw = high.
+    pub const POWER_HIGH_W: f64 = 1500.0;
+}
+
+impl Environment {
+    /// A fresh environment with default initial conditions.
+    pub fn new() -> Environment {
+        Environment::default()
+    }
+
+    /// Reset the per-tick accumulator inputs (bulb count, power draw)
+    /// before devices write their contributions for this tick.
+    pub fn begin_tick(&mut self) {
+        self.bulbs_on = 0;
+        self.power_w = 0.0;
+    }
+
+    /// Advance the physical dynamics by `dt_s` seconds.
+    ///
+    /// * Temperature relaxes toward ambient; the AC pulls it toward its
+    ///   setpoint; the oven and an open window add/exchange heat.
+    /// * Smoke builds when the oven runs unattended past a grace period
+    ///   (the fire-hazard coupling in the paper's Figure 5 scenario) and
+    ///   decays otherwise, faster with a window open.
+    /// * Light is daylight plus bulbs.
+    pub fn step(&mut self, dt_s: f64) {
+        let ac_effective = if self.ac_breaker_on { self.ac_duty } else { 0.0 };
+        let oven_effective = if self.oven_breaker_on { self.oven_duty } else { 0.0 };
+
+        // Temperature dynamics: first-order relaxation.
+        let leak_rate = if self.window_open { 0.02 } else { 0.004 };
+        let towards_ambient = (self.ambient_c - self.temperature_c) * leak_rate;
+        let ac_pull = (self.ac_setpoint_c - self.temperature_c).min(0.0) * 0.05 * ac_effective;
+        let oven_heat = 0.08 * oven_effective;
+        self.temperature_c += (towards_ambient + ac_pull + oven_heat) * dt_s;
+
+        // Unattended-oven fire hazard.
+        if oven_effective > 0.0 && !self.occupied {
+            self.unattended_oven_s += dt_s;
+        } else {
+            self.unattended_oven_s = 0.0;
+        }
+        if self.unattended_oven_s > 120.0 {
+            self.smoke_density += 0.01 * dt_s * oven_effective;
+        } else {
+            let decay = if self.window_open { 0.02 } else { 0.005 };
+            self.smoke_density = (self.smoke_density - decay * dt_s).max(0.0);
+        }
+        self.smoke_density = self.smoke_density.min(5.0);
+
+        // Light.
+        self.light_level = self.daylight + self.bulbs_on as f64 * 40.0;
+    }
+
+    /// Discretize into the policy layer's `EnvVar = value` snapshot.
+    pub fn discretize(&self) -> DiscreteEnv {
+        use thresholds::*;
+        DiscreteEnv {
+            temperature: if self.temperature_c < TEMP_LOW_C {
+                "low"
+            } else if self.temperature_c > TEMP_HIGH_C {
+                "high"
+            } else {
+                "normal"
+            },
+            smoke: if self.smoke_density >= SMOKE_ALARM { "yes" } else { "no" },
+            light: if self.light_level >= LIGHT_BRIGHT { "bright" } else { "dark" },
+            occupancy: if self.occupied { "present" } else { "absent" },
+            window: if self.window_open { "open" } else { "closed" },
+            door: if self.door_locked { "locked" } else { "unlocked" },
+            power_draw: if self.power_w > POWER_HIGH_W { "high" } else { "normal" },
+        }
+    }
+}
+
+/// The discretized environment: one value per [`EnvVar`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct DiscreteEnv {
+    /// Temperature band.
+    pub temperature: &'static str,
+    /// Smoke present?
+    pub smoke: &'static str,
+    /// Light band.
+    pub light: &'static str,
+    /// Occupancy.
+    pub occupancy: &'static str,
+    /// Window position.
+    pub window: &'static str,
+    /// Door lock.
+    pub door: &'static str,
+    /// Power-draw band.
+    pub power_draw: &'static str,
+}
+
+impl DiscreteEnv {
+    /// Value of one variable.
+    pub fn get(&self, var: EnvVar) -> &'static str {
+        match var {
+            EnvVar::Temperature => self.temperature,
+            EnvVar::Smoke => self.smoke,
+            EnvVar::Light => self.light,
+            EnvVar::Occupancy => self.occupancy,
+            EnvVar::Window => self.window,
+            EnvVar::Door => self.door,
+            EnvVar::PowerDraw => self.power_draw,
+        }
+    }
+}
+
+/// A timestamped snapshot of the discrete environment, as shipped to the
+/// controller's global view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct EnvSnapshot {
+    /// Snapshot time (nanoseconds of sim time; kept raw to avoid a
+    /// dependency cycle in serialized reports).
+    pub at_ns: u64,
+    /// The discrete values.
+    pub values: DiscreteEnv,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_discretization_is_calm() {
+        let env = Environment::new();
+        let d = env.discretize();
+        assert_eq!(d.temperature, "normal");
+        assert_eq!(d.smoke, "no");
+        assert_eq!(d.occupancy, "present");
+        assert_eq!(d.window, "closed");
+        assert_eq!(d.door, "locked");
+        assert_eq!(d.get(EnvVar::Smoke), "no");
+    }
+
+    #[test]
+    fn temperature_rises_without_ac() {
+        let mut env = Environment::new();
+        env.ambient_c = 35.0;
+        for _ in 0..2000 {
+            env.step(1.0);
+        }
+        assert!(env.temperature_c > 27.0, "temp {}", env.temperature_c);
+        assert_eq!(env.discretize().temperature, "high");
+    }
+
+    #[test]
+    fn ac_holds_temperature_down() {
+        let mut env = Environment::new();
+        env.ambient_c = 35.0;
+        env.ac_duty = 1.0;
+        env.ac_setpoint_c = 21.0;
+        for _ in 0..2000 {
+            env.step(1.0);
+        }
+        assert!(env.temperature_c < 27.0, "temp {}", env.temperature_c);
+    }
+
+    #[test]
+    fn open_window_leaks_heat_faster() {
+        let mut closed = Environment::new();
+        closed.ambient_c = 35.0;
+        let mut open = closed.clone();
+        open.window_open = true;
+        for _ in 0..300 {
+            closed.step(1.0);
+            open.step(1.0);
+        }
+        assert!(open.temperature_c > closed.temperature_c);
+    }
+
+    #[test]
+    fn unattended_oven_eventually_smokes() {
+        let mut env = Environment::new();
+        env.occupied = false;
+        env.oven_duty = 1.0;
+        for _ in 0..400 {
+            env.step(1.0);
+        }
+        assert!(env.smoke_density >= thresholds::SMOKE_ALARM);
+        assert_eq!(env.discretize().smoke, "yes");
+    }
+
+    #[test]
+    fn attended_oven_does_not_smoke() {
+        let mut env = Environment::new();
+        env.occupied = true;
+        env.oven_duty = 1.0;
+        for _ in 0..400 {
+            env.step(1.0);
+        }
+        assert_eq!(env.smoke_density, 0.0);
+    }
+
+    #[test]
+    fn smoke_decays_faster_with_window_open() {
+        let mut a = Environment::new();
+        a.smoke_density = 1.0;
+        let mut b = a.clone();
+        b.window_open = true;
+        for _ in 0..30 {
+            a.step(1.0);
+            b.step(1.0);
+        }
+        assert!(b.smoke_density < a.smoke_density);
+    }
+
+    #[test]
+    fn bulbs_light_the_room() {
+        let mut env = Environment::new();
+        env.daylight = 0.0;
+        env.step(1.0);
+        assert_eq!(env.discretize().light, "dark");
+        env.bulbs_on = 1;
+        env.step(1.0);
+        assert_eq!(env.discretize().light, "bright");
+    }
+
+    #[test]
+    fn env_var_domains_nonempty_and_distinct() {
+        for v in EnvVar::ALL {
+            let dom = v.domain();
+            assert!(dom.len() >= 2);
+            let mut uniq = dom.to_vec();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), dom.len());
+        }
+    }
+}

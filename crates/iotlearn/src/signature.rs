@@ -1,0 +1,271 @@
+//! Attack signatures and their common exchange format.
+//!
+//! The paper's repository needs "traces or signatures, expressed in a
+//! common format". A signature is SKU-scoped (the granularity §4 argues
+//! honeypots cannot cover) and carries an executable [`Matcher`] the IDS
+//! µmbox evaluates against wire packets. Signatures serialize to JSON via
+//! serde — that is the wire format of the repository.
+
+use iotdev::proto::{ports, AppMessage, ControlAuth};
+use iotdev::registry::Sku;
+use iotnet::packet::Packet;
+use serde::{Deserialize, Serialize};
+
+/// How bad a match is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Reconnaissance / policy-relevant but not directly harmful.
+    Low,
+    /// Credential abuse, data exposure.
+    Medium,
+    /// Actuation or takeover.
+    High,
+}
+
+/// An executable packet predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Matcher {
+    /// A management login using specific (default) credentials.
+    DefaultCredLogin {
+        /// Username.
+        user: String,
+        /// Password.
+        pass: String,
+    },
+    /// Any management-plane packet from outside RFC1918 space (exposed
+    /// management interfaces are LAN services; WAN access is the attack).
+    MgmtFromExternal,
+    /// A control request authenticated by a known-leaked key.
+    KeyAuthControl {
+        /// The leaked key fingerprint.
+        key: u64,
+    },
+    /// A control request with no authentication at all.
+    UnauthenticatedControl,
+    /// Any vendor-cloud command (the backdoor plane).
+    CloudCommand,
+    /// A recursive DNS query arriving from outside the LAN (reflection).
+    RecursiveDnsFromExternal,
+    /// Raw payload substring (the classic Snort-style content match).
+    PayloadContains(
+        /// The byte needle.
+        Vec<u8>,
+    ),
+    /// Matches everything — only ever produced by malicious or broken
+    /// reporters; the repository's data-quality defenses exist to keep
+    /// this out (a published match-all signature is a denial of service).
+    MatchAll,
+}
+
+impl Matcher {
+    /// Evaluate against a wire packet.
+    pub fn matches(&self, pkt: &Packet) -> bool {
+        let msg = AppMessage::decode(&pkt.payload).ok();
+        match self {
+            Matcher::DefaultCredLogin { user, pass } => matches!(
+                &msg,
+                Some(AppMessage::MgmtLogin { user: u, pass: p }) if u == user && p == pass
+            ),
+            Matcher::MgmtFromExternal => {
+                pkt.transport.dst_port() == ports::MGMT && !pkt.ip.src.is_private()
+            }
+            Matcher::KeyAuthControl { key } => matches!(
+                &msg,
+                Some(AppMessage::Control { auth: ControlAuth::Key(k), .. }) if k == key
+            ),
+            Matcher::UnauthenticatedControl => {
+                matches!(&msg, Some(AppMessage::Control { auth: ControlAuth::None, .. }))
+            }
+            Matcher::CloudCommand => matches!(&msg, Some(AppMessage::CloudCommand { .. })),
+            Matcher::RecursiveDnsFromExternal => {
+                matches!(&msg, Some(AppMessage::DnsQuery { recursion: true, .. }))
+                    && !pkt.ip.src.is_private()
+            }
+            Matcher::PayloadContains(needle) => {
+                !needle.is_empty()
+                    && pkt.payload.windows(needle.len()).any(|w| w == &needle[..])
+            }
+            Matcher::MatchAll => true,
+        }
+    }
+
+    /// Whether this matcher is plausibly selective (used as a cheap
+    /// static screen by the repository: match-all and empty-needle
+    /// matchers are flagged before any voting happens).
+    pub fn is_selective(&self) -> bool {
+        match self {
+            Matcher::MatchAll => false,
+            Matcher::PayloadContains(needle) => !needle.is_empty(),
+            _ => true,
+        }
+    }
+}
+
+/// A SKU-scoped attack signature — the unit the repository exchanges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackSignature {
+    /// Repository-assigned id (0 until published).
+    pub id: u64,
+    /// The SKU it applies to.
+    pub sku: Sku,
+    /// The vulnerability class it flags (`Vulnerability::id` string).
+    pub vuln_id: String,
+    /// The executable matcher.
+    pub matcher: Matcher,
+    /// Severity of a match.
+    pub severity: Severity,
+}
+
+impl AttackSignature {
+    /// Construct an (unpublished) signature.
+    pub fn new(sku: Sku, vuln_id: &str, matcher: Matcher, severity: Severity) -> AttackSignature {
+        AttackSignature { id: 0, sku, vuln_id: vuln_id.into(), matcher, severity }
+    }
+
+    /// The canonical signature set for one of the seven Table 1 rows —
+    /// what an honest deployment that observed the exploit would publish.
+    pub fn for_table1_row(row: u8, sku: &Sku) -> Option<AttackSignature> {
+        let sig = match row {
+            1 => AttackSignature::new(
+                sku.clone(),
+                "default-credentials",
+                Matcher::DefaultCredLogin { user: "admin".into(), pass: "admin".into() },
+                Severity::Medium,
+            ),
+            2 | 3 => AttackSignature::new(
+                sku.clone(),
+                "open-mgmt-access",
+                Matcher::MgmtFromExternal,
+                Severity::Medium,
+            ),
+            4 => AttackSignature::new(
+                sku.clone(),
+                "exposed-key-pair",
+                Matcher::KeyAuthControl { key: 0x5eed_c0de_5eed_c0de },
+                Severity::High,
+            ),
+            5 => AttackSignature::new(
+                sku.clone(),
+                "no-auth-control",
+                Matcher::UnauthenticatedControl,
+                Severity::High,
+            ),
+            6 => AttackSignature::new(
+                sku.clone(),
+                "open-dns-resolver",
+                Matcher::RecursiveDnsFromExternal,
+                Severity::Medium,
+            ),
+            7 => AttackSignature::new(
+                sku.clone(),
+                "cloud-bypass-backdoor",
+                Matcher::CloudCommand,
+                Severity::High,
+            ),
+            _ => return None,
+        };
+        Some(sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotdev::proto::ControlAction;
+    use iotnet::addr::{Ipv4Addr, MacAddr};
+    use iotnet::packet::TransportHeader;
+
+    fn pkt_with(src: Ipv4Addr, dst_port: u16, msg: &AppMessage) -> Packet {
+        Packet::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            src,
+            Ipv4Addr::new(10, 0, 0, 5),
+            TransportHeader::udp(4000, dst_port),
+            msg.encode(),
+        )
+    }
+
+    const LAN: Ipv4Addr = Ipv4Addr([10, 0, 0, 9]);
+    const WAN: Ipv4Addr = Ipv4Addr([100, 64, 0, 9]);
+
+    #[test]
+    fn default_cred_matcher() {
+        let m = Matcher::DefaultCredLogin { user: "admin".into(), pass: "admin".into() };
+        let hit = pkt_with(WAN, ports::MGMT, &AppMessage::MgmtLogin { user: "admin".into(), pass: "admin".into() });
+        let miss = pkt_with(WAN, ports::MGMT, &AppMessage::MgmtLogin { user: "owner".into(), pass: "x".into() });
+        assert!(m.matches(&hit));
+        assert!(!m.matches(&miss));
+    }
+
+    #[test]
+    fn mgmt_from_external_only_flags_wan() {
+        let m = Matcher::MgmtFromExternal;
+        let msg = AppMessage::MgmtLogin { user: "a".into(), pass: "b".into() };
+        assert!(m.matches(&pkt_with(WAN, ports::MGMT, &msg)));
+        assert!(!m.matches(&pkt_with(LAN, ports::MGMT, &msg)));
+        // Non-mgmt plane from WAN: not this matcher's business.
+        assert!(!m.matches(&pkt_with(WAN, ports::CONTROL, &msg)));
+    }
+
+    #[test]
+    fn key_and_unauth_control_matchers() {
+        let key = Matcher::KeyAuthControl { key: 42 };
+        let unauth = Matcher::UnauthenticatedControl;
+        let with_key = pkt_with(
+            WAN,
+            ports::CONTROL,
+            &AppMessage::Control { action: ControlAction::Open, auth: ControlAuth::Key(42) },
+        );
+        let with_none = pkt_with(
+            WAN,
+            ports::CONTROL,
+            &AppMessage::Control { action: ControlAction::Open, auth: ControlAuth::None },
+        );
+        assert!(key.matches(&with_key));
+        assert!(!key.matches(&with_none));
+        assert!(unauth.matches(&with_none));
+        assert!(!unauth.matches(&with_key));
+    }
+
+    #[test]
+    fn dns_matcher_requires_external_and_recursion() {
+        let m = Matcher::RecursiveDnsFromExternal;
+        let q = AppMessage::DnsQuery { name: "x.example".into(), recursion: true };
+        let q_no_rec = AppMessage::DnsQuery { name: "x.example".into(), recursion: false };
+        assert!(m.matches(&pkt_with(WAN, ports::DNS, &q)));
+        assert!(!m.matches(&pkt_with(LAN, ports::DNS, &q)));
+        assert!(!m.matches(&pkt_with(WAN, ports::DNS, &q_no_rec)));
+    }
+
+    #[test]
+    fn payload_contains_and_selectivity() {
+        let m = Matcher::PayloadContains(b"admin".to_vec());
+        let hit = pkt_with(WAN, ports::MGMT, &AppMessage::MgmtLogin { user: "admin".into(), pass: "x".into() });
+        assert!(m.matches(&hit));
+        assert!(m.is_selective());
+        assert!(!Matcher::MatchAll.is_selective());
+        assert!(!Matcher::PayloadContains(vec![]).is_selective());
+        assert!(!Matcher::PayloadContains(vec![]).matches(&hit));
+        assert!(Matcher::MatchAll.matches(&hit));
+    }
+
+    #[test]
+    fn table1_signature_set_is_complete() {
+        let sku = Sku::new("v", "m", "1");
+        for row in 1..=7 {
+            let sig = AttackSignature::for_table1_row(row, &sku).unwrap();
+            assert!(sig.matcher.is_selective(), "row {row}");
+        }
+        assert!(AttackSignature::for_table1_row(8, &sku).is_none());
+    }
+
+    #[test]
+    fn signatures_serialize_to_the_common_format() {
+        let sku = Sku::new("belkin", "wemo", "1.0");
+        let sig = AttackSignature::for_table1_row(6, &sku).unwrap();
+        let json = serde_json::to_string(&sig).unwrap();
+        let back: AttackSignature = serde_json::from_str(&json).unwrap();
+        assert_eq!(sig, back);
+    }
+}

@@ -1,0 +1,127 @@
+//! Packet capture.
+//!
+//! Mirrored packets (flow action `Mirror`) and IDS-relevant traffic land in
+//! a bounded ring buffer. The learning layer replays captures to mine
+//! signatures, and the test suite asserts on them. Captures store both the
+//! structured packet and the exact wire bytes, since signature matchers
+//! operate on wire bytes.
+
+use crate::addr::SwitchId;
+use crate::packet::Packet;
+use crate::time::SimTime;
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// One captured packet.
+#[derive(Debug, Clone)]
+pub struct CapturedPacket {
+    /// Capture timestamp.
+    pub at: SimTime,
+    /// Switch the packet was mirrored from.
+    pub switch: SwitchId,
+    /// The structured packet.
+    pub packet: Packet,
+    /// Exact wire bytes.
+    pub wire: Bytes,
+}
+
+/// A bounded ring buffer of captured packets.
+#[derive(Debug)]
+pub struct Capture {
+    ring: VecDeque<CapturedPacket>,
+    capacity: usize,
+    /// Total packets ever captured (including evicted ones).
+    pub total: u64,
+}
+
+impl Capture {
+    /// A capture buffer holding up to `capacity` packets.
+    pub fn new(capacity: usize) -> Capture {
+        Capture { ring: VecDeque::with_capacity(capacity.min(4096)), capacity, total: 0 }
+    }
+
+    /// Record a packet, evicting the oldest if full.
+    pub fn record(&mut self, at: SimTime, switch: SwitchId, packet: Packet) {
+        let wire = packet.to_wire();
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(CapturedPacket { at, switch, packet, wire });
+        self.total += 1;
+    }
+
+    /// Number of packets currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Iterate oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &CapturedPacket> {
+        self.ring.iter()
+    }
+
+    /// Drain all held packets, oldest-first.
+    pub fn drain(&mut self) -> Vec<CapturedPacket> {
+        self.ring.drain(..).collect()
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Ipv4Addr, MacAddr};
+    use crate::packet::TransportHeader;
+
+    fn pkt(n: u8) -> Packet {
+        Packet::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            TransportHeader::udp(n as u16, 80),
+            Bytes::new(),
+        )
+    }
+
+    #[test]
+    fn records_and_evicts() {
+        let mut c = Capture::new(3);
+        for i in 0..5 {
+            c.record(SimTime::from_millis(i as u64), SwitchId(0), pkt(i));
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.total, 5);
+        let ports: Vec<u16> = c.iter().map(|p| p.packet.transport.src_port()).collect();
+        assert_eq!(ports, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn wire_bytes_match_packet() {
+        let mut c = Capture::new(8);
+        c.record(SimTime::ZERO, SwitchId(1), pkt(9));
+        let cap = c.iter().next().unwrap();
+        assert_eq!(cap.wire, cap.packet.to_wire());
+        assert_eq!(cap.switch, SwitchId(1));
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut c = Capture::new(8);
+        c.record(SimTime::ZERO, SwitchId(0), pkt(1));
+        c.record(SimTime::ZERO, SwitchId(0), pkt(2));
+        let drained = c.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(c.is_empty());
+        assert_eq!(c.total, 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Discrete-event engine.
+//!
+//! A minimal, fully deterministic event queue: events are ordered by
+//! timestamp, and events with equal timestamps are delivered in insertion
+//! order (FIFO-stable). Determinism here is what makes every experiment in
+//! EXPERIMENTS.md exactly reproducible from its seed.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first, and break
+        // timestamp ties by insertion sequence for FIFO stability.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered, FIFO-stable event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The current clock: the timestamp of the last popped event (or zero).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` — the event fires
+    /// immediately on the next pop. (This arises when a zero-latency hop
+    /// computes a delivery time equal to the current instant.)
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Pop the next event only if it is due at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drop all pending events (used when a scenario is reset).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_stable_for_equal_timestamps() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_millis(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_and_clamps_past_schedules() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "x");
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(10));
+        // Scheduling in the past clamps to now.
+        q.schedule(SimTime::from_millis(1), "late");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), "late")));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop_until(SimTime::from_millis(15)), Some((SimTime::from_millis(10), "a")));
+        assert_eq!(q.pop_until(SimTime::from_millis(15)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_order_is_nondecreasing(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(*t), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((at, _)) = q.pop() {
+                prop_assert!(at >= last);
+                last = at;
+            }
+        }
+
+        #[test]
+        fn prop_all_events_delivered(times in proptest::collection::vec(0u64..1000, 0..100)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(*t), i);
+            }
+            let mut seen = vec![false; times.len()];
+            while let Some((_, i)) = q.pop() {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+            prop_assert!(seen.iter().all(|s| *s));
+        }
+    }
+}

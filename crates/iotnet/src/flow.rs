@@ -1,0 +1,363 @@
+//! OpenFlow-style match/action rules.
+//!
+//! The IoTSec controller programs the network by installing flow rules on
+//! first-hop switches: steer a device's traffic through its µmbox chain,
+//! mirror suspicious flows to the controller, or block a message class
+//! outright. The match structure is a wildcard-able subset of the OpenFlow
+//! 1.0 12-tuple — enough to express every policy posture in the paper.
+
+use crate::addr::{Ipv4Addr, MacAddr, PortNo};
+use crate::packet::{ip_proto, Packet};
+use serde::{Deserialize, Serialize};
+
+/// A wildcard-able packet match.
+///
+/// `None` in any field means "match anything". IP addresses match against
+/// a prefix; ports match exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlowMatch {
+    /// Ingress port on the switch.
+    pub in_port: Option<PortNo>,
+    /// Ethernet source.
+    pub eth_src: Option<MacAddr>,
+    /// Ethernet destination.
+    pub eth_dst: Option<MacAddr>,
+    /// IPv4 source prefix (address, prefix length).
+    pub ip_src: Option<(Ipv4Addr, u8)>,
+    /// IPv4 destination prefix (address, prefix length).
+    pub ip_dst: Option<(Ipv4Addr, u8)>,
+    /// IP protocol number.
+    pub ip_proto: Option<u8>,
+    /// Transport source port.
+    pub src_port: Option<u16>,
+    /// Transport destination port.
+    pub dst_port: Option<u16>,
+}
+
+impl FlowMatch {
+    /// Match everything.
+    pub fn any() -> FlowMatch {
+        FlowMatch::default()
+    }
+
+    /// Match traffic *to* a host address.
+    pub fn to_host(ip: Ipv4Addr) -> FlowMatch {
+        FlowMatch { ip_dst: Some((ip, 32)), ..FlowMatch::default() }
+    }
+
+    /// Match traffic *from* a host address.
+    pub fn from_host(ip: Ipv4Addr) -> FlowMatch {
+        FlowMatch { ip_src: Some((ip, 32)), ..FlowMatch::default() }
+    }
+
+    /// Match traffic to a specific TCP service on a host.
+    pub fn to_tcp_service(ip: Ipv4Addr, port: u16) -> FlowMatch {
+        FlowMatch {
+            ip_dst: Some((ip, 32)),
+            ip_proto: Some(ip_proto::TCP),
+            dst_port: Some(port),
+            ..FlowMatch::default()
+        }
+    }
+
+    /// Match traffic to a specific UDP service on a host.
+    pub fn to_udp_service(ip: Ipv4Addr, port: u16) -> FlowMatch {
+        FlowMatch {
+            ip_dst: Some((ip, 32)),
+            ip_proto: Some(ip_proto::UDP),
+            dst_port: Some(port),
+            ..FlowMatch::default()
+        }
+    }
+
+    /// Restrict this match to a given ingress port.
+    pub fn with_in_port(mut self, port: PortNo) -> FlowMatch {
+        self.in_port = Some(port);
+        self
+    }
+
+    /// Whether `packet`, arriving on `in_port`, satisfies this match.
+    pub fn matches(&self, in_port: PortNo, packet: &Packet) -> bool {
+        if let Some(p) = self.in_port {
+            if p != PortNo::ANY && p != in_port {
+                return false;
+            }
+        }
+        if let Some(m) = self.eth_src {
+            if m != packet.eth.src {
+                return false;
+            }
+        }
+        if let Some(m) = self.eth_dst {
+            if m != packet.eth.dst {
+                return false;
+            }
+        }
+        if let Some((pfx, len)) = self.ip_src {
+            if !packet.ip.src.in_prefix(pfx, len) {
+                return false;
+            }
+        }
+        if let Some((pfx, len)) = self.ip_dst {
+            if !packet.ip.dst.in_prefix(pfx, len) {
+                return false;
+            }
+        }
+        if let Some(proto) = self.ip_proto {
+            if proto != packet.ip.protocol {
+                return false;
+            }
+        }
+        if let Some(sp) = self.src_port {
+            if sp != packet.transport.src_port() {
+                return false;
+            }
+        }
+        if let Some(dp) = self.dst_port {
+            if dp != packet.transport.dst_port() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// How many fields are constrained (used for specificity metrics and
+    /// for auto-assigning priorities when the caller does not care).
+    pub fn specificity(&self) -> u32 {
+        let mut n = 0;
+        n += self.in_port.is_some() as u32;
+        n += self.eth_src.is_some() as u32;
+        n += self.eth_dst.is_some() as u32;
+        n += self.ip_src.is_some() as u32;
+        n += self.ip_dst.is_some() as u32;
+        n += self.ip_proto.is_some() as u32;
+        n += self.src_port.is_some() as u32;
+        n += self.dst_port.is_some() as u32;
+        n
+    }
+}
+
+/// Identifier of a steer point (an inline µmbox attachment) on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SteerId(pub u32);
+
+/// What to do with a matching packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowAction {
+    /// Forward out a specific port.
+    Output(PortNo),
+    /// Forward normally (L2 destination lookup / spanning-tree flood).
+    Normal,
+    /// Drop the packet.
+    Drop,
+    /// Divert through the inline processor registered under this steer id
+    /// (the µmbox hook); the processor's verdict decides the packet's fate.
+    Steer(SteerId),
+    /// Copy the packet to the controller/capture channel, then continue
+    /// with normal forwarding.
+    Mirror,
+}
+
+/// A prioritized flow rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRule {
+    /// Higher priority wins; ties broken by later installation.
+    pub priority: u16,
+    /// Match predicate.
+    pub matcher: FlowMatch,
+    /// Action for matching packets.
+    pub action: FlowAction,
+    /// Cookie for bulk removal (the controller stamps rules with the
+    /// posture epoch that installed them).
+    pub cookie: u64,
+}
+
+impl FlowRule {
+    /// Convenience constructor.
+    pub fn new(priority: u16, matcher: FlowMatch, action: FlowAction) -> FlowRule {
+        FlowRule { priority, matcher, action, cookie: 0 }
+    }
+
+    /// Set the cookie.
+    pub fn with_cookie(mut self, cookie: u64) -> FlowRule {
+        self.cookie = cookie;
+        self
+    }
+}
+
+/// A priority-ordered flow table with per-rule hit counters.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    rules: Vec<FlowRule>,
+    hits: Vec<u64>,
+    install_seq: Vec<u64>,
+    next_seq: u64,
+    /// Lookups that matched no rule.
+    pub misses: u64,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Install a rule. Later installations win priority ties (this mirrors
+    /// OpenFlow's overlap behaviour closely enough for our controller,
+    /// which always diffs epochs anyway).
+    pub fn install(&mut self, rule: FlowRule) {
+        self.rules.push(rule);
+        self.hits.push(0);
+        self.install_seq.push(self.next_seq);
+        self.next_seq += 1;
+    }
+
+    /// Remove every rule whose cookie equals `cookie`; returns how many
+    /// were removed.
+    pub fn remove_by_cookie(&mut self, cookie: u64) -> usize {
+        let mut removed = 0;
+        let mut i = 0;
+        while i < self.rules.len() {
+            if self.rules[i].cookie == cookie {
+                self.rules.remove(i);
+                self.hits.remove(i);
+                self.install_seq.remove(i);
+                removed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        removed
+    }
+
+    /// Remove all rules.
+    pub fn clear(&mut self) {
+        self.rules.clear();
+        self.hits.clear();
+        self.install_seq.clear();
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Look up the best-matching rule for `packet` on `in_port`,
+    /// incrementing its hit counter.
+    pub fn lookup(&mut self, in_port: PortNo, packet: &Packet) -> Option<&FlowRule> {
+        let mut best: Option<usize> = None;
+        for (i, rule) in self.rules.iter().enumerate() {
+            if !rule.matcher.matches(in_port, packet) {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let better = (rule.priority, self.install_seq[i])
+                        > (self.rules[b].priority, self.install_seq[b]);
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        match best {
+            Some(i) => {
+                self.hits[i] += 1;
+                Some(&self.rules[i])
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Iterate over rules with their hit counts.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowRule, u64)> {
+        self.rules.iter().zip(self.hits.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TransportHeader;
+    use bytes::Bytes;
+
+    fn pkt(src: Ipv4Addr, dst: Ipv4Addr, transport: TransportHeader) -> Packet {
+        Packet::new(MacAddr::from_index(1), MacAddr::from_index(2), src, dst, transport, Bytes::new())
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let m = FlowMatch::any();
+        let p = pkt(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), TransportHeader::udp(1, 2));
+        assert!(m.matches(PortNo(0), &p));
+        assert_eq!(m.specificity(), 0);
+    }
+
+    #[test]
+    fn host_and_service_matches() {
+        let cam = Ipv4Addr::new(10, 0, 0, 5);
+        let p80 = pkt(Ipv4Addr::new(10, 0, 0, 9), cam, TransportHeader::tcp(5555, 80, 0, Default::default()));
+        let p81 = pkt(Ipv4Addr::new(10, 0, 0, 9), cam, TransportHeader::tcp(5555, 81, 0, Default::default()));
+        assert!(FlowMatch::to_host(cam).matches(PortNo(0), &p80));
+        assert!(FlowMatch::to_tcp_service(cam, 80).matches(PortNo(0), &p80));
+        assert!(!FlowMatch::to_tcp_service(cam, 80).matches(PortNo(0), &p81));
+        assert!(!FlowMatch::to_udp_service(cam, 80).matches(PortNo(0), &p80));
+        assert!(FlowMatch::from_host(cam).matches(PortNo(0), &pkt(cam, cam, TransportHeader::udp(1, 2))));
+    }
+
+    #[test]
+    fn in_port_restriction() {
+        let m = FlowMatch::any().with_in_port(PortNo(3));
+        let p = pkt(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), TransportHeader::udp(1, 2));
+        assert!(m.matches(PortNo(3), &p));
+        assert!(!m.matches(PortNo(4), &p));
+    }
+
+    #[test]
+    fn priority_lookup_and_ties() {
+        let cam = Ipv4Addr::new(10, 0, 0, 5);
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(10, FlowMatch::any(), FlowAction::Normal));
+        t.install(FlowRule::new(100, FlowMatch::to_host(cam), FlowAction::Drop));
+        let p = pkt(Ipv4Addr::new(10, 0, 0, 9), cam, TransportHeader::udp(1, 2));
+        assert_eq!(t.lookup(PortNo(0), &p).unwrap().action, FlowAction::Drop);
+        // Tie: later installation wins.
+        t.install(FlowRule::new(100, FlowMatch::to_host(cam), FlowAction::Mirror));
+        assert_eq!(t.lookup(PortNo(0), &p).unwrap().action, FlowAction::Mirror);
+    }
+
+    #[test]
+    fn miss_counter_and_cookie_removal() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(1, FlowMatch::to_host(Ipv4Addr::new(9, 9, 9, 9)), FlowAction::Drop).with_cookie(42));
+        t.install(FlowRule::new(1, FlowMatch::any(), FlowAction::Normal).with_cookie(42));
+        t.install(FlowRule::new(1, FlowMatch::any(), FlowAction::Normal).with_cookie(7));
+        let p = pkt(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), TransportHeader::udp(1, 2));
+        assert_eq!(t.remove_by_cookie(42), 2);
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup(PortNo(0), &p).is_some());
+        t.clear();
+        assert!(t.lookup(PortNo(0), &p).is_none());
+        assert_eq!(t.misses, 1);
+    }
+
+    #[test]
+    fn hit_counters_increment() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule::new(1, FlowMatch::any(), FlowAction::Normal));
+        let p = pkt(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), TransportHeader::udp(1, 2));
+        for _ in 0..5 {
+            t.lookup(PortNo(0), &p);
+        }
+        assert_eq!(t.iter().next().unwrap().1, 5);
+    }
+}

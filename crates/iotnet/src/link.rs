@@ -1,0 +1,189 @@
+//! Links: latency, bandwidth, loss and failure.
+//!
+//! A link connects two topology nodes. Packet delivery across a link takes
+//! `propagation + serialization` time; serialization is queued behind the
+//! previous packet on the same link (a simple fluid model of an output
+//! queue), which is what makes the data-plane overhead experiment (E10)
+//! show queueing effects under load.
+
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Bandwidth in bits per second; `0` means infinite (no serialization
+    /// delay, no queueing).
+    pub bandwidth_bps: u64,
+    /// Independent per-packet loss probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl LinkParams {
+    /// A fast wired LAN segment: 100 µs, 1 Gbit/s, lossless.
+    pub fn lan() -> LinkParams {
+        LinkParams { latency: SimDuration::from_micros(100), bandwidth_bps: 1_000_000_000, loss: 0.0 }
+    }
+
+    /// A home Wi-Fi hop: 2 ms, 50 Mbit/s, 0.5% loss.
+    pub fn wifi() -> LinkParams {
+        LinkParams { latency: SimDuration::from_millis(2), bandwidth_bps: 50_000_000, loss: 0.005 }
+    }
+
+    /// A low-power IoT radio (802.15.4-class): 5 ms, 250 kbit/s, 2% loss.
+    pub fn lowpower_radio() -> LinkParams {
+        LinkParams { latency: SimDuration::from_millis(5), bandwidth_bps: 250_000, loss: 0.02 }
+    }
+
+    /// A WAN/Internet path: 40 ms, 100 Mbit/s, 0.1% loss. Used for the
+    /// remote-attacker and cloud-service attachment points.
+    pub fn wan() -> LinkParams {
+        LinkParams { latency: SimDuration::from_millis(40), bandwidth_bps: 100_000_000, loss: 0.001 }
+    }
+
+    /// An ideal link (zero latency, infinite bandwidth, lossless) for
+    /// microbenchmarks that must isolate processing cost.
+    pub fn ideal() -> LinkParams {
+        LinkParams { latency: SimDuration::ZERO, bandwidth_bps: 0, loss: 0.0 }
+    }
+}
+
+/// Runtime state of a link (one direction; the topology stores one `Link`
+/// per direction so asymmetric paths are expressible).
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Static parameters.
+    pub params: LinkParams,
+    /// Whether the link is administratively/physically up.
+    pub up: bool,
+    /// Time at which the transmitter becomes free (fluid queue model).
+    tx_free_at: SimTime,
+    /// Packets dropped by loss or failure.
+    pub dropped: u64,
+    /// Packets carried.
+    pub carried: u64,
+    /// Bytes carried.
+    pub bytes: u64,
+}
+
+impl Link {
+    /// A new, up link with the given parameters.
+    pub fn new(params: LinkParams) -> Link {
+        Link { params, up: true, tx_free_at: SimTime::ZERO, dropped: 0, carried: 0, bytes: 0 }
+    }
+
+    /// Attempt to transmit `wire_bits` at time `now`.
+    ///
+    /// Returns `Some(delivery_time)` if the packet survives, `None` if it
+    /// is lost or the link is down. The transmitter queue is advanced
+    /// either way only on success.
+    pub fn transmit<R: Rng>(&mut self, now: SimTime, wire_bits: u64, rng: &mut R) -> Option<SimTime> {
+        if !self.up {
+            self.dropped += 1;
+            return None;
+        }
+        if self.params.loss > 0.0 && rng.gen::<f64>() < self.params.loss {
+            self.dropped += 1;
+            return None;
+        }
+        let start = now.max(self.tx_free_at);
+        let ser = SimDuration::transmission(wire_bits, self.params.bandwidth_bps);
+        let done_tx = start + ser;
+        self.tx_free_at = done_tx;
+        self.carried += 1;
+        self.bytes += wire_bits / 8;
+        Some(done_tx + self.params.latency)
+    }
+
+    /// Current queueing delay a packet arriving at `now` would see before
+    /// its serialization starts.
+    pub fn queue_delay(&self, now: SimTime) -> SimDuration {
+        self.tx_free_at.duration_since(now)
+    }
+
+    /// Take the link down (failure injection).
+    pub fn fail(&mut self) {
+        self.up = false;
+    }
+
+    /// Bring the link back up.
+    pub fn repair(&mut self) {
+        self.up = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lossless_delivery_time() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut link = Link::new(LinkParams {
+            latency: SimDuration::from_millis(1),
+            bandwidth_bps: 8_000_000, // 1 byte/µs
+            loss: 0.0,
+        });
+        // 1000-byte packet: 1000 µs serialization + 1 ms latency = 2 ms.
+        let t = link.transmit(SimTime::ZERO, 8000, &mut rng).unwrap();
+        assert_eq!(t.as_micros(), 2000);
+        assert_eq!(link.carried, 1);
+    }
+
+    #[test]
+    fn queueing_behind_previous_packet() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut link = Link::new(LinkParams {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: 8_000, // 1 ms per byte
+            loss: 0.0,
+        });
+        let t1 = link.transmit(SimTime::ZERO, 8, &mut rng).unwrap();
+        let t2 = link.transmit(SimTime::ZERO, 8, &mut rng).unwrap();
+        assert_eq!(t1.as_millis(), 1);
+        assert_eq!(t2.as_millis(), 2); // queued behind the first
+        assert_eq!(link.queue_delay(SimTime::ZERO).as_millis(), 2);
+    }
+
+    #[test]
+    fn down_link_drops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut link = Link::new(LinkParams::ideal());
+        link.fail();
+        assert!(link.transmit(SimTime::ZERO, 100, &mut rng).is_none());
+        assert_eq!(link.dropped, 1);
+        link.repair();
+        assert!(link.transmit(SimTime::ZERO, 100, &mut rng).is_some());
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut link = Link::new(LinkParams {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: 0,
+            loss: 0.3,
+        });
+        let mut delivered = 0;
+        for _ in 0..10_000 {
+            if link.transmit(SimTime::ZERO, 100, &mut rng).is_some() {
+                delivered += 1;
+            }
+        }
+        let rate = delivered as f64 / 10_000.0;
+        assert!((rate - 0.7).abs() < 0.03, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn ideal_link_is_instant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut link = Link::new(LinkParams::ideal());
+        let t = link.transmit(SimTime::from_millis(5), 1 << 20, &mut rng).unwrap();
+        assert_eq!(t, SimTime::from_millis(5));
+    }
+}

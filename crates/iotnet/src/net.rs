@@ -1,0 +1,526 @@
+//! The [`Network`]: wiring, switching, steering and delivery.
+//!
+//! The network owns the topology, the switches, a time-ordered event queue
+//! and the registry of **inline processors** — the hook through which
+//! µmboxes (built in the `umbox` crate) interpose on traffic. Higher
+//! layers drive the network with a simple inversion-of-control loop:
+//!
+//! ```text
+//! loop {
+//!     for delivery in net.step_until(deadline) {
+//!         // hand each delivered packet to the owning device/attacker,
+//!         // which may call net.send(...) in response
+//!     }
+//! }
+//! ```
+//!
+//! This keeps `iotnet` entirely independent of device logic while still
+//! modelling the paper's enforcement path: *device → first-hop switch →
+//! (steer to µmbox) → destination*.
+
+use crate::addr::{EndpointId, Ipv4Addr, MacAddr, NodeId, PortNo, SwitchId};
+use crate::capture::Capture;
+use crate::engine::EventQueue;
+use crate::flow::{FlowRule, SteerId};
+use crate::packet::Packet;
+use crate::stats::NetStats;
+use crate::switch::{Switch, SwitchDecision};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{PortTarget, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A packet delivered to an endpoint.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// Receiving endpoint.
+    pub endpoint: EndpointId,
+    /// Delivery time.
+    pub at: SimTime,
+    /// The packet.
+    pub packet: Packet,
+}
+
+/// Outcome of inline processing: packets to keep forwarding (empty = drop)
+/// plus the processing latency the detour added.
+#[derive(Debug)]
+pub struct InlineVerdict {
+    /// Packets that continue from the steer switch (the original, a
+    /// modified copy, a proxy reply toward the source — or nothing).
+    pub forward: Vec<Packet>,
+    /// Processing latency added by the µmbox itself.
+    pub latency: SimDuration,
+}
+
+impl InlineVerdict {
+    /// Forward the packet unchanged with the given processing latency.
+    pub fn pass(pkt: Packet, latency: SimDuration) -> InlineVerdict {
+        InlineVerdict { forward: vec![pkt], latency }
+    }
+
+    /// Drop the packet.
+    pub fn drop(latency: SimDuration) -> InlineVerdict {
+        InlineVerdict { forward: Vec::new(), latency }
+    }
+}
+
+/// An inline packet processor — the attachment point for µmboxes.
+///
+/// Implementations live in the `umbox` crate; `iotnet` only defines the
+/// contract. Processing is synchronous from the simulator's point of view;
+/// the verdict's `latency` models the processing time and is added to the
+/// forwarding delay of the surviving packets.
+pub trait InlineProcessor {
+    /// Process one packet that the flow table steered here.
+    fn process(&mut self, now: SimTime, pkt: Packet) -> InlineVerdict;
+
+    /// A short human-readable label (for reports and debugging).
+    fn label(&self) -> &str {
+        "inline"
+    }
+}
+
+/// A registered steer point: the processor plus the fixed detour latency
+/// of reaching it (e.g. tunnelling to the on-premise cluster and back).
+pub struct SteerHandle {
+    /// The processor.
+    pub processor: Box<dyn InlineProcessor>,
+    /// Fixed detour latency added to every steered packet (tunnel RTT).
+    pub detour: SimDuration,
+    /// Packets steered through this point.
+    pub hits: u64,
+}
+
+enum NetEvent {
+    AtSwitch { sw: SwitchId, in_port: PortNo, pkt: Packet },
+    AtEndpoint { ep: EndpointId, pkt: Packet },
+}
+
+/// The simulated network.
+///
+/// ```
+/// use iotnet::link::LinkParams;
+/// use iotnet::net::Network;
+/// use iotnet::packet::{Packet, TransportHeader};
+/// use iotnet::time::SimTime;
+/// use iotnet::topology::TopologyBuilder;
+///
+/// let mut b = TopologyBuilder::new();
+/// let sw = b.add_switch();
+/// let a = b.attach_endpoint(sw, LinkParams::lan());
+/// let z = b.attach_endpoint(sw, LinkParams::lan());
+/// let mut net = Network::new(b.build(), 42);
+///
+/// let pkt = Packet::new(
+///     net.mac_of(a), net.mac_of(z), net.ip_of(a), net.ip_of(z),
+///     TransportHeader::udp(5683, 5683), bytes::Bytes::from_static(b"hi"),
+/// );
+/// net.send(a, SimTime::ZERO, pkt);
+/// let deliveries = net.step_until(SimTime::from_secs(1));
+/// assert_eq!(deliveries.len(), 1);
+/// assert_eq!(deliveries[0].endpoint, z);
+/// ```
+pub struct Network {
+    topo: Topology,
+    switches: Vec<Switch>,
+    queue: EventQueue<NetEvent>,
+    steer: std::collections::HashMap<SteerId, SteerHandle>,
+    deliveries: Vec<Delivery>,
+    /// Mirrored-packet capture buffer.
+    pub capture: Capture,
+    rng: StdRng,
+    /// Aggregate counters.
+    pub stats: NetStats,
+}
+
+impl Network {
+    /// Build a network over `topo`, seeding the loss-process RNG.
+    pub fn new(topo: Topology, seed: u64) -> Network {
+        let switches = (0..topo.switch_count())
+            .map(|i| Switch::new(SwitchId(i as u32), topo.ports_of(SwitchId(i as u32))))
+            .collect();
+        Network {
+            topo,
+            switches,
+            queue: EventQueue::new(),
+            steer: std::collections::HashMap::new(),
+            deliveries: Vec::new(),
+            capture: Capture::new(65_536),
+            rng: StdRng::seed_from_u64(seed ^ 0x006e_6574_776f_726b_u64),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Current simulated time (timestamp of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Immutable topology access.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable topology access (failure injection).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// The MAC address of an endpoint (the simulator's stand-in for ARP).
+    pub fn mac_of(&self, ep: EndpointId) -> MacAddr {
+        self.topo.endpoint(ep).mac
+    }
+
+    /// The IP address of an endpoint.
+    pub fn ip_of(&self, ep: EndpointId) -> Ipv4Addr {
+        self.topo.endpoint(ep).ip
+    }
+
+    /// The endpoint owning `ip`, if any.
+    pub fn endpoint_by_ip(&self, ip: Ipv4Addr) -> Option<EndpointId> {
+        self.topo.endpoint_by_ip(ip)
+    }
+
+    /// Mutable access to a switch (rule installation).
+    pub fn switch_mut(&mut self, sw: SwitchId) -> &mut Switch {
+        &mut self.switches[sw.0 as usize]
+    }
+
+    /// Read access to a switch.
+    pub fn switch(&self, sw: SwitchId) -> &Switch {
+        &self.switches[sw.0 as usize]
+    }
+
+    /// Install a flow rule on a switch.
+    pub fn install_rule(&mut self, sw: SwitchId, rule: FlowRule) {
+        self.switches[sw.0 as usize].install(rule);
+    }
+
+    /// Remove rules stamped with `cookie` from every switch; returns the
+    /// number removed.
+    pub fn remove_rules_by_cookie(&mut self, cookie: u64) -> usize {
+        self.switches.iter_mut().map(|s| s.remove_by_cookie(cookie)).sum()
+    }
+
+    /// Register an inline processor under `id` with a fixed detour latency.
+    /// Replaces any previous registration under the same id.
+    pub fn register_steer(&mut self, id: SteerId, processor: Box<dyn InlineProcessor>, detour: SimDuration) {
+        self.steer.insert(id, SteerHandle { processor, detour, hits: 0 });
+    }
+
+    /// Remove a steer registration, returning it if present.
+    pub fn unregister_steer(&mut self, id: SteerId) -> Option<SteerHandle> {
+        self.steer.remove(&id)
+    }
+
+    /// Mutable access to a registered processor.
+    pub fn steer_mut(&mut self, id: SteerId) -> Option<&mut SteerHandle> {
+        self.steer.get_mut(&id)
+    }
+
+    /// Inject a packet from `ep` at time `now` (must be ≥ the network
+    /// clock; the event engine clamps earlier times forward).
+    pub fn send(&mut self, ep: EndpointId, now: SimTime, pkt: Packet) {
+        self.stats.sent += 1;
+        let info = *self.topo.endpoint(ep);
+        let from = NodeId::Endpoint(ep);
+        let to = NodeId::Switch(info.switch);
+        let bits = pkt.wire_bits();
+        let Some(link) = self.topo.link_mut(from, to) else {
+            self.stats.dropped_loss += 1;
+            return;
+        };
+        match link.transmit(now, bits, &mut self.rng) {
+            Some(at) => {
+                self.queue.schedule(at, NetEvent::AtSwitch { sw: info.switch, in_port: info.port, pkt });
+            }
+            None => self.stats.dropped_loss += 1,
+        }
+    }
+
+    /// Process queued events up to and including `deadline`, returning the
+    /// packets delivered to endpoints in time order.
+    pub fn step_until(&mut self, deadline: SimTime) -> Vec<Delivery> {
+        while let Some((at, ev)) = self.queue.pop_until(deadline) {
+            match ev {
+                NetEvent::AtSwitch { sw, in_port, pkt } => self.handle_at_switch(at, sw, in_port, pkt),
+                NetEvent::AtEndpoint { ep, pkt } => {
+                    let mac = self.topo.endpoint(ep).mac;
+                    if pkt.eth.dst == mac || pkt.eth.dst.is_broadcast() {
+                        self.stats.delivered += 1;
+                        self.deliveries.push(Delivery { endpoint: ep, at, packet: pkt });
+                    } else {
+                        self.stats.nic_filtered += 1;
+                    }
+                }
+            }
+        }
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// Whether any events remain queued.
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Timestamp of the next queued event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    fn handle_at_switch(&mut self, at: SimTime, sw: SwitchId, in_port: PortNo, pkt: Packet) {
+        let decision = self.switches[sw.0 as usize].process(in_port, &pkt);
+        match decision {
+            SwitchDecision::Drop => {
+                self.stats.dropped_policy += 1;
+            }
+            SwitchDecision::Output(ports) => {
+                self.forward_out(at, sw, &ports, pkt);
+            }
+            SwitchDecision::MirrorAnd(ports) => {
+                self.stats.mirrored += 1;
+                self.capture.record(at, sw, pkt.clone());
+                self.forward_out(at, sw, &ports, pkt);
+            }
+            SwitchDecision::Steer(id) => {
+                self.stats.steered += 1;
+                let Some(handle) = self.steer.get_mut(&id) else {
+                    // Steer rule with no registered µmbox: fail closed, as
+                    // the paper's security posture demands.
+                    self.stats.dropped_policy += 1;
+                    return;
+                };
+                handle.hits += 1;
+                let verdict = handle.processor.process(at, pkt);
+                let delay = handle.detour + verdict.latency;
+                if verdict.forward.is_empty() {
+                    self.stats.dropped_inline += 1;
+                }
+                let resume_at = at + delay;
+                for out in verdict.forward {
+                    // Resume with normal forwarding (not a table re-lookup)
+                    // so the steer rule cannot loop on its own output.
+                    let ports = self.switches[sw.0 as usize].normal_ports(in_port, &out);
+                    self.forward_out(resume_at, sw, &ports, out);
+                }
+            }
+        }
+    }
+
+    fn forward_out(&mut self, at: SimTime, sw: SwitchId, ports: &[PortNo], pkt: Packet) {
+        for &port in ports {
+            let target = self.topo.port_target(sw, port);
+            let bits = pkt.wire_bits();
+            match target {
+                PortTarget::Unwired => {}
+                PortTarget::Switch(next_sw, next_port) => {
+                    let from = NodeId::Switch(sw);
+                    let to = NodeId::Switch(next_sw);
+                    if let Some(link) = self.topo.link_mut(from, to) {
+                        if let Some(t) = link.transmit(at, bits, &mut self.rng) {
+                            self.queue.schedule(
+                                t,
+                                NetEvent::AtSwitch { sw: next_sw, in_port: next_port, pkt: pkt.clone() },
+                            );
+                        } else {
+                            self.stats.dropped_loss += 1;
+                        }
+                    }
+                }
+                PortTarget::Endpoint(ep) => {
+                    let from = NodeId::Switch(sw);
+                    let to = NodeId::Endpoint(ep);
+                    if let Some(link) = self.topo.link_mut(from, to) {
+                        if let Some(t) = link.transmit(at, bits, &mut self.rng) {
+                            self.queue.schedule(t, NetEvent::AtEndpoint { ep, pkt: pkt.clone() });
+                        } else {
+                            self.stats.dropped_loss += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowAction, FlowMatch};
+    use crate::link::LinkParams;
+    use crate::packet::TransportHeader;
+    use crate::topology::TopologyBuilder;
+    use bytes::Bytes;
+
+    fn two_host_net() -> (Network, EndpointId, EndpointId, SwitchId) {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch();
+        let a = b.attach_endpoint(sw, LinkParams::lan());
+        let c = b.attach_endpoint(sw, LinkParams::lan());
+        (Network::new(b.build(), 7), a, c, sw)
+    }
+
+    fn pkt_between(net: &Network, from: EndpointId, to: EndpointId, payload: &[u8]) -> Packet {
+        Packet::new(
+            net.mac_of(from),
+            net.mac_of(to),
+            net.ip_of(from),
+            net.ip_of(to),
+            TransportHeader::udp(1000, 80),
+            Bytes::copy_from_slice(payload),
+        )
+    }
+
+    #[test]
+    fn end_to_end_delivery() {
+        let (mut net, a, c, _) = two_host_net();
+        let p = pkt_between(&net, a, c, b"ping");
+        net.send(a, SimTime::ZERO, p);
+        let deliveries = net.step_until(SimTime::from_secs(1));
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].endpoint, c);
+        assert_eq!(&deliveries[0].packet.payload[..], b"ping");
+        // LAN link: 100us each hop, two hops.
+        assert!(deliveries[0].at >= SimTime::from_micros(200));
+        assert_eq!(net.stats.delivered, 1);
+    }
+
+    #[test]
+    fn policy_drop_blocks_delivery() {
+        let (mut net, a, c, sw) = two_host_net();
+        let dst_ip = net.ip_of(c);
+        net.install_rule(sw, FlowRule::new(100, FlowMatch::to_host(dst_ip), FlowAction::Drop));
+        let p = pkt_between(&net, a, c, b"blocked");
+        net.send(a, SimTime::ZERO, p);
+        let deliveries = net.step_until(SimTime::from_secs(1));
+        assert!(deliveries.is_empty());
+        assert_eq!(net.stats.dropped_policy, 1);
+    }
+
+    #[test]
+    fn mirror_captures_and_delivers() {
+        let (mut net, a, c, sw) = two_host_net();
+        net.install_rule(sw, FlowRule::new(100, FlowMatch::any(), FlowAction::Mirror));
+        let p = pkt_between(&net, a, c, b"observed");
+        net.send(a, SimTime::ZERO, p);
+        let deliveries = net.step_until(SimTime::from_secs(1));
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(net.capture.len(), 1);
+        assert_eq!(net.stats.mirrored, 1);
+    }
+
+    struct CountingDropper {
+        seen: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+    impl InlineProcessor for CountingDropper {
+        fn process(&mut self, _now: SimTime, _pkt: Packet) -> InlineVerdict {
+            self.seen.set(self.seen.get() + 1);
+            InlineVerdict::drop(SimDuration::from_micros(50))
+        }
+    }
+
+    struct PassThrough;
+    impl InlineProcessor for PassThrough {
+        fn process(&mut self, _now: SimTime, pkt: Packet) -> InlineVerdict {
+            InlineVerdict::pass(pkt, SimDuration::from_micros(50))
+        }
+    }
+
+    #[test]
+    fn steer_to_dropping_processor() {
+        let (mut net, a, c, sw) = two_host_net();
+        let seen = std::rc::Rc::new(std::cell::Cell::new(0));
+        net.register_steer(
+            SteerId(1),
+            Box::new(CountingDropper { seen: seen.clone() }),
+            SimDuration::from_micros(200),
+        );
+        net.install_rule(sw, FlowRule::new(100, FlowMatch::any(), FlowAction::Steer(SteerId(1))));
+        net.send(a, SimTime::ZERO, pkt_between(&net, a, c, b"x"));
+        let deliveries = net.step_until(SimTime::from_secs(1));
+        assert!(deliveries.is_empty());
+        assert_eq!(seen.get(), 1);
+        assert_eq!(net.stats.steered, 1);
+        assert_eq!(net.stats.dropped_inline, 1);
+    }
+
+    #[test]
+    fn steer_pass_adds_latency() {
+        let (mut net, a, c, sw) = two_host_net();
+        // First, measure direct latency.
+        net.send(a, SimTime::ZERO, pkt_between(&net, a, c, b"direct"));
+        let direct = net.step_until(SimTime::from_secs(1)).remove(0).at;
+        // Now steer through a pass-through µmbox with 200us detour + 50us work.
+        net.register_steer(SteerId(1), Box::new(PassThrough), SimDuration::from_micros(200));
+        net.install_rule(sw, FlowRule::new(100, FlowMatch::any(), FlowAction::Steer(SteerId(1))));
+        let t0 = net.now();
+        net.send(a, t0, pkt_between(&net, a, c, b"steered"));
+        let d = net.step_until(SimTime::from_secs(2)).remove(0);
+        let steered_latency = d.at - t0;
+        let direct_latency = direct - SimTime::ZERO;
+        assert!(steered_latency.as_micros() >= direct_latency.as_micros() + 250);
+    }
+
+    #[test]
+    fn steer_without_processor_fails_closed() {
+        let (mut net, a, c, sw) = two_host_net();
+        net.install_rule(sw, FlowRule::new(100, FlowMatch::any(), FlowAction::Steer(SteerId(99))));
+        net.send(a, SimTime::ZERO, pkt_between(&net, a, c, b"x"));
+        assert!(net.step_until(SimTime::from_secs(1)).is_empty());
+        assert_eq!(net.stats.dropped_policy, 1);
+    }
+
+    #[test]
+    fn multi_switch_forwarding() {
+        let (topo, _core, _edges, eps, _wan, _cluster) = TopologyBuilder::enterprise(2, 2);
+        let mut net = Network::new(topo, 3);
+        // Device on edge 0 to device on edge 1: crosses the core.
+        let from = eps[0];
+        let to = eps[2];
+        let p = pkt_between(&net, from, to, b"cross-edge");
+        net.send(from, SimTime::ZERO, p);
+        let deliveries = net.step_until(SimTime::from_secs(1));
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].endpoint, to);
+    }
+
+    #[test]
+    fn nic_filters_flooded_packets() {
+        let (mut net, a, c, _) = two_host_net();
+        // Unknown unicast floods to both c and... only c here (2 endpoints),
+        // but attach a third endpoint to observe filtering.
+        let p = pkt_between(&net, a, c, b"flood");
+        net.send(a, SimTime::ZERO, p);
+        net.step_until(SimTime::from_secs(1));
+        // With exactly one other endpoint the flood hits only the right NIC;
+        // send the reverse so MACs are learned, then check counters stay sane.
+        let p2 = pkt_between(&net, c, a, b"back");
+        net.send(c, net.now(), p2);
+        let d = net.step_until(SimTime::from_secs(2));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].endpoint, a);
+    }
+
+    #[test]
+    fn failed_uplink_drops_sends() {
+        let (mut net, a, c, sw) = two_host_net();
+        net.topology_mut().fail_wire(NodeId::Endpoint(a), NodeId::Switch(sw));
+        net.send(a, SimTime::ZERO, pkt_between(&net, a, c, b"x"));
+        assert!(net.step_until(SimTime::from_secs(1)).is_empty());
+        assert_eq!(net.stats.dropped_loss, 1);
+    }
+
+    #[test]
+    fn deliveries_in_time_order() {
+        let (mut net, a, c, _) = two_host_net();
+        for i in 0..10 {
+            let p = pkt_between(&net, a, c, &[i]);
+            net.send(a, SimTime::from_millis(i as u64), p);
+        }
+        let d = net.step_until(SimTime::from_secs(1));
+        assert_eq!(d.len(), 10);
+        for w in d.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! SDN switch model.
+//!
+//! Each switch has a set of ports, a priority [`FlowTable`] programmed by
+//! the controller, a learning MAC table used by the `Normal` action, and
+//! per-switch counters. The paper's enforcement story assumes every IoT
+//! device's *first-hop* switch or AP is programmable; this model is that
+//! first hop.
+
+use crate::addr::{MacAddr, PortNo, SwitchId};
+use crate::flow::{FlowAction, FlowRule, FlowTable};
+use crate::packet::Packet;
+use std::collections::HashMap;
+
+/// Forwarding decision produced by a switch for one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchDecision {
+    /// Send out these ports (normal forwarding may flood several).
+    Output(Vec<PortNo>),
+    /// Drop.
+    Drop,
+    /// Divert to the inline processor with this steer id; the network layer
+    /// resumes forwarding with the processor's output packets.
+    Steer(crate::flow::SteerId),
+    /// Mirror to the capture/controller channel and also output normally.
+    MirrorAnd(Vec<PortNo>),
+}
+
+/// An SDN switch.
+#[derive(Debug)]
+pub struct Switch {
+    /// This switch's id.
+    pub id: SwitchId,
+    /// Number of ports (ports are `0..n_ports`).
+    pub n_ports: u16,
+    /// The controller-programmed flow table.
+    pub table: FlowTable,
+    mac_table: HashMap<MacAddr, PortNo>,
+    /// Packets processed.
+    pub rx_packets: u64,
+    /// Packets dropped by policy.
+    pub policy_drops: u64,
+}
+
+impl Switch {
+    /// A new switch with `n_ports` ports and an empty flow table.
+    pub fn new(id: SwitchId, n_ports: u16) -> Switch {
+        Switch {
+            id,
+            n_ports,
+            table: FlowTable::new(),
+            mac_table: HashMap::new(),
+            rx_packets: 0,
+            policy_drops: 0,
+        }
+    }
+
+    /// Install a flow rule.
+    pub fn install(&mut self, rule: FlowRule) {
+        self.table.install(rule);
+    }
+
+    /// Remove rules stamped with `cookie`.
+    pub fn remove_by_cookie(&mut self, cookie: u64) -> usize {
+        self.table.remove_by_cookie(cookie)
+    }
+
+    /// The port a MAC was learned on, if any.
+    pub fn learned_port(&self, mac: MacAddr) -> Option<PortNo> {
+        self.mac_table.get(&mac).copied()
+    }
+
+    /// Process a packet arriving on `in_port`: learn the source MAC, then
+    /// apply the flow table (falling back to `Normal` on a miss).
+    pub fn process(&mut self, in_port: PortNo, packet: &Packet) -> SwitchDecision {
+        self.rx_packets += 1;
+        if !packet.eth.src.is_multicast() {
+            self.mac_table.insert(packet.eth.src, in_port);
+        }
+        let action = self
+            .table
+            .lookup(in_port, packet)
+            .map(|r| r.action)
+            .unwrap_or(FlowAction::Normal);
+        match action {
+            FlowAction::Drop => {
+                self.policy_drops += 1;
+                SwitchDecision::Drop
+            }
+            FlowAction::Output(p) => SwitchDecision::Output(vec![p]),
+            FlowAction::Steer(id) => SwitchDecision::Steer(id),
+            FlowAction::Mirror => SwitchDecision::MirrorAnd(self.normal_ports(in_port, packet)),
+            FlowAction::Normal => SwitchDecision::Output(self.normal_ports(in_port, packet)),
+        }
+    }
+
+    /// Normal (learning L2) forwarding: known unicast goes out its learned
+    /// port; unknown unicast and broadcast flood all ports except ingress.
+    pub fn normal_ports(&self, in_port: PortNo, packet: &Packet) -> Vec<PortNo> {
+        if !packet.eth.dst.is_multicast() {
+            if let Some(&p) = self.mac_table.get(&packet.eth.dst) {
+                if p == in_port {
+                    return Vec::new(); // already on the right segment
+                }
+                return vec![p];
+            }
+        }
+        (0..self.n_ports).map(PortNo).filter(|p| *p != in_port).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4Addr;
+    use crate::flow::{FlowMatch, SteerId};
+    use crate::packet::TransportHeader;
+    use bytes::Bytes;
+
+    fn pkt(src_mac: MacAddr, dst_mac: MacAddr) -> Packet {
+        Packet::new(
+            src_mac,
+            dst_mac,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            TransportHeader::udp(1, 2),
+            Bytes::new(),
+        )
+    }
+
+    #[test]
+    fn learns_and_forwards() {
+        let mut sw = Switch::new(SwitchId(0), 4);
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        // Unknown destination floods.
+        let d = sw.process(PortNo(0), &pkt(a, b));
+        assert_eq!(d, SwitchDecision::Output(vec![PortNo(1), PortNo(2), PortNo(3)]));
+        // b replies from port 2; now a is known on port 0.
+        let d = sw.process(PortNo(2), &pkt(b, a));
+        assert_eq!(d, SwitchDecision::Output(vec![PortNo(0)]));
+        // And b is now known on port 2.
+        let d = sw.process(PortNo(0), &pkt(a, b));
+        assert_eq!(d, SwitchDecision::Output(vec![PortNo(2)]));
+        assert_eq!(sw.learned_port(a), Some(PortNo(0)));
+    }
+
+    #[test]
+    fn same_segment_suppression() {
+        let mut sw = Switch::new(SwitchId(0), 4);
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        sw.process(PortNo(1), &pkt(b, a)); // learn b on port 1
+        let d = sw.process(PortNo(1), &pkt(a, b)); // b is back out the ingress port
+        assert_eq!(d, SwitchDecision::Output(vec![]));
+    }
+
+    #[test]
+    fn broadcast_floods() {
+        let mut sw = Switch::new(SwitchId(0), 3);
+        let d = sw.process(PortNo(1), &pkt(MacAddr::from_index(1), MacAddr::BROADCAST));
+        assert_eq!(d, SwitchDecision::Output(vec![PortNo(0), PortNo(2)]));
+    }
+
+    #[test]
+    fn policy_drop_counted() {
+        let mut sw = Switch::new(SwitchId(0), 2);
+        sw.install(FlowRule::new(10, FlowMatch::any(), FlowAction::Drop));
+        let d = sw.process(PortNo(0), &pkt(MacAddr::from_index(1), MacAddr::from_index(2)));
+        assert_eq!(d, SwitchDecision::Drop);
+        assert_eq!(sw.policy_drops, 1);
+    }
+
+    #[test]
+    fn steer_and_mirror_decisions() {
+        let mut sw = Switch::new(SwitchId(0), 2);
+        sw.install(FlowRule::new(10, FlowMatch::any(), FlowAction::Steer(SteerId(7))));
+        let p = pkt(MacAddr::from_index(1), MacAddr::from_index(2));
+        assert_eq!(sw.process(PortNo(0), &p), SwitchDecision::Steer(SteerId(7)));
+        sw.table.clear();
+        sw.install(FlowRule::new(10, FlowMatch::any(), FlowAction::Mirror));
+        match sw.process(PortNo(0), &p) {
+            SwitchDecision::MirrorAnd(ports) => assert!(!ports.is_empty()),
+            other => panic!("expected mirror, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Topology graph and builders.
+//!
+//! A topology is a set of switches whose ports are wired either to other
+//! switches or to endpoints (device NICs, the attacker host, cloud stubs).
+//! Each wire carries a pair of directed [`Link`]s so asymmetric paths are
+//! expressible. Builders construct the two deployment shapes the paper
+//! targets: a smart home behind an IoT router, and an enterprise tree with
+//! an on-premise NFV cluster.
+
+use crate::addr::{EndpointId, Ipv4Addr, MacAddr, NodeId, PortNo, SwitchId};
+use crate::link::{Link, LinkParams};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What a switch port is wired to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortTarget {
+    /// Wired to a port on another switch.
+    Switch(SwitchId, PortNo),
+    /// Wired to an endpoint.
+    Endpoint(EndpointId),
+    /// Unused.
+    Unwired,
+}
+
+/// Static information about an endpoint attachment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointInfo {
+    /// The endpoint's MAC address.
+    pub mac: MacAddr,
+    /// The endpoint's IPv4 address.
+    pub ip: Ipv4Addr,
+    /// First-hop switch.
+    pub switch: SwitchId,
+    /// Port on the first-hop switch.
+    pub port: PortNo,
+}
+
+/// A directed-link key: traffic flowing out of `from` towards `to`.
+pub type LinkKey = (NodeId, NodeId);
+
+/// The wiring of a network: switches, endpoints, and directed links.
+#[derive(Debug, Default)]
+pub struct Topology {
+    switch_ports: Vec<Vec<PortTarget>>,
+    endpoints: Vec<EndpointInfo>,
+    links: HashMap<LinkKey, Link>,
+    ip_index: HashMap<Ipv4Addr, EndpointId>,
+}
+
+impl Topology {
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switch_ports.len()
+    }
+
+    /// Number of endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Ports (count) on a switch.
+    pub fn ports_of(&self, sw: SwitchId) -> u16 {
+        self.switch_ports[sw.0 as usize].len() as u16
+    }
+
+    /// What a given switch port is wired to.
+    pub fn port_target(&self, sw: SwitchId, port: PortNo) -> PortTarget {
+        self.switch_ports
+            .get(sw.0 as usize)
+            .and_then(|ports| ports.get(port.0 as usize))
+            .copied()
+            .unwrap_or(PortTarget::Unwired)
+    }
+
+    /// Attachment info for an endpoint.
+    pub fn endpoint(&self, ep: EndpointId) -> &EndpointInfo {
+        &self.endpoints[ep.0 as usize]
+    }
+
+    /// Iterate over all endpoints.
+    pub fn endpoints(&self) -> impl Iterator<Item = (EndpointId, &EndpointInfo)> {
+        self.endpoints.iter().enumerate().map(|(i, e)| (EndpointId(i as u32), e))
+    }
+
+    /// Look up the endpoint owning an IP address.
+    pub fn endpoint_by_ip(&self, ip: Ipv4Addr) -> Option<EndpointId> {
+        self.ip_index.get(&ip).copied()
+    }
+
+    /// Mutable access to the directed link `from -> to`, if wired.
+    pub fn link_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut Link> {
+        self.links.get_mut(&(from, to))
+    }
+
+    /// Read access to the directed link `from -> to`, if wired.
+    pub fn link(&self, from: NodeId, to: NodeId) -> Option<&Link> {
+        self.links.get(&(from, to))
+    }
+
+    /// Fail both directions of the wire between two nodes.
+    pub fn fail_wire(&mut self, a: NodeId, b: NodeId) {
+        if let Some(l) = self.links.get_mut(&(a, b)) {
+            l.fail();
+        }
+        if let Some(l) = self.links.get_mut(&(b, a)) {
+            l.fail();
+        }
+    }
+
+    /// Repair both directions of the wire between two nodes.
+    pub fn repair_wire(&mut self, a: NodeId, b: NodeId) {
+        if let Some(l) = self.links.get_mut(&(a, b)) {
+            l.repair();
+        }
+        if let Some(l) = self.links.get_mut(&(b, a)) {
+            l.repair();
+        }
+    }
+}
+
+/// Incremental topology builder.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    topo: Topology,
+    next_ip: u32,
+}
+
+impl TopologyBuilder {
+    /// Start an empty topology.
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder { topo: Topology::default(), next_ip: 1 }
+    }
+
+    /// Add a switch with no ports yet; ports are added by wiring.
+    pub fn add_switch(&mut self) -> SwitchId {
+        let id = SwitchId(self.topo.switch_ports.len() as u32);
+        self.topo.switch_ports.push(Vec::new());
+        id
+    }
+
+    fn alloc_port(&mut self, sw: SwitchId, target: PortTarget) -> PortNo {
+        let ports = &mut self.topo.switch_ports[sw.0 as usize];
+        let port = PortNo(ports.len() as u16);
+        ports.push(target);
+        port
+    }
+
+    /// Wire two switches together with symmetric link parameters.
+    pub fn connect_switches(&mut self, a: SwitchId, b: SwitchId, params: LinkParams) -> (PortNo, PortNo) {
+        let pa = self.alloc_port(a, PortTarget::Unwired);
+        let pb = self.alloc_port(b, PortTarget::Unwired);
+        self.topo.switch_ports[a.0 as usize][pa.0 as usize] = PortTarget::Switch(b, pb);
+        self.topo.switch_ports[b.0 as usize][pb.0 as usize] = PortTarget::Switch(a, pa);
+        let na = NodeId::Switch(a);
+        let nb = NodeId::Switch(b);
+        self.topo.links.insert((na, nb), Link::new(params));
+        self.topo.links.insert((nb, na), Link::new(params));
+        (pa, pb)
+    }
+
+    /// Attach a new endpoint to `sw` with an auto-assigned `10.0.x.y`
+    /// address and a MAC derived from the endpoint index.
+    pub fn attach_endpoint(&mut self, sw: SwitchId, params: LinkParams) -> EndpointId {
+        let ip = Ipv4Addr::from_index(self.next_ip);
+        self.next_ip += 1;
+        self.attach_endpoint_with(sw, params, ip)
+    }
+
+    /// Attach a new endpoint with an explicit IP address.
+    pub fn attach_endpoint_with(&mut self, sw: SwitchId, params: LinkParams, ip: Ipv4Addr) -> EndpointId {
+        let ep = EndpointId(self.topo.endpoints.len() as u32);
+        let mac = MacAddr::from_index(ep.0 + 1);
+        let port = self.alloc_port(sw, PortTarget::Endpoint(ep));
+        self.topo.endpoints.push(EndpointInfo { mac, ip, switch: sw, port });
+        self.topo.ip_index.insert(ip, ep);
+        let ns = NodeId::Switch(sw);
+        let ne = NodeId::Endpoint(ep);
+        self.topo.links.insert((ns, ne), Link::new(params));
+        self.topo.links.insert((ne, ns), Link::new(params));
+        ep
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Topology {
+        self.topo
+    }
+
+    /// A smart-home shape: one IoT router (a single switch) with `devices`
+    /// Wi-Fi-attached device endpoints, plus a WAN uplink endpoint that
+    /// stands in for "the Internet" (remote attackers and cloud services
+    /// attach behind it in `iotdev`). Returns
+    /// `(switch, device_endpoints, wan_endpoint)`.
+    pub fn smart_home(devices: usize) -> (Topology, SwitchId, Vec<EndpointId>, EndpointId) {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch();
+        let eps: Vec<EndpointId> =
+            (0..devices).map(|_| b.attach_endpoint(sw, LinkParams::wifi())).collect();
+        let wan = b.attach_endpoint_with(sw, LinkParams::wan(), Ipv4Addr::new(100, 64, 0, 1));
+        (b.build(), sw, eps, wan)
+    }
+
+    /// An enterprise shape: a core switch wired to `edges` edge switches,
+    /// each with `devices_per_edge` device endpoints; a WAN uplink and an
+    /// NFV-cluster attachment point hang off the core. Returns
+    /// `(topology, core, edge_switches, device_endpoints, wan, cluster)`.
+    #[allow(clippy::type_complexity)]
+    pub fn enterprise(
+        edges: usize,
+        devices_per_edge: usize,
+    ) -> (Topology, SwitchId, Vec<SwitchId>, Vec<EndpointId>, EndpointId, EndpointId) {
+        let mut b = TopologyBuilder::new();
+        let core = b.add_switch();
+        let mut edge_switches = Vec::with_capacity(edges);
+        let mut eps = Vec::with_capacity(edges * devices_per_edge);
+        for _ in 0..edges {
+            let e = b.add_switch();
+            b.connect_switches(core, e, LinkParams::lan());
+            for _ in 0..devices_per_edge {
+                eps.push(b.attach_endpoint(e, LinkParams::wifi()));
+            }
+            edge_switches.push(e);
+        }
+        let wan = b.attach_endpoint_with(core, LinkParams::wan(), Ipv4Addr::new(100, 64, 0, 1));
+        let cluster = b.attach_endpoint_with(core, LinkParams::lan(), Ipv4Addr::new(10, 200, 0, 1));
+        (b.build(), core, edge_switches, eps, wan, cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_wires_ports_symmetrically() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_switch();
+        let s1 = b.add_switch();
+        let (p0, p1) = b.connect_switches(s0, s1, LinkParams::lan());
+        let t = b.build();
+        assert_eq!(t.port_target(s0, p0), PortTarget::Switch(s1, p1));
+        assert_eq!(t.port_target(s1, p1), PortTarget::Switch(s0, p0));
+        assert!(t.link(NodeId::Switch(s0), NodeId::Switch(s1)).is_some());
+        assert!(t.link(NodeId::Switch(s1), NodeId::Switch(s0)).is_some());
+    }
+
+    #[test]
+    fn endpoint_attachment_and_ip_index() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_switch();
+        let e0 = b.attach_endpoint(s0, LinkParams::wifi());
+        let e1 = b.attach_endpoint_with(s0, LinkParams::lan(), Ipv4Addr::new(192, 168, 1, 50));
+        let t = b.build();
+        assert_eq!(t.endpoint(e0).switch, s0);
+        assert_ne!(t.endpoint(e0).ip, t.endpoint(e1).ip);
+        assert_eq!(t.endpoint_by_ip(Ipv4Addr::new(192, 168, 1, 50)), Some(e1));
+        assert_eq!(t.endpoint_by_ip(Ipv4Addr::new(1, 1, 1, 1)), None);
+        assert_ne!(t.endpoint(e0).mac, t.endpoint(e1).mac);
+    }
+
+    #[test]
+    fn smart_home_shape() {
+        let (t, sw, eps, wan) = TopologyBuilder::smart_home(5);
+        assert_eq!(t.switch_count(), 1);
+        assert_eq!(eps.len(), 5);
+        assert_eq!(t.endpoint_count(), 6); // 5 devices + WAN
+        assert_eq!(t.endpoint(wan).switch, sw);
+        assert_eq!(t.ports_of(sw), 6);
+    }
+
+    #[test]
+    fn enterprise_shape() {
+        let (t, core, edges, eps, wan, cluster) = TopologyBuilder::enterprise(3, 4);
+        assert_eq!(t.switch_count(), 4);
+        assert_eq!(edges.len(), 3);
+        assert_eq!(eps.len(), 12);
+        assert_eq!(t.endpoint(wan).switch, core);
+        assert_eq!(t.endpoint(cluster).switch, core);
+        // Core has: 3 edge uplinks + wan + cluster = 5 ports.
+        assert_eq!(t.ports_of(core), 5);
+        // Each edge: 1 core uplink + 4 devices.
+        for e in edges {
+            assert_eq!(t.ports_of(e), 5);
+        }
+    }
+
+    #[test]
+    fn wire_failure_is_bidirectional() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_switch();
+        let e0 = b.attach_endpoint(s0, LinkParams::lan());
+        let mut t = b.build();
+        let ns = NodeId::Switch(s0);
+        let ne = NodeId::Endpoint(e0);
+        t.fail_wire(ns, ne);
+        assert!(!t.link(ns, ne).unwrap().up);
+        assert!(!t.link(ne, ns).unwrap().up);
+        t.repair_wire(ns, ne);
+        assert!(t.link(ns, ne).unwrap().up);
+    }
+}

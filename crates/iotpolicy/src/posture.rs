@@ -1,0 +1,247 @@
+//! Security postures.
+//!
+//! A posture is the paper's `Posture(Sₖ, Dᵢ)`: the set of security
+//! modules a device's traffic must traverse in a given system state,
+//! plus blocking decisions. The `umbox` crate realizes each module as a
+//! micro-middlebox; the controller diffs posture vectors between states
+//! to decide what to (re)deploy.
+
+use iotdev::device::DeviceId;
+use iotdev::env::EnvVar;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Classes of messages a posture can block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum BlockClass {
+    /// Block everything to/from the device.
+    All,
+    /// Block control-plane actuation ("open"/"on"/... commands).
+    Actuation,
+    /// Block a specific actuation verb class: open/unlock style.
+    OpenVerbs,
+    /// Block power-on commands.
+    OnVerbs,
+    /// Block the vendor-cloud channel.
+    Cloud,
+    /// Block outbound DNS responses (the reflection mitigation).
+    DnsResponses,
+}
+
+/// A security module in a device's posture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum SecurityModule {
+    /// Interpose on management logins and require strong credentials
+    /// (the Figure 4 password-proxy µmbox).
+    PasswordProxy,
+    /// Signature IDS with the given ruleset generation.
+    Ids {
+        /// Ruleset generation (bumped when the repository publishes new
+        /// signatures).
+        ruleset: u16,
+    },
+    /// Token-bucket rate limiting.
+    RateLimit {
+        /// Packets per second.
+        pps: u32,
+    },
+    /// Only allow the device's declared protocol planes.
+    ProtocolWhitelist,
+    /// Block a class of messages.
+    Block(BlockClass),
+    /// Permit actuation only while an environment variable holds a value
+    /// (the Figure 5 "only if somebody is home" gate).
+    ContextGate {
+        /// Gated variable.
+        var: EnvVar,
+        /// Required value.
+        value: &'static str,
+    },
+    /// Mirror traffic to the controller/capture channel.
+    Mirror,
+    /// Robot-check style challenge on management logins (Figure 3's
+    /// response to a brute-force attempt).
+    ChallengeLogins,
+}
+
+impl SecurityModule {
+    /// Whether this module drops traffic (vs. inspecting/transforming).
+    pub fn is_blocking(&self) -> bool {
+        matches!(self, SecurityModule::Block(_))
+    }
+}
+
+/// The posture of one device in one state: an ordered set of modules.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct Posture {
+    modules: Vec<SecurityModule>,
+}
+
+impl Posture {
+    /// The empty ("allow, uninstrumented") posture.
+    pub fn allow() -> Posture {
+        Posture::default()
+    }
+
+    /// A posture with one module.
+    pub fn of(module: SecurityModule) -> Posture {
+        let mut p = Posture::default();
+        p.add(module);
+        p
+    }
+
+    /// A fully-quarantined posture: block everything and mirror what
+    /// arrives for forensics.
+    pub fn quarantine() -> Posture {
+        let mut p = Posture::default();
+        p.add(SecurityModule::Block(BlockClass::All));
+        p.add(SecurityModule::Mirror);
+        p
+    }
+
+    /// Add a module (idempotent, keeps sorted order).
+    pub fn add(&mut self, module: SecurityModule) -> &mut Self {
+        if let Err(pos) = self.modules.binary_search(&module) {
+            self.modules.insert(pos, module);
+        }
+        self
+    }
+
+    /// Builder-style [`Posture::add`].
+    pub fn with(mut self, module: SecurityModule) -> Posture {
+        self.add(module);
+        self
+    }
+
+    /// Union with another posture.
+    pub fn merge(&mut self, other: &Posture) {
+        for m in &other.modules {
+            self.add(*m);
+        }
+    }
+
+    /// The modules, sorted.
+    pub fn modules(&self) -> &[SecurityModule] {
+        &self.modules
+    }
+
+    /// Whether no modules apply.
+    pub fn is_allow(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Whether the posture contains a module.
+    pub fn contains(&self, module: &SecurityModule) -> bool {
+        self.modules.binary_search(module).is_ok()
+    }
+
+    /// Whether any module blocks all traffic.
+    pub fn blocks_all(&self) -> bool {
+        self.contains(&SecurityModule::Block(BlockClass::All))
+    }
+
+    /// Whether two postures are operationally contradictory (one allows
+    /// everything, the other blocks everything) — used by conflict
+    /// detection on equal-priority rules.
+    pub fn contradicts(&self, other: &Posture) -> bool {
+        (self.is_allow() && other.blocks_all()) || (other.is_allow() && self.blocks_all())
+    }
+}
+
+/// The postures of every device in one state.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct PostureVector {
+    /// Per-device postures. Devices absent from the map are `allow`.
+    pub by_device: BTreeMap<DeviceId, Posture>,
+}
+
+impl PostureVector {
+    /// An empty (all-allow) vector.
+    pub fn new() -> PostureVector {
+        PostureVector::default()
+    }
+
+    /// The posture of a device (allow if unset).
+    pub fn posture(&self, id: DeviceId) -> Posture {
+        self.by_device.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Merge a posture into a device's entry.
+    pub fn merge_into(&mut self, id: DeviceId, posture: &Posture) {
+        self.by_device.entry(id).or_default().merge(posture);
+    }
+
+    /// Devices whose posture differs between `self` (old) and `new` —
+    /// the reconfiguration set the controller must touch.
+    pub fn diff<'a>(&'a self, new: &'a PostureVector) -> Vec<DeviceId> {
+        let mut ids: Vec<DeviceId> = self
+            .by_device
+            .keys()
+            .chain(new.by_device.keys())
+            .copied()
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids.into_iter().filter(|id| self.posture(*id) != new.posture(*id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_idempotent_and_sorted() {
+        let mut p = Posture::allow();
+        p.add(SecurityModule::Mirror);
+        p.add(SecurityModule::PasswordProxy);
+        p.add(SecurityModule::Mirror);
+        assert_eq!(p.modules().len(), 2);
+        let mut sorted = p.modules().to_vec();
+        sorted.sort();
+        assert_eq!(sorted, p.modules());
+    }
+
+    #[test]
+    fn quarantine_blocks_all() {
+        let q = Posture::quarantine();
+        assert!(q.blocks_all());
+        assert!(!q.is_allow());
+        assert!(q.contains(&SecurityModule::Mirror));
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = Posture::of(SecurityModule::PasswordProxy);
+        let b = Posture::of(SecurityModule::Ids { ruleset: 1 });
+        a.merge(&b);
+        assert_eq!(a.modules().len(), 2);
+    }
+
+    #[test]
+    fn contradiction_detection() {
+        assert!(Posture::allow().contradicts(&Posture::quarantine()));
+        assert!(Posture::quarantine().contradicts(&Posture::allow()));
+        assert!(!Posture::of(SecurityModule::Mirror).contradicts(&Posture::quarantine()));
+        assert!(!Posture::allow().contradicts(&Posture::allow()));
+    }
+
+    #[test]
+    fn vector_diff_finds_changes() {
+        let mut old = PostureVector::new();
+        old.merge_into(DeviceId(0), &Posture::of(SecurityModule::PasswordProxy));
+        old.merge_into(DeviceId(1), &Posture::of(SecurityModule::Mirror));
+        let mut new = PostureVector::new();
+        new.merge_into(DeviceId(0), &Posture::of(SecurityModule::PasswordProxy));
+        new.merge_into(DeviceId(1), &Posture::quarantine());
+        new.merge_into(DeviceId(2), &Posture::of(SecurityModule::Mirror));
+        let diff = old.diff(&new);
+        assert_eq!(diff, vec![DeviceId(1), DeviceId(2)]);
+    }
+
+    #[test]
+    fn unset_device_is_allow() {
+        let v = PostureVector::new();
+        assert!(v.posture(DeviceId(9)).is_allow());
+    }
+}

@@ -1,0 +1,328 @@
+//! µmbox lifecycle: instantiation, reconfiguration, teardown.
+//!
+//! §5.2: "we can create custom micro VMs that can be rapidly
+//! booted/rebooted" (the paper cites ClickOS and Jitsu). The lifecycle
+//! model carries the latency constants that make the agility experiment
+//! (E9) meaningful:
+//!
+//! | kind                 | instantiation          | source |
+//! |----------------------|------------------------|--------|
+//! | pooled unikernel     | ~1.5 ms (attach)       | pre-booted pool |
+//! | unikernel cold boot  | ~25 ms                 | ClickOS/Jitsu-class |
+//! | container            | ~300 ms                | docker-class |
+//! | full VM              | ~15 s                  | Ubuntu VM (the paper's own prototype used these) |
+//! | monolithic appliance | ~15 min (procurement/provisioning) | traditional enterprise middlebox |
+//!
+//! Reconfiguration of a running µmbox (ruleset swap, gate retarget) is
+//! in-place and non-disruptive; a full VM must instead be rebooted.
+
+use iotdev::device::DeviceId;
+use iotnet::stats::DurationHist;
+use iotnet::time::{SimDuration, SimTime};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// How a µmbox is realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum VmKind {
+    /// Attach a pre-booted unikernel from the pool.
+    UnikernelPooled,
+    /// Cold-boot a unikernel.
+    Unikernel,
+    /// Start a container.
+    Container,
+    /// Boot a full VM (the paper's own Squid/Snort-in-Ubuntu prototype).
+    FullVm,
+    /// Provision a traditional monolithic appliance (the baseline the
+    /// paper argues against).
+    Monolithic,
+}
+
+impl VmKind {
+    /// Instantiation latency.
+    pub fn boot_latency(self) -> SimDuration {
+        match self {
+            VmKind::UnikernelPooled => SimDuration::from_micros(1_500),
+            VmKind::Unikernel => SimDuration::from_millis(25),
+            VmKind::Container => SimDuration::from_millis(300),
+            VmKind::FullVm => SimDuration::from_secs(15),
+            VmKind::Monolithic => SimDuration::from_secs(900),
+        }
+    }
+
+    /// Reconfiguration latency, and whether reconfiguration interrupts
+    /// service (`true` = traffic dropped during the window).
+    pub fn reconfigure(self) -> (SimDuration, bool) {
+        match self {
+            VmKind::UnikernelPooled | VmKind::Unikernel => (SimDuration::from_micros(800), false),
+            VmKind::Container => (SimDuration::from_millis(5), false),
+            VmKind::FullVm => (SimDuration::from_secs(2), true),
+            VmKind::Monolithic => (SimDuration::from_secs(60), true),
+        }
+    }
+
+    /// Memory footprint in MiB (for the resource model).
+    pub fn footprint_mib(self) -> u32 {
+        match self {
+            VmKind::UnikernelPooled | VmKind::Unikernel => 8,
+            VmKind::Container => 64,
+            VmKind::FullVm => 512,
+            VmKind::Monolithic => 4096,
+        }
+    }
+}
+
+/// Lifecycle state of one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum UmboxState {
+    /// Booting; ready at the stored time.
+    Booting {
+        /// When it becomes ready.
+        ready_at: SimTime,
+    },
+    /// Serving traffic.
+    Running,
+    /// Reconfiguring; if `disruptive`, traffic drops until `done_at`.
+    Reconfiguring {
+        /// When reconfiguration completes.
+        done_at: SimTime,
+        /// Whether traffic is dropped meanwhile.
+        disruptive: bool,
+    },
+    /// Destroyed.
+    Dead,
+}
+
+/// Handle to a managed instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct UmboxId(pub u32);
+
+/// One managed µmbox instance.
+#[derive(Debug, Clone, Serialize)]
+pub struct UmboxInstance {
+    /// Handle.
+    pub id: UmboxId,
+    /// The device it protects.
+    pub device: DeviceId,
+    /// Realization.
+    pub kind: VmKind,
+    /// Current state.
+    pub state: UmboxState,
+    /// Boots performed (reboot-based reconfigs increment this).
+    pub boots: u32,
+    /// In-place reconfigurations performed.
+    pub reconfigs: u32,
+}
+
+impl UmboxInstance {
+    /// Whether the instance serves traffic at `now`.
+    pub fn is_serving(&self, now: SimTime) -> bool {
+        match self.state {
+            UmboxState::Running => true,
+            UmboxState::Booting { ready_at } => now >= ready_at,
+            UmboxState::Reconfiguring { done_at, disruptive } => !disruptive || now >= done_at,
+            UmboxState::Dead => false,
+        }
+    }
+}
+
+/// The lifecycle manager: launch, reconfigure, retire; plus a pool of
+/// pre-booted unikernels.
+#[derive(Debug)]
+pub struct LifecycleManager {
+    instances: HashMap<UmboxId, UmboxInstance>,
+    next_id: u32,
+    /// Pre-booted unikernels available for instant attach.
+    pub pool_available: u32,
+    /// Instantiation latencies observed.
+    pub boot_hist: DurationHist,
+    /// Reconfiguration latencies observed.
+    pub reconfig_hist: DurationHist,
+}
+
+impl LifecycleManager {
+    /// A manager with `pool` pre-booted unikernels.
+    pub fn new(pool: u32) -> LifecycleManager {
+        LifecycleManager {
+            instances: HashMap::new(),
+            next_id: 0,
+            pool_available: pool,
+            boot_hist: DurationHist::new(),
+            reconfig_hist: DurationHist::new(),
+        }
+    }
+
+    /// Launch a µmbox for `device` as `kind` at time `now`. A pooled
+    /// request falls back to a cold unikernel boot when the pool is dry.
+    /// Returns the handle and the time the instance starts serving.
+    pub fn launch(&mut self, device: DeviceId, kind: VmKind, now: SimTime) -> (UmboxId, SimTime) {
+        let effective = if kind == VmKind::UnikernelPooled {
+            if self.pool_available > 0 {
+                self.pool_available -= 1;
+                VmKind::UnikernelPooled
+            } else {
+                VmKind::Unikernel
+            }
+        } else {
+            kind
+        };
+        let latency = effective.boot_latency();
+        self.boot_hist.record(latency);
+        let ready_at = now + latency;
+        let id = UmboxId(self.next_id);
+        self.next_id += 1;
+        self.instances.insert(
+            id,
+            UmboxInstance {
+                id,
+                device,
+                kind: effective,
+                state: UmboxState::Booting { ready_at },
+                boots: 1,
+                reconfigs: 0,
+            },
+        );
+        (id, ready_at)
+    }
+
+    /// Reconfigure an instance at `now`; returns when the new
+    /// configuration is active. Panics on unknown/dead handles (caller
+    /// bug).
+    pub fn reconfigure(&mut self, id: UmboxId, now: SimTime) -> SimTime {
+        let inst = self.instances.get_mut(&id).expect("unknown umbox");
+        assert!(inst.state != UmboxState::Dead, "reconfiguring a dead umbox");
+        let (latency, disruptive) = inst.kind.reconfigure();
+        self.reconfig_hist.record(latency);
+        let done_at = now + latency;
+        inst.state = UmboxState::Reconfiguring { done_at, disruptive };
+        inst.reconfigs += 1;
+        done_at
+    }
+
+    /// Mark booting/reconfiguring instances whose deadline passed as
+    /// running (called from the simulation loop).
+    pub fn advance(&mut self, now: SimTime) {
+        for inst in self.instances.values_mut() {
+            match inst.state {
+                UmboxState::Booting { ready_at } if now >= ready_at => {
+                    inst.state = UmboxState::Running;
+                }
+                UmboxState::Reconfiguring { done_at, .. } if now >= done_at => {
+                    inst.state = UmboxState::Running;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Retire an instance; pooled/unikernel slots return to the pool.
+    pub fn retire(&mut self, id: UmboxId) {
+        if let Some(inst) = self.instances.get_mut(&id) {
+            if matches!(inst.kind, VmKind::UnikernelPooled) {
+                self.pool_available += 1;
+            }
+            inst.state = UmboxState::Dead;
+        }
+    }
+
+    /// Look up an instance.
+    pub fn get(&self, id: UmboxId) -> Option<&UmboxInstance> {
+        self.instances.get(&id)
+    }
+
+    /// Instances currently serving at `now`.
+    pub fn serving_count(&self, now: SimTime) -> usize {
+        self.instances.values().filter(|i| i.is_serving(now)).count()
+    }
+
+    /// All live (non-dead) instances.
+    pub fn live(&self) -> impl Iterator<Item = &UmboxInstance> {
+        self.instances.values().filter(|i| i.state != UmboxState::Dead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_ordering_matches_the_papers_argument() {
+        assert!(VmKind::UnikernelPooled.boot_latency() < VmKind::Unikernel.boot_latency());
+        assert!(VmKind::Unikernel.boot_latency() < VmKind::Container.boot_latency());
+        assert!(VmKind::Container.boot_latency() < VmKind::FullVm.boot_latency());
+        assert!(VmKind::FullVm.boot_latency() < VmKind::Monolithic.boot_latency());
+        // The headline ratio: pooled unikernel vs appliance is ~6 orders.
+        let ratio = VmKind::Monolithic.boot_latency().as_nanos() as f64
+            / VmKind::UnikernelPooled.boot_latency().as_nanos() as f64;
+        assert!(ratio > 1e5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn pooled_launch_is_fast_until_pool_dries() {
+        let mut mgr = LifecycleManager::new(2);
+        let (_, t1) = mgr.launch(DeviceId(0), VmKind::UnikernelPooled, SimTime::ZERO);
+        let (_, t2) = mgr.launch(DeviceId(1), VmKind::UnikernelPooled, SimTime::ZERO);
+        let (id3, t3) = mgr.launch(DeviceId(2), VmKind::UnikernelPooled, SimTime::ZERO);
+        assert_eq!(t1.as_micros(), 1500);
+        assert_eq!(t2.as_micros(), 1500);
+        assert_eq!(t3.as_millis(), 25); // fell back to a cold boot
+        assert_eq!(mgr.get(id3).unwrap().kind, VmKind::Unikernel);
+        assert_eq!(mgr.pool_available, 0);
+    }
+
+    #[test]
+    fn instances_become_running_and_serve() {
+        let mut mgr = LifecycleManager::new(1);
+        let (id, ready) = mgr.launch(DeviceId(0), VmKind::UnikernelPooled, SimTime::ZERO);
+        assert!(!mgr.get(id).unwrap().is_serving(SimTime::ZERO));
+        assert!(mgr.get(id).unwrap().is_serving(ready));
+        mgr.advance(ready);
+        assert_eq!(mgr.get(id).unwrap().state, UmboxState::Running);
+        assert_eq!(mgr.serving_count(ready), 1);
+    }
+
+    #[test]
+    fn nondisruptive_reconfig_keeps_serving() {
+        let mut mgr = LifecycleManager::new(1);
+        let (id, ready) = mgr.launch(DeviceId(0), VmKind::UnikernelPooled, SimTime::ZERO);
+        mgr.advance(ready);
+        let done = mgr.reconfigure(id, ready);
+        // Unikernel reconfig is non-disruptive: serving throughout.
+        assert!(mgr.get(id).unwrap().is_serving(ready + SimDuration::from_micros(1)));
+        mgr.advance(done);
+        assert_eq!(mgr.get(id).unwrap().reconfigs, 1);
+    }
+
+    #[test]
+    fn fullvm_reconfig_has_an_outage_window() {
+        let mut mgr = LifecycleManager::new(0);
+        let (id, ready) = mgr.launch(DeviceId(0), VmKind::FullVm, SimTime::ZERO);
+        mgr.advance(ready);
+        let done = mgr.reconfigure(id, ready);
+        // During the window the full VM drops traffic.
+        assert!(!mgr.get(id).unwrap().is_serving(ready + SimDuration::from_millis(1)));
+        assert!(mgr.get(id).unwrap().is_serving(done));
+    }
+
+    #[test]
+    fn retire_returns_pooled_slots() {
+        let mut mgr = LifecycleManager::new(1);
+        let (id, ready) = mgr.launch(DeviceId(0), VmKind::UnikernelPooled, SimTime::ZERO);
+        assert_eq!(mgr.pool_available, 0);
+        mgr.advance(ready);
+        mgr.retire(id);
+        assert_eq!(mgr.pool_available, 1);
+        assert_eq!(mgr.serving_count(ready), 0);
+        assert_eq!(mgr.live().count(), 0);
+    }
+
+    #[test]
+    fn histograms_record() {
+        let mut mgr = LifecycleManager::new(0);
+        for i in 0..10 {
+            mgr.launch(DeviceId(i), VmKind::Unikernel, SimTime::ZERO);
+        }
+        assert_eq!(mgr.boot_hist.count, 10);
+        assert_eq!(mgr.boot_hist.median().as_millis(), 25);
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 4 of the paper, end to end: the IoT security gateway.
+//!
+//! ```text
+//! cargo run --example security_gateway
+//! ```
+//!
+//! "We use a µmbox (a customized proxy) to serve as a gateway that
+//! interposes on all traffic to the camera. By interposing on traffic,
+//! the µmbox can enforce the use of a new administrator-chosen password
+//! to access the camera's management interface."
+
+use iotsec_repro::iotnet::time::SimDuration;
+use iotsec_repro::iotsec::defense::Defense;
+use iotsec_repro::iotsec::scenario;
+use iotsec_repro::iotsec::world::World;
+
+fn run(defense: Defense, label: &str) {
+    let (deployment, camera) = scenario::figure4(defense);
+    let mut world = World::new(&deployment);
+    world.run_until_attack_done(SimDuration::from_secs(120));
+    let report = world.report();
+
+    println!("--- {label} ---");
+    for outcome in &report.attack_outcomes {
+        println!("  {:<32} {}", outcome.label, if outcome.success { "SUCCEEDED" } else { "blocked" });
+    }
+    println!("  privacy leaked:   {}", report.privacy_leaked.contains(&camera));
+    println!("  proxy intercepts: {}", report.umbox_intercepts);
+    println!("  device untouched: {}\n", !world.device(camera).compromised);
+}
+
+fn main() {
+    println!("== Figure 4: patching an exposed password in the network ==\n");
+    println!("The camera ships with hardcoded admin/admin that the user has");
+    println!("no interface to delete. The attacker runs a default-credential");
+    println!("dictionary and then pulls images and the Wi-Fi config.\n");
+
+    run(Defense::None, "Current world (red lines in the figure)");
+    run(Defense::iotsec(), "With IoTSec (password-proxy umbox)");
+
+    println!("Same firmware, same flaw, same attack — the proxy enforces the");
+    println!("administrator-chosen password, so the burned-in account is dead");
+    println!("on the wire. The device itself was never modified.");
+}

@@ -1,0 +1,50 @@
+//! A full smart home under attack: all seven Table 1 vulnerability
+//! classes in one deployment, swept by one campaign, under each defense.
+//!
+//! ```text
+//! cargo run --example smart_home
+//! ```
+
+use iotsec_repro::iotnet::time::SimDuration;
+use iotsec_repro::iotsec::defense::{Defense, IoTSecConfig};
+use iotsec_repro::iotsec::scenario;
+use iotsec_repro::iotsec::world::World;
+
+fn main() {
+    println!("== Smart home: 11 devices, 7 Table 1 flaws, 1 campaign ==\n");
+    println!(
+        "{:<28} {:>11} {:>7} {:>12} {:>10}",
+        "defense", "compromised", "leaks", "ddos bytes", "steps ok"
+    );
+
+    let defenses: Vec<(&str, Defense)> = vec![
+        ("none", Defense::None),
+        ("perimeter firewall", Defense::Perimeter),
+        ("IoTSec (flat)", Defense::iotsec()),
+        (
+            "IoTSec (hierarchical)",
+            Defense::IoTSec(IoTSecConfig { hierarchical: true, ..IoTSecConfig::default() }),
+        ),
+    ];
+
+    for (label, defense) in defenses {
+        let (deployment, _) = scenario::smart_home(defense, 7);
+        let mut world = World::new(&deployment);
+        world.env.occupied = true;
+        world.run_until_attack_done(SimDuration::from_secs(300));
+        let m = world.report();
+        println!(
+            "{:<28} {:>11} {:>7} {:>12} {:>7}/{}",
+            label,
+            m.compromised.len(),
+            m.privacy_leaked.len(),
+            m.ddos_bytes_at_victim,
+            m.steps_succeeded(),
+            m.attack_outcomes.len(),
+        );
+    }
+
+    println!("\nThe perimeter changes little: every vulnerable device is exposed");
+    println!("through a UPnP pinhole (that is how SHODAN found them). IoTSec's");
+    println!("per-device umboxes absorb the whole sweep.");
+}

@@ -1,0 +1,14 @@
+//! Workspace root crate for the IoTSec reproduction.
+//!
+//! This crate only re-exports the member crates so that the top-level
+//! `examples/` and `tests/` directories can exercise the whole platform
+//! through a single dependency. All functionality lives in the member
+//! crates under `crates/`.
+
+pub use iotctl;
+pub use iotdev;
+pub use iotlearn;
+pub use iotnet;
+pub use iotpolicy;
+pub use iotsec;
+pub use umbox;

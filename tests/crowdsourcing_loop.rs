@@ -1,0 +1,112 @@
+//! The complete §4.1 loop, end to end with real packets:
+//!
+//! 1. Deployment A runs undefended (but mirroring) and gets hit through
+//!    the Wemo cloud backdoor.
+//! 2. A mines a signature from its capture — never sharing the raw
+//!    trace — and publishes it to the crowdsourced repository.
+//! 3. The community votes; the repository publishes.
+//! 4. Deployment B, subscribed to the same SKU, fetches the signature
+//!    and deploys; the *same* campaign dies in B's IDS chain — even
+//!    though B has **no local vulnerability knowledge at all**.
+
+use iotsec_repro::iotdev::proto::ControlAction;
+use iotsec_repro::iotlearn::mine::mine_signatures;
+use iotsec_repro::iotlearn::repo::{RepoConfig, SignatureRepo};
+use iotsec_repro::iotnet::flow::{FlowAction, FlowMatch, FlowRule};
+use iotsec_repro::iotnet::time::{SimDuration, SimTime};
+use iotsec_repro::iotsec::defense::Defense;
+use iotsec_repro::iotsec::deployment::{Deployment, DeviceSetup, StepSpec};
+use iotsec_repro::iotsec::world::World;
+
+fn wemo_deployment(defense: Defense) -> Deployment {
+    let mut d = Deployment::new();
+    // The backdoor is a zero-day: the operator deployed the Wemo
+    // believing it clean, so no local policy anticipates the cloud plane.
+    let wemo = d.device(DeviceSetup::table1_row_undisclosed(7));
+    d.campaign(vec![StepSpec::Cloud(wemo, ControlAction::TurnOff)]);
+    d.defend_with(defense);
+    d
+}
+
+#[test]
+fn attack_observed_at_a_protects_deployment_b() {
+    // ---- 1. Deployment A: undefended, but its router mirrors the
+    //         Wemo's traffic (forensics).
+    let d_a = wemo_deployment(Defense::None);
+    let mut world_a = World::new(&d_a);
+    let wemo_ip = world_a.device(iotsec_repro::iotdev::device::DeviceId(0)).ip;
+    let sku = world_a.device(iotsec_repro::iotdev::device::DeviceId(0)).sku.clone();
+    world_a.net.install_rule(
+        world_a.core_switch(),
+        FlowRule::new(400, FlowMatch::to_host(wemo_ip), FlowAction::Mirror),
+    );
+    world_a.run_until_attack_done(SimDuration::from_secs(60));
+    assert!(world_a.report().campaign_succeeded(), "A must actually be breached");
+    assert!(!world_a.net.capture.is_empty(), "the mirror must have captured the attack");
+
+    // ---- 2. Mine a signature from the capture (not the raw trace).
+    let packets: Vec<_> = world_a.net.capture.iter().map(|c| c.packet.clone()).collect();
+    let mined = mine_signatures(&packets, &sku);
+    assert!(
+        mined.iter().any(|s| s.vuln_id == "cloud-bypass-backdoor"),
+        "mined: {:?}",
+        mined.iter().map(|s| &s.vuln_id).collect::<Vec<_>>()
+    );
+
+    // ---- 3. Publish through the repository with community review.
+    let mut repo = SignatureRepo::new(RepoConfig { quorum: 0.5, ..RepoConfig::default() });
+    let reporter_a = repo.register();
+    let voter = repo.register();
+    let subscriber_b = repo.register();
+    repo.subscribe(subscriber_b, &sku);
+    for sig in mined {
+        if let Some(sub) = repo.submit(reporter_a, sig) {
+            repo.vote(voter, sub, true);
+        }
+    }
+    repo.process(SimTime::ZERO);
+    // B is a free-rider; the incentive lag applies.
+    let fetched = repo.fetch(subscriber_b, SimTime::from_secs(3600));
+    assert!(!fetched.is_empty(), "B must receive the published signature");
+
+    // ---- 4. Deployment B: IoTSec with NO local vulnerability knowledge
+    //         (signatures: false disables the vuln-derived rulesets) —
+    //         only the subscription protects it.
+    let mut d_b = wemo_deployment(Defense::iotsec());
+    d_b.subscribed_signatures = fetched;
+    let mut world_b = World::new(&d_b);
+    world_b.run_until_attack_done(SimDuration::from_secs(60));
+    let m = world_b.report();
+    assert!(!m.campaign_succeeded(), "B must be protected: {:?}", m.attack_outcomes);
+    assert!(m.compromised.is_empty());
+    assert!(m.umbox_drops > 0, "the subscribed IDS must have dropped the backdoor packet");
+
+    // ---- Control: an identical B without the subscription falls to
+    //      the zero-day (IoTSec cannot mitigate a flaw nobody disclosed;
+    //      it can only react after the fact).
+    let d_c = wemo_deployment(Defense::iotsec());
+    let mut world_c = World::new(&d_c);
+    world_c.run_until_attack_done(SimDuration::from_secs(60));
+    let m = world_c.report();
+    assert!(
+        m.attack_outcomes[0].success,
+        "control run should show the unsubscribed deployment losing the first strike: {:?}",
+        m.attack_outcomes
+    );
+}
+
+#[test]
+fn fingerprint_selects_the_signature_feed() {
+    use iotsec_repro::iotdev::proto::{ports, TelemetryKind};
+    use iotsec_repro::iotlearn::fingerprint::{Fingerprint, FingerprintDb};
+
+    // A new device joins deployment B; passive observation fingerprints
+    // it as the backdoored Wemo firmware, which tells B which feed to
+    // subscribe to — SKU granularity, exactly what §4 demands.
+    let db = FingerprintDb::with_table1();
+    let mut observed = Fingerprint::default();
+    observed.serve(ports::MGMT).serve(ports::CONTROL).serve(ports::CLOUD).emit(TelemetryKind::Power);
+    observed.period_s = 5;
+    let id = db.identify(&observed, 0.8).expect("fingerprint should identify the SKU");
+    assert_eq!(id.sku, iotsec_repro::iotdev::registry::Sku::new("belkin", "wemo", "1.1"));
+}

@@ -1,0 +1,89 @@
+//! Enterprise-site integration: the paper's second deployment model —
+//! devices deep inside a multi-switch network with an on-premise NFV
+//! cluster. The "deep inside" part is the point: the attacker may
+//! already be on the LAN (the compromised-handheld-scanner story from
+//! the paper's introduction), where a perimeter firewall sees nothing.
+
+use iotsec_repro::iotdev::proto::MgmtCommand;
+use iotsec_repro::iotnet::time::SimDuration;
+use iotsec_repro::iotsec::defense::{Defense, IoTSecConfig};
+use iotsec_repro::iotsec::deployment::{AttackerLocation, Deployment, DeviceSetup, Site, StepSpec};
+use iotsec_repro::iotsec::world::World;
+
+fn enterprise_deployment(defense: Defense, attacker: AttackerLocation) -> Deployment {
+    let mut d = Deployment::new();
+    d.site = Site::Enterprise { edges: 4 };
+    d.attacker_location = attacker;
+    // A dozen Table 1 cameras spread over four edge switches.
+    let cams: Vec<_> = (0..12).map(|_| d.device(DeviceSetup::table1_row(1))).collect();
+    d.campaign(vec![
+        StepSpec::DictionaryLogin(cams[5]),
+        StepSpec::Mgmt(cams[5], MgmtCommand::GetImage),
+        StepSpec::DictionaryLogin(cams[10]),
+        StepSpec::Mgmt(cams[10], MgmtCommand::GetImage),
+    ]);
+    d.defend_with(defense);
+    d
+}
+
+#[test]
+fn enterprise_devices_span_edge_switches() {
+    let d = enterprise_deployment(Defense::None, AttackerLocation::Wan);
+    let w = World::new(&d);
+    let s0 = w.switch_of(iotsec_repro::iotdev::device::DeviceId(0));
+    let s1 = w.switch_of(iotsec_repro::iotdev::device::DeviceId(1));
+    assert_ne!(s0, s1, "round-robin must spread devices");
+    assert_ne!(s0, w.core_switch());
+}
+
+#[test]
+fn enterprise_undefended_falls_cross_switch() {
+    let mut w = World::new(&enterprise_deployment(Defense::None, AttackerLocation::Wan));
+    w.run_until_attack_done(SimDuration::from_secs(120));
+    let m = w.report();
+    assert!(m.campaign_succeeded(), "{:?}", m.attack_outcomes);
+    assert_eq!(m.privacy_leaked.len(), 2);
+}
+
+#[test]
+fn lan_attacker_walks_through_the_perimeter() {
+    // The perimeter firewall guards the WAN port; an attacker already on
+    // an edge switch never crosses it. This is the paper's "devices are
+    // deep inside networks" argument.
+    let mut w = World::new(&enterprise_deployment(Defense::Perimeter, AttackerLocation::Lan));
+    w.run_until_attack_done(SimDuration::from_secs(120));
+    let m = w.report();
+    assert!(m.campaign_succeeded(), "{:?}", m.attack_outcomes);
+    assert!(!m.privacy_leaked.is_empty());
+}
+
+#[test]
+fn iotsec_protects_against_the_insider_too() {
+    // Per-device µmboxes sit at the first hop, so LAN-resident attackers
+    // hit them exactly like remote ones.
+    let mut w = World::new(&enterprise_deployment(Defense::iotsec(), AttackerLocation::Lan));
+    w.run_until_attack_done(SimDuration::from_secs(120));
+    let m = w.report();
+    assert!(!m.campaign_succeeded(), "{:?}", m.attack_outcomes);
+    assert!(m.privacy_leaked.is_empty());
+    assert!(m.umbox_drops + m.umbox_intercepts > 0);
+}
+
+#[test]
+fn enterprise_cluster_hosts_heavy_umboxes() {
+    // The on-premise cluster (4 × 8 GiB) hosts full-VM µmboxes for all
+    // twelve devices — the home router could only fit four.
+    let mut d = enterprise_deployment(
+        Defense::IoTSec(IoTSecConfig {
+            vm_kind: iotsec_repro::umbox::lifecycle::VmKind::FullVm,
+            ..IoTSecConfig::default()
+        }),
+        AttackerLocation::Wan,
+    );
+    // Give the VMs time to boot before the strikes.
+    d.campaign.insert(0, StepSpec::Wait(SimDuration::from_secs(30)));
+    let mut w = World::new(&d);
+    w.run_until_attack_done(SimDuration::from_secs(300));
+    let m = w.report();
+    assert!(m.privacy_leaked.is_empty(), "{}", m.summary());
+}

@@ -1,0 +1,156 @@
+//! End-to-end learning pipeline (§4): an attack observed at one
+//! deployment becomes a crowdsourced signature that protects another —
+//! plus the model-based fuzz → attack-graph → policy loop.
+
+use iotsec_repro::iotdev::classes::PlugLoad;
+use iotsec_repro::iotdev::device::DeviceClass;
+use iotsec_repro::iotdev::env::EnvVar;
+use iotsec_repro::iotdev::model::AbstractModel;
+use iotsec_repro::iotdev::registry::Sku;
+use iotsec_repro::iotlearn::attack_graph::{breakin_deployment, AttackGraph, Fact};
+use iotsec_repro::iotlearn::fuzz::{fuzz_interactions, ground_truth, Strategy};
+use iotsec_repro::iotlearn::repo::{RepoConfig, SignatureRepo};
+use iotsec_repro::iotlearn::signature::{AttackSignature, Matcher, Severity};
+use iotsec_repro::iotnet::time::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn crowdsourced_signature_protects_a_second_deployment() {
+    // Deployment A observes the Wemo backdoor and publishes a signature.
+    let sku = Sku::new("belkin", "wemo", "1.1");
+    let mut repo = SignatureRepo::new(RepoConfig { quorum: 1.0, ..RepoConfig::default() });
+    let deployment_a = repo.register();
+    let deployment_b = repo.register();
+    let voter1 = repo.register();
+    let voter2 = repo.register();
+    repo.subscribe(deployment_b, &sku);
+
+    let observed = AttackSignature::new(sku.clone(), "cloud-bypass-backdoor", Matcher::CloudCommand, Severity::High);
+    let sub = repo.submit(deployment_a, observed).unwrap();
+    repo.vote(voter1, sub, true);
+    repo.vote(voter2, sub, true);
+    let published = repo.process(SimTime::from_secs(10));
+    assert_eq!(published.len(), 1);
+
+    // Deployment B is a free-rider: it sees the signature only after the
+    // lag; then its IDS blocks the backdoor packet.
+    assert!(repo.fetch(deployment_b, SimTime::from_secs(10)).is_empty());
+    let sigs = repo.fetch(deployment_b, SimTime::from_secs(10 + 3601));
+    assert_eq!(sigs.len(), 1);
+
+    use iotsec_repro::iotdev::proto::{ports, AppMessage, ControlAction};
+    use iotsec_repro::iotnet::addr::{Ipv4Addr, MacAddr};
+    use iotsec_repro::iotnet::packet::{Packet, TransportHeader};
+    use iotsec_repro::umbox::element::Element;
+    use iotsec_repro::umbox::ids::SigIds;
+
+    let mut ids = SigIds::new(iotsec_repro::iotdev::device::DeviceId(0), sigs);
+    let backdoor_pkt = Packet::new(
+        MacAddr::from_index(9),
+        MacAddr::from_index(1),
+        Ipv4Addr::new(100, 64, 0, 9),
+        Ipv4Addr::new(10, 0, 0, 5),
+        TransportHeader::tcp(40000, ports::CLOUD, 0, Default::default()),
+        AppMessage::CloudCommand { action: ControlAction::TurnOff }.encode(),
+    );
+    let out = ids.process(SimTime::ZERO, backdoor_pkt);
+    assert!(out.packet.is_none(), "deployment B's IDS must drop the backdoor");
+    assert_eq!(ids.matches, 1);
+}
+
+#[test]
+fn poisoning_campaign_is_contained_by_reputation() {
+    // 20 honest reporters, 8 poisoners. Poisoners submit match-all
+    // "signatures" (a DoS if published) and downvote honest submissions.
+    let sku = Sku::new("belkin", "wemo", "1.0");
+    let mut repo = SignatureRepo::new(RepoConfig::default());
+    let honest: Vec<_> = (0..20).map(|_| repo.register()).collect();
+    let poison: Vec<_> = (0..8).map(|_| repo.register()).collect();
+
+    for round in 0..5u64 {
+        // Poisoners spam garbage.
+        for p in &poison {
+            repo.submit(
+                *p,
+                AttackSignature::new(sku.clone(), "fake", Matcher::MatchAll, Severity::High),
+            );
+        }
+        // One honest report per round, honestly voted.
+        let sub = repo
+            .submit(
+                honest[round as usize],
+                AttackSignature::new(
+                    sku.clone(),
+                    "open-dns-resolver",
+                    Matcher::RecursiveDnsFromExternal,
+                    Severity::Medium,
+                ),
+            )
+            .unwrap();
+        for h in &honest[10..] {
+            repo.vote(*h, sub, true);
+        }
+        for p in &poison {
+            repo.vote(*p, sub, false);
+        }
+        let published = repo.process(SimTime::from_secs(round * 60));
+        for sig in published {
+            // Ground truth: only the honest signature class is valid.
+            repo.resolve(sig.id, sig.vuln_id == "open-dns-resolver");
+        }
+    }
+    // No match-all garbage survived, honest signatures did.
+    assert_eq!(repo.published_bad, 0);
+    assert!(repo.published_count() >= 3, "published {}", repo.published_count());
+    // Poisoners' reputations collapsed below the voting floor.
+    for p in &poison {
+        assert!(repo.reputation(*p) < 0.2, "poisoner rep {}", repo.reputation(*p));
+    }
+}
+
+#[test]
+fn fuzz_discovers_couplings_that_the_attack_graph_weaponizes() {
+    // The §4.2 pipeline: abstract models → fuzz for interactions →
+    // attack-graph search for a multi-stage path.
+    let models = vec![
+        AbstractModel::for_device(DeviceClass::SmartPlug, Some(PlugLoad::AirConditioner)),
+        AbstractModel::for_device(DeviceClass::Thermostat, None),
+        AbstractModel::for_device(DeviceClass::WindowActuator, None),
+        AbstractModel::for_device(DeviceClass::FireAlarm, None),
+    ];
+    let truth = ground_truth(&models);
+    let result = fuzz_interactions(&models, 5_000, Strategy::CoverageGuided, &mut StdRng::seed_from_u64(2));
+    assert!(result.recall(&truth) >= 1.0);
+    // The plug→thermostat coupling the fuzzer found is exactly the edge
+    // the break-in attack graph rides.
+    let (specs, recipes) = breakin_deployment();
+    let graph = AttackGraph::build(specs, recipes);
+    let path = graph.find_attack(Fact::Env(EnvVar::Window, "open")).expect("break-in path");
+    assert!(path.stages() >= 3);
+}
+
+#[test]
+fn anomaly_detector_flags_reflection_traffic() {
+    use iotsec_repro::iotlearn::anomaly::{AnomalyConfig, AnomalyDetector, Plane, Window};
+    use iotsec_repro::iotnet::addr::Ipv4Addr;
+
+    let dev = iotsec_repro::iotdev::device::DeviceId(0);
+    let mut det = AnomalyDetector::new(AnomalyConfig::default());
+    // Train on normal Wemo behaviour: light telemetry to the hub.
+    for _ in 0..100 {
+        let mut w = Window::default();
+        for _ in 0..3 {
+            w.record(Plane::Telemetry, Ipv4Addr::new(10, 0, 200, 1));
+        }
+        det.train(dev, "present", &w);
+    }
+    det.seal();
+    // A reflection burst: hundreds of DNS messages to a spoofed address.
+    let mut attack = Window::default();
+    for _ in 0..200 {
+        attack.record(Plane::Dns, Ipv4Addr::new(203, 0, 113, 50));
+    }
+    let verdict = det.score(dev, "present", &attack);
+    assert!(verdict.flagged, "{verdict:?}");
+}

@@ -40,7 +40,8 @@ fn bench_flat_vs_hier(c: &mut Criterion) {
     for n in [50u32, 200] {
         group.bench_with_input(BenchmarkId::new("flat", n), &n, |b, &n| {
             b.iter(|| {
-                let mut ctl = Controller::new(policy(n), ControllerConfig::default(), ViewHandle::new());
+                let mut ctl =
+                    Controller::new(policy(n), ControllerConfig::default(), ViewHandle::new());
                 ctl.reconcile(SimTime::ZERO);
                 for e in burst(n) {
                     ctl.ingest(e);

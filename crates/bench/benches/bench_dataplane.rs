@@ -95,5 +95,11 @@ fn bench_world_tick(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_flow_lookup, bench_end_to_end_delivery, bench_world_tick);
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_flow_lookup,
+    bench_end_to_end_delivery,
+    bench_world_tick
+);
 criterion_main!(benches);

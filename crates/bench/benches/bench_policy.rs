@@ -28,10 +28,11 @@ fn bench_evaluate(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy_evaluate");
     for n in [10u32, 50, 100, 500] {
         let p = policy(n);
-        let state = p
-            .schema
-            .initial_state()
-            .with_context(&p.schema, DeviceId(0), SecurityContext::Suspicious);
+        let state = p.schema.initial_state().with_context(
+            &p.schema,
+            DeviceId(0),
+            SecurityContext::Suspicious,
+        );
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| std::hint::black_box(p.evaluate(&state)));
         });
@@ -63,8 +64,7 @@ fn bench_table2_generation(c: &mut Criterion) {
 fn bench_conflict_scan(c: &mut Criterion) {
     let pool = default_target_pool();
     let mut rng = StdRng::seed_from_u64(7);
-    let recipes: Vec<_> =
-        table2_corpus(&pool, &mut rng).into_iter().flat_map(|(_, r)| r).collect();
+    let recipes: Vec<_> = table2_corpus(&pool, &mut rng).into_iter().flat_map(|(_, r)| r).collect();
     c.bench_function("conflict_scan_478_recipes", |b| {
         b.iter(|| std::hint::black_box(iotpolicy::conflict::find_recipe_conflicts(&recipes).len()));
     });

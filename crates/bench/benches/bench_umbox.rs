@@ -44,6 +44,7 @@ fn cfg(sigs: usize) -> ChainConfig {
             .collect(),
         view: ViewHandle::new(),
         events: EventSink::new(),
+        failure_mode: umbox::chain::FailureMode::FailOpen,
     }
 }
 

@@ -6,7 +6,10 @@
 //! cargo run --release -p iotsec-bench --bin experiments table1   # one
 //! ```
 
-use iotsec_bench::{exp_anomaly, exp_crowd, exp_ctl, exp_models, exp_pipeline, exp_policy, exp_umbox, exp_world};
+use iotsec_bench::{
+    exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_models, exp_pipeline, exp_policy, exp_umbox,
+    exp_world,
+};
 
 const SEED: u64 = 20151116; // HotNets '15, November 16
 
@@ -36,15 +39,38 @@ fn run(id: &str) -> bool {
         "anomaly" | "e12" => exp_anomaly::anomaly(SEED).print(),
         "mining" | "e13" => exp_pipeline::mining().print(),
         "fingerprinting" | "e14" => exp_pipeline::fingerprinting(SEED).print(),
+        "chaos" | "e15" => {
+            for t in exp_chaos::chaos(SEED) {
+                t.print();
+            }
+        }
         _ => return false,
     }
     true
 }
 
 const ALL: &[&str] = &[
-    "table1", "table2", "fig3", "fig4", "fig5", "state_space", "state_space_ablation",
-    "conflicts", "crowd", "coverage", "fuzz", "attack_graph", "control_plane", "consistency",
-    "umbox_agility", "dataplane", "endtoend", "anomaly", "mining", "fingerprinting",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "state_space",
+    "state_space_ablation",
+    "conflicts",
+    "crowd",
+    "coverage",
+    "fuzz",
+    "attack_graph",
+    "control_plane",
+    "consistency",
+    "umbox_agility",
+    "dataplane",
+    "endtoend",
+    "anomaly",
+    "mining",
+    "fingerprinting",
+    "chaos",
 ];
 
 fn main() {

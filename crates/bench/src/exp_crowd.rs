@@ -189,10 +189,7 @@ mod tests {
         // fraction of the valid stream (vs. hundreds without defenses).
         let out = run_crowd(100, 0.2, 40, RepoConfig::default(), 1);
         assert!(out.published_valid > 20, "{out:?}");
-        assert!(
-            (out.published_bad as f64) < 0.25 * out.published_valid as f64,
-            "{out:?}"
-        );
+        assert!((out.published_bad as f64) < 0.25 * out.published_valid as f64, "{out:?}");
     }
 
     #[test]

@@ -119,11 +119,7 @@ pub fn consistency() -> Table {
                 admitted += 1;
             }
         }
-        t.rowd(&[
-            format!("{propagation}"),
-            format!("{propagation}"),
-            admitted.to_string(),
-        ]);
+        t.rowd(&[format!("{propagation}"), format!("{propagation}"), admitted.to_string()]);
     }
     t
 }

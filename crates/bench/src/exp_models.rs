@@ -129,8 +129,7 @@ pub fn attack_graph(seed: u64) -> Table {
         "E6: attack-graph search for multi-stage physical-breach paths",
         &["devices", "deployments", "goal reachable", "avg stages", "max stages"],
     );
-    let goals =
-        [Fact::Env(EnvVar::Window, "open"), Fact::Env(EnvVar::Door, "unlocked")];
+    let goals = [Fact::Env(EnvVar::Window, "open"), Fact::Env(EnvVar::Door, "unlocked")];
     for n in [5usize, 10, 20, 40] {
         let mut reachable = 0;
         let mut stages_sum = 0usize;

@@ -29,8 +29,16 @@ fn pkt(src: Ipv4Addr, dst_port: u16, msg: &AppMessage) -> Packet {
 fn attack_window(row: u8) -> Vec<Packet> {
     match row {
         1 => vec![
-            pkt(WAN, ports::MGMT, &AppMessage::MgmtLogin { user: "admin".into(), pass: "admin".into() }),
-            pkt(WAN, ports::MGMT, &AppMessage::MgmtLogin { user: "admin".into(), pass: "1234".into() }),
+            pkt(
+                WAN,
+                ports::MGMT,
+                &AppMessage::MgmtLogin { user: "admin".into(), pass: "admin".into() },
+            ),
+            pkt(
+                WAN,
+                ports::MGMT,
+                &AppMessage::MgmtLogin { user: "admin".into(), pass: "1234".into() },
+            ),
         ],
         2 | 3 => vec![pkt(
             WAN,
@@ -55,7 +63,11 @@ fn attack_window(row: u8) -> Vec<Packet> {
             ports::DNS,
             &AppMessage::DnsQuery { name: "amp.example".into(), recursion: true },
         )],
-        7 => vec![pkt(WAN, ports::CLOUD, &AppMessage::CloudCommand { action: ControlAction::TurnOn })],
+        7 => vec![pkt(
+            WAN,
+            ports::CLOUD,
+            &AppMessage::CloudCommand { action: ControlAction::TurnOn },
+        )],
         _ => unreachable!(),
     }
 }
@@ -184,7 +196,10 @@ fn db_reference(_db: &FingerprintDb, row: u8) -> Fingerprint {
             f.period_s = 5;
         }
         7 => {
-            f.serve(ports::MGMT).serve(ports::CONTROL).serve(ports::CLOUD).emit(TelemetryKind::Power);
+            f.serve(ports::MGMT)
+                .serve(ports::CONTROL)
+                .serve(ports::CLOUD)
+                .emit(TelemetryKind::Power);
             f.period_s = 5;
         }
         _ => unreachable!(),

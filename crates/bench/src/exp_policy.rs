@@ -27,9 +27,9 @@ pub fn table2(seed: u64) -> Table {
             Table2Anchor::WemoInsight => "Wemo Insight",
             Table2Anchor::ScoutAlarm => "Scout Alarm",
         };
-        let round_trip_ok = recipes
-            .iter()
-            .all(|r| iotpolicy::recipe::parse(r.id, &r.to_text()).map(|p| p == *r).unwrap_or(false));
+        let round_trip_ok = recipes.iter().all(|r| {
+            iotpolicy::recipe::parse(r.id, &r.to_text()).map(|p| p == *r).unwrap_or(false)
+        });
         let conflicts = find_recipe_conflicts(recipes).len();
         t.rowd(&[
             name.to_string(),
@@ -70,16 +70,22 @@ fn policy_for(n_devices: u32, coupled_pairs: u32) -> iotpolicy::policy::FsmPolic
 pub fn state_space() -> Table {
     let mut t = Table::new(
         "E1: state-space explosion vs independence pruning",
-        &["devices", "coupled pairs", "raw |S|", "pruned (factored)", "reduction", "posture classes"],
+        &[
+            "devices",
+            "coupled pairs",
+            "raw |S|",
+            "pruned (factored)",
+            "reduction",
+            "posture classes",
+        ],
     );
     for n in [2u32, 4, 6, 8, 10, 12, 14] {
         let pairs = n / 4;
         let policy = policy_for(n, pairs);
         let f = factor(&policy);
         let raw = policy.schema.size();
-        let classes = collapse_count(&policy, 1 << 20)
-            .map(|c| c.to_string())
-            .unwrap_or_else(|| "-".into());
+        let classes =
+            collapse_count(&policy, 1 << 20).map(|c| c.to_string()).unwrap_or_else(|| "-".into());
         t.rowd(&[
             n.to_string(),
             pairs.to_string(),

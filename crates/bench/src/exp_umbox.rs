@@ -20,7 +20,13 @@ use umbox::resource::Cluster;
 pub fn umbox_agility() -> Table {
     let mut t = Table::new(
         "E9: umbox agility — instantiation / reconfiguration latency and router capacity",
-        &["realization", "instantiate", "reconfigure", "service drop during reconfig", "fit on IoT router"],
+        &[
+            "realization",
+            "instantiate",
+            "reconfigure",
+            "service drop during reconfig",
+            "fit on IoT router",
+        ],
     );
     for kind in [
         VmKind::UnikernelPooled,
@@ -76,6 +82,7 @@ fn chain_cfg(signatures: usize) -> ChainConfig {
             .collect(),
         view: ViewHandle::new(),
         events: EventSink::new(),
+        failure_mode: umbox::chain::FailureMode::FailOpen,
     }
 }
 
@@ -124,9 +131,10 @@ pub fn dataplane() -> Table {
     // Per-device customization vs the monolithic perimeter box: a device
     // chain carries only its SKU's 7 rules; the enterprise IDS carries
     // every SKU's rules (7 rules × 500 SKUs).
-    for (label, sigs) in
-        [("per-device IDS (7 rules, its SKU only)", 7usize), ("monolithic perimeter IDS (3500 rules)", 3500)]
-    {
+    for (label, sigs) in [
+        ("per-device IDS (7 rules, its SKU only)", 7usize),
+        ("monolithic perimeter IDS (3500 rules)", 3500),
+    ] {
         let cfg = chain_cfg(sigs);
         let mut chain = build_chain(&Posture::of(SecurityModule::Ids { ruleset: 1 }), &cfg);
         let v = chain.run(SimTime::ZERO, telemetry_packet());

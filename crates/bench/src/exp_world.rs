@@ -87,7 +87,13 @@ pub fn figure4() -> Table {
 pub fn figure5() -> Table {
     let mut t = Table::new(
         "F5: Figure 5 — allow ON to the Wemo only when somebody is home",
-        &["defense", "backdoor OFF landed", "backdoor ON landed", "attacker controls power", "umbox drops"],
+        &[
+            "defense",
+            "backdoor OFF landed",
+            "backdoor ON landed",
+            "attacker controls power",
+            "umbox drops",
+        ],
     );
     for defense in [Defense::None, Defense::Perimeter, Defense::iotsec()] {
         let label = defense_label(&defense);
@@ -113,7 +119,13 @@ pub fn figure5() -> Table {
 pub fn figure3() -> Table {
     let mut t = Table::new(
         "F3: Figure 3 — FSM policy: backdoor on the alarm blocks 'open' to the window",
-        &["defense", "backdoor touched", "window open sent", "window ended open", "physical breach"],
+        &[
+            "defense",
+            "backdoor touched",
+            "window open sent",
+            "window ended open",
+            "physical breach",
+        ],
     );
     for defense in [Defense::None, Defense::iotsec()] {
         let label = defense_label(&defense);
@@ -199,7 +211,10 @@ mod tests {
         assert!(s.matches("EXPLOITED").count() >= 13, "{s}");
         for line in s.lines().filter(|l| l.starts_with("| ")) {
             if line.contains("EXPLOITED") || line.contains("protected") {
-                assert!(line.trim_end().ends_with("protected |"), "iotsec column must protect: {line}");
+                assert!(
+                    line.trim_end().ends_with("protected |"),
+                    "iotsec column must protect: {line}"
+                );
             }
         }
     }

@@ -18,11 +18,13 @@
 //! | E9, E10 | [`exp_umbox`] |
 //! | E12 | [`exp_anomaly`] |
 //! | E13, E14 | [`exp_pipeline`] |
+//! | E15 | [`exp_chaos`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exp_anomaly;
+pub mod exp_chaos;
 pub mod exp_crowd;
 pub mod exp_ctl;
 pub mod exp_models;

@@ -5,6 +5,7 @@
 //! (a campaign written against device ids, resolved to addresses when
 //! the world is built), and *what defends* (a [`crate::Defense`]).
 
+use crate::chaos::ChaosConfig;
 use crate::defense::Defense;
 use iotdev::classes::PlugLoad;
 use iotdev::device::{DeviceClass, DeviceId};
@@ -49,7 +50,13 @@ impl DeviceSetup {
     pub fn table1_row(row: u8) -> DeviceSetup {
         let reg = iotdev::registry::SkuRegistry::table1();
         let e = reg.by_row(row).expect("rows are 1..=7").clone();
-        DeviceSetup { class: e.class, sku: e.sku, vulns: e.vulns, undisclosed: Vec::new(), load: None }
+        DeviceSetup {
+            class: e.class,
+            sku: e.sku,
+            vulns: e.vulns,
+            undisclosed: Vec::new(),
+            load: None,
+        }
     }
 
     /// The same Table 1 device, but with its flaw *undisclosed* — the
@@ -169,6 +176,9 @@ pub struct Deployment {
     pub seed: u64,
     /// Simulation tick.
     pub tick: SimDuration,
+    /// Fault schedule, if this is a chaos run. `None` keeps the legacy
+    /// fault-free semantics bit-for-bit.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for Deployment {
@@ -187,6 +197,7 @@ impl Default for Deployment {
             pre_stolen_keys: Vec::new(),
             seed: 42,
             tick: SimDuration::from_millis(100),
+            chaos: None,
         }
     }
 }
@@ -231,6 +242,12 @@ impl Deployment {
     /// Add a Figure 3-style protection pair.
     pub fn protect(&mut self, watched: DeviceId, protected: DeviceId) -> &mut Self {
         self.protect_pairs.push((watched, protected));
+        self
+    }
+
+    /// Attach a fault schedule (makes this a chaos run).
+    pub fn chaos(&mut self, chaos: ChaosConfig) -> &mut Self {
+        self.chaos = Some(chaos);
         self
     }
 

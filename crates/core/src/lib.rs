@@ -18,6 +18,9 @@
 //!   and IoTSec itself (flat or hierarchical control plane).
 //! * [`metrics`] — ground-truth outcome accounting (compromises, privacy
 //!   leaks, physical breaches, DDoS bytes, blocked attacks).
+//! * [`chaos`] — deterministic fault schedules: link flaps, loss bursts,
+//!   µmbox crashes with watchdog respawn, controller outages/failover,
+//!   and the fail-open/fail-closed degradation semantics (E15).
 //! * [`scenario`] — canned scenarios reproducing the paper's Figures 3–5
 //!   and Table 1, used by the examples, the integration tests and the
 //!   benchmark harness.
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod defense;
 pub mod deployment;
 pub mod hub;
@@ -59,6 +63,7 @@ pub mod metrics;
 pub mod scenario;
 pub mod world;
 
+pub use chaos::ChaosConfig;
 pub use defense::{Defense, IoTSecConfig};
 pub use deployment::{AttackerLocation, Deployment, DeviceSetup, StepSpec};
 pub use metrics::{CampaignReport, Metrics};

@@ -5,11 +5,12 @@
 //! with nobody home. These are the rows of the Table 1 / end-to-end
 //! experiment outputs.
 
+use iotctl::delivery::DeliveryStats;
 use iotdev::attacker::AttackOutcome;
 use iotdev::device::DeviceId;
-use iotnet::time::SimTime;
+use iotnet::time::{SimDuration, SimTime};
 use serde::Serialize;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Aggregated outcome of one simulated run.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -42,6 +43,27 @@ pub struct Metrics {
     pub attack_outcomes: Vec<AttackOutcome>,
     /// Recipes the hub fired.
     pub recipes_fired: u64,
+    /// Per-device cumulative time the device sat without effective
+    /// protection: its chain's instance down, or its security events
+    /// arriving while the control plane was down (chaos runs only).
+    pub unprotected: BTreeMap<DeviceId, SimDuration>,
+    /// Cumulative downtime spent in fail-open mode — windows where
+    /// traffic crossed a down chain unfiltered.
+    pub fail_open_exposure: SimDuration,
+    /// Packets a down chain passed unfiltered (fail-open).
+    pub missed_blocks: u64,
+    /// Packets a down chain dropped outright (fail-closed).
+    pub fail_closed_drops: u64,
+    /// µmbox crash events injected.
+    pub umbox_crashes: u64,
+    /// µmbox instances the watchdog respawned.
+    pub umbox_respawns: u64,
+    /// Standby promotions the replicated control plane performed.
+    pub controller_failovers: u64,
+    /// Network faults the scheduler applied.
+    pub faults_injected: u64,
+    /// Directive-delivery channel counters (chaos runs only).
+    pub delivery: DeliveryStats,
 }
 
 impl Metrics {
@@ -53,6 +75,15 @@ impl Metrics {
     /// How many campaign steps succeeded.
     pub fn steps_succeeded(&self) -> usize {
         self.attack_outcomes.iter().filter(|o| o.success).count()
+    }
+
+    /// Total unprotected time summed over every device.
+    pub fn unprotected_total(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for d in self.unprotected.values() {
+            total += *d;
+        }
+        total
     }
 
     /// A one-line summary for reports.

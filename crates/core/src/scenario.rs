@@ -39,9 +39,7 @@ pub fn figure4(defense: Defense) -> (Deployment, DeviceId) {
 /// `(deployment, wemo, camera)`.
 pub fn figure5(defense: Defense) -> (Deployment, DeviceId, DeviceId) {
     let mut d = Deployment::new();
-    let wemo = d.device(
-        DeviceSetup::table1_row(7).powering(PlugLoad::Oven),
-    );
+    let wemo = d.device(DeviceSetup::table1_row(7).powering(PlugLoad::Oven));
     let cam = d.device(DeviceSetup::clean(DeviceClass::Camera));
     let _oven = d.device(DeviceSetup::clean(DeviceClass::Oven));
     d.gate(wemo, EnvVar::Occupancy, "present");
@@ -86,9 +84,7 @@ pub fn figure3(defense: Defense) -> (Deployment, DeviceId, DeviceId) {
 /// `(deployment, plug, window)`.
 pub fn breakin_chain(defense: Defense) -> (Deployment, DeviceId, DeviceId) {
     let mut d = Deployment::new();
-    let plug = d.device(
-        DeviceSetup::table1_row(7).powering(PlugLoad::AirConditioner),
-    );
+    let plug = d.device(DeviceSetup::table1_row(7).powering(PlugLoad::AirConditioner));
     let thermostat = d.device(DeviceSetup::clean(DeviceClass::Thermostat));
     let window = d.device(DeviceSetup::clean(DeviceClass::WindowActuator));
     let _ = thermostat;
@@ -155,7 +151,8 @@ pub fn table1_row(row: u8, defense: Defense) -> (Deployment, DeviceId) {
 pub fn smart_home(defense: Defense, seed: u64) -> (Deployment, Vec<DeviceId>) {
     let mut d = Deployment::new();
     d.seed = seed;
-    let vulnerable: Vec<DeviceId> = (1..=7).map(|row| d.device(DeviceSetup::table1_row(row))).collect();
+    let vulnerable: Vec<DeviceId> =
+        (1..=7).map(|row| d.device(DeviceSetup::table1_row(row))).collect();
     let bulb = d.device(DeviceSetup::clean(DeviceClass::LightBulb));
     let motion = d.device(DeviceSetup::clean(DeviceClass::MotionSensor));
     let lock = d.device(DeviceSetup::clean(DeviceClass::SmartLock));

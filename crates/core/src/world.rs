@@ -6,10 +6,16 @@
 //! FSMs, physics, the hub and the attacker; the packet-level event
 //! engine runs at full resolution between ticks.
 
+use crate::chaos::ChaosConfig;
 use crate::defense::{upnp_pinholes, Defense, IoTSecConfig};
 use crate::deployment::{AttackerLocation, Deployment, StepSpec};
 use crate::hub::Hub;
 use crate::metrics::Metrics;
+use iotctl::controller::{Controller, ControllerConfig};
+use iotctl::delivery::DeliveryChannel;
+use iotctl::directive::Directive;
+use iotctl::failover::ReplicatedController;
+use iotctl::hier::{HierarchicalController, Partitioning};
 use iotdev::attacker::{AttackPlan, AttackStep, Attacker, AttackerEmit};
 use iotdev::classes::DeviceLogic;
 use iotdev::device::{AdminCreds, DeviceId, DeviceOutput, IoTDevice, OutMessage};
@@ -18,10 +24,8 @@ use iotdev::events::SecurityEvent;
 use iotdev::proto::AppMessage;
 use iotdev::vuln::Vulnerability;
 use iotlearn::signature::{AttackSignature, Matcher, Severity};
-use iotctl::controller::{Controller, ControllerConfig};
-use iotctl::directive::Directive;
-use iotctl::hier::{HierarchicalController, Partitioning};
-use iotnet::addr::{EndpointId, Ipv4Addr, SwitchId};
+use iotnet::addr::{EndpointId, Ipv4Addr, NodeId, SwitchId};
+use iotnet::faults::FaultScheduler;
 use iotnet::flow::{FlowAction, FlowMatch, FlowRule, SteerId};
 use iotnet::link::LinkParams;
 use iotnet::net::{InlineProcessor, InlineVerdict, Network};
@@ -30,10 +34,12 @@ use iotnet::time::{SimDuration, SimTime};
 use iotnet::topology::TopologyBuilder;
 use iotpolicy::compile::PolicyCompiler;
 use iotpolicy::posture::Posture;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
-use umbox::chain::{build_chain, ChainConfig, UmboxChain};
+use umbox::chain::{build_chain, ChainConfig, FailureMode, UmboxChain};
 use umbox::element::{EventSink, ViewHandle};
 use umbox::lifecycle::{LifecycleManager, UmboxId};
 use umbox::resource::Cluster;
@@ -64,6 +70,8 @@ impl InlineProcessor for SharedChain {
 enum ControlPlane {
     Flat(Box<Controller>),
     Hier(Box<HierarchicalController>),
+    /// A flat controller paired with a warm standby (chaos runs).
+    Replicated(Box<ReplicatedController>),
 }
 
 impl ControlPlane {
@@ -71,6 +79,7 @@ impl ControlPlane {
         match self {
             ControlPlane::Flat(c) => c.ingest(event),
             ControlPlane::Hier(h) => h.ingest(event),
+            ControlPlane::Replicated(r) => r.ingest(event),
         }
     }
 
@@ -78,6 +87,7 @@ impl ControlPlane {
         match self {
             ControlPlane::Flat(c) => c.ingest_env(at, values),
             ControlPlane::Hier(h) => h.ingest_env(at, values),
+            ControlPlane::Replicated(r) => r.ingest_env(at, values),
         }
     }
 
@@ -85,6 +95,7 @@ impl ControlPlane {
         match self {
             ControlPlane::Flat(c) => c.step(now),
             ControlPlane::Hier(h) => h.step(now),
+            ControlPlane::Replicated(r) => r.step(now),
         }
     }
 
@@ -92,6 +103,7 @@ impl ControlPlane {
         match self {
             ControlPlane::Flat(c) => c.reconcile(now),
             ControlPlane::Hier(h) => h.reconcile(now),
+            ControlPlane::Replicated(r) => r.reconcile(now),
         }
     }
 
@@ -99,6 +111,33 @@ impl ControlPlane {
         match self {
             ControlPlane::Flat(c) => c.stats.events_processed,
             ControlPlane::Hier(h) => h.total_processed(),
+            ControlPlane::Replicated(r) => r.events_processed(),
+        }
+    }
+
+    /// Whether the control plane can process work right now.
+    fn is_down(&self, now: SimTime) -> bool {
+        match self {
+            ControlPlane::Flat(c) => c.is_down(now),
+            ControlPlane::Hier(_) => false,
+            ControlPlane::Replicated(r) => r.is_down(now),
+        }
+    }
+
+    /// Inject an outage. The hierarchical control plane has no single
+    /// point of failure to take down, so the injection is a no-op there.
+    fn inject_outage(&mut self, from: SimTime, duration: SimDuration) {
+        match self {
+            ControlPlane::Flat(c) => c.inject_outage(from, duration),
+            ControlPlane::Hier(_) => {}
+            ControlPlane::Replicated(r) => r.inject_outage(from, duration),
+        }
+    }
+
+    fn failovers(&self) -> u64 {
+        match self {
+            ControlPlane::Replicated(r) => r.failovers,
+            _ => 0,
         }
     }
 }
@@ -146,6 +185,24 @@ pub struct World {
     retired_drops: u64,
     retired_intercepts: u64,
     recipes_fired_seed: u64,
+    // --- chaos layer (all inert unless `chaos` is Some) ---------------
+    chaos: Option<ChaosConfig>,
+    failure_mode: FailureMode,
+    faults: FaultScheduler,
+    /// Sorted µmbox crash schedule; `crash_idx` is the cursor.
+    crash_plan: Vec<(SimTime, DeviceId)>,
+    crash_idx: usize,
+    /// Sorted controller outage schedule; `outage_idx` is the cursor.
+    outage_plan: Vec<(SimTime, SimDuration)>,
+    outage_idx: usize,
+    delivery: Option<DeliveryChannel>,
+    unprotected: BTreeMap<DeviceId, SimDuration>,
+    fail_open_exposure: SimDuration,
+    /// Devices whose security events arrived while the control plane was
+    /// down — exposed until it returns and reacts.
+    blocked_reaction: BTreeSet<DeviceId>,
+    retired_fail_open: u64,
+    retired_fail_closed: u64,
 }
 
 impl World {
@@ -171,25 +228,23 @@ impl World {
             }
         };
         // Devices spread round-robin over the edge switches.
-        let device_switch: Vec<SwitchId> = (0..deployment.devices.len())
-            .map(|i| edge_switches[i % edge_switches.len()])
-            .collect();
-        let device_endpoints: Vec<EndpointId> = device_switch
-            .iter()
-            .map(|sw| b.attach_endpoint(*sw, LinkParams::wifi()))
-            .collect();
+        let device_switch: Vec<SwitchId> =
+            (0..deployment.devices.len()).map(|i| edge_switches[i % edge_switches.len()]).collect();
+        let device_endpoints: Vec<EndpointId> =
+            device_switch.iter().map(|sw| b.attach_endpoint(*sw, LinkParams::wifi())).collect();
         let hub_ep = deployment
             .with_hub
             .then(|| b.attach_endpoint_with(core, LinkParams::lan(), Ipv4Addr::new(10, 0, 200, 1)));
-        let attacker_ep = (!deployment.campaign.is_empty()).then(|| match deployment.attacker_location {
-            AttackerLocation::Wan => {
-                b.attach_endpoint_with(core, LinkParams::wan(), Ipv4Addr::new(100, 64, 0, 99))
-            }
-            AttackerLocation::Lan => b.attach_endpoint(edge_switches[0], LinkParams::wifi()),
+        let attacker_ep =
+            (!deployment.campaign.is_empty()).then(|| match deployment.attacker_location {
+                AttackerLocation::Wan => {
+                    b.attach_endpoint_with(core, LinkParams::wan(), Ipv4Addr::new(100, 64, 0, 99))
+                }
+                AttackerLocation::Lan => b.attach_endpoint(edge_switches[0], LinkParams::wifi()),
+            });
+        let victim_ep = deployment.needs_victim().then(|| {
+            b.attach_endpoint_with(core, LinkParams::wan(), Ipv4Addr::new(203, 0, 113, 50))
         });
-        let victim_ep = deployment
-            .needs_victim()
-            .then(|| b.attach_endpoint_with(core, LinkParams::wan(), Ipv4Addr::new(203, 0, 113, 50)));
         let mut net = Network::new(b.build(), deployment.seed);
 
         // --- devices ------------------------------------------------------
@@ -272,7 +327,8 @@ impl World {
                             .with_in_port(wan_port);
                             net.install_rule(
                                 core,
-                                FlowRule::new(200, matcher, FlowAction::Normal).with_cookie(u64::MAX),
+                                FlowRule::new(200, matcher, FlowAction::Normal)
+                                    .with_cookie(u64::MAX),
                             );
                         }
                     }
@@ -319,6 +375,7 @@ impl World {
                     view_propagation: config.view_propagation,
                     ..ControllerConfig::default()
                 };
+                let standby = deployment.chaos.as_ref().is_some_and(|c| c.standby_controller);
                 control = Some(if config.hierarchical {
                     ControlPlane::Hier(Box::new(HierarchicalController::new(
                         policy,
@@ -326,17 +383,32 @@ impl World {
                         ctl_config,
                         gate_view.clone(),
                     )))
+                } else if standby {
+                    let failover =
+                        deployment.chaos.as_ref().map(|c| c.failover).unwrap_or_default();
+                    ControlPlane::Replicated(Box::new(ReplicatedController::new(
+                        policy,
+                        ctl_config,
+                        gate_view.clone(),
+                        failover,
+                    )))
                 } else {
-                    ControlPlane::Flat(Box::new(Controller::new(policy, ctl_config, gate_view.clone())))
+                    ControlPlane::Flat(Box::new(Controller::new(
+                        policy,
+                        ctl_config,
+                        gate_view.clone(),
+                    )))
                 });
-                lifecycle = Some(LifecycleManager::new(config.pool));
+                let mut lc = LifecycleManager::new(config.pool);
+                if let Some(chaos) = &deployment.chaos {
+                    lc.watchdog_delay = chaos.watchdog_delay;
+                }
+                lifecycle = Some(lc);
                 cluster = Some(match deployment.site {
                     crate::deployment::Site::Home => Cluster::iot_router(),
-                    crate::deployment::Site::Enterprise { .. } => Cluster::enterprise(
-                        4,
-                        8192,
-                        umbox::resource::PlacementPolicy::LeastLoaded,
-                    ),
+                    crate::deployment::Site::Enterprise { .. } => {
+                        Cluster::enterprise(4, 8192, umbox::resource::PlacementPolicy::LeastLoaded)
+                    }
                 });
                 cfg = Some(*config);
             }
@@ -373,7 +445,24 @@ impl World {
             retired_drops: 0,
             retired_intercepts: 0,
             recipes_fired_seed: 0,
+            chaos: deployment.chaos.clone(),
+            failure_mode: deployment.chaos.as_ref().map(|c| c.failure_mode).unwrap_or_default(),
+            faults: FaultScheduler::new(),
+            crash_plan: Vec::new(),
+            crash_idx: 0,
+            outage_plan: Vec::new(),
+            outage_idx: 0,
+            delivery: None,
+            unprotected: BTreeMap::new(),
+            fail_open_exposure: SimDuration::ZERO,
+            blocked_reaction: BTreeSet::new(),
+            retired_fail_open: 0,
+            retired_fail_closed: 0,
         };
+
+        if let Some(chaos) = &deployment.chaos {
+            world.install_chaos(chaos);
+        }
 
         // Initial reconciliation installs standing mitigations before any
         // traffic flows.
@@ -428,10 +517,115 @@ impl World {
         self.device_switch[id.0 as usize]
     }
 
+    /// Materialize a chaos schedule: explicit faults verbatim, counted
+    /// faults placed by a dedicated RNG seeded from `chaos.seed` alone
+    /// (never the traffic RNG — placement must not perturb traffic).
+    fn install_chaos(&mut self, chaos: &ChaosConfig) {
+        let uplink = |d: DeviceId| {
+            (
+                NodeId::Endpoint(self.device_endpoints[d.0 as usize]),
+                NodeId::Switch(self.device_switch[d.0 as usize]),
+            )
+        };
+        let mut faults = FaultScheduler::new();
+        for (device, down_at, heal_at) in &chaos.flap_uplink {
+            let (a, b) = uplink(*device);
+            faults.flap_wire(a, b, *down_at, *heal_at);
+        }
+        let mut crash_plan = chaos.crash_at.clone();
+        let mut outage_plan = chaos.outage_at.clone();
+
+        let mut rng = StdRng::seed_from_u64(chaos.seed);
+        let n = self.devices.len();
+        let pick_device =
+            |rng: &mut StdRng| DeviceId(((rng.gen::<f64>() * n as f64) as usize).min(n - 1) as u32);
+        let pick_time = |rng: &mut StdRng| {
+            SimTime::ZERO
+                + SimDuration::from_secs_f64(chaos.horizon.as_secs_f64() * rng.gen::<f64>())
+        };
+        if n > 0 {
+            for _ in 0..chaos.link_flaps {
+                let (a, b) = uplink(pick_device(&mut rng));
+                let at = pick_time(&mut rng);
+                faults.flap_wire(a, b, at, at + chaos.flap_downtime);
+            }
+            for _ in 0..chaos.loss_bursts {
+                let (a, b) = uplink(pick_device(&mut rng));
+                let at = pick_time(&mut rng);
+                faults.loss_burst(a, b, at, at + chaos.burst_len, chaos.burst_loss);
+            }
+            for _ in 0..chaos.umbox_crashes {
+                let device = pick_device(&mut rng);
+                crash_plan.push((pick_time(&mut rng), device));
+            }
+        }
+        for _ in 0..chaos.controller_outages {
+            outage_plan.push((pick_time(&mut rng), chaos.outage_len));
+        }
+        crash_plan.sort();
+        outage_plan.sort();
+        self.faults = faults;
+        self.crash_plan = crash_plan;
+        self.outage_plan = outage_plan;
+        self.delivery = Some(DeliveryChannel::new(chaos.delivery));
+    }
+
+    /// Apply every fault whose time has come: network faults to the
+    /// topology, crashes to the lifecycle, outages to the control plane.
+    fn apply_chaos(&mut self, now: SimTime) {
+        if self.chaos.is_none() {
+            return;
+        }
+        self.faults.apply_due(now, self.net.topology_mut());
+        while self.crash_idx < self.crash_plan.len() && self.crash_plan[self.crash_idx].0 <= now {
+            let (_, device) = self.crash_plan[self.crash_idx];
+            self.crash_idx += 1;
+            if let Some(slot) = self.chains.get(&device) {
+                if let Some(lc) = &mut self.lifecycle {
+                    lc.crash(slot.instance, now);
+                }
+            }
+        }
+        while self.outage_idx < self.outage_plan.len() && self.outage_plan[self.outage_idx].0 <= now
+        {
+            let (from, duration) = self.outage_plan[self.outage_idx];
+            self.outage_idx += 1;
+            if let Some(control) = &mut self.control {
+                control.inject_outage(from, duration);
+            }
+        }
+    }
+
+    /// Per-tick availability accounting (chaos runs only): push lifecycle
+    /// serving state into each chain's `down` flag and accrue
+    /// unprotected time for down chains and for devices whose events the
+    /// control plane could not react to.
+    fn account_degradation(&mut self, now: SimTime) {
+        if let Some(lc) = &self.lifecycle {
+            for (device, slot) in &self.chains {
+                let serving = lc.get(slot.instance).is_some_and(|i| i.is_serving(now));
+                let mut chain = slot.chain.borrow_mut();
+                chain.down = !serving;
+                if !serving {
+                    *self.unprotected.entry(*device).or_insert(SimDuration::ZERO) += self.tick;
+                    if chain.failure_mode == FailureMode::FailOpen {
+                        self.fail_open_exposure += self.tick;
+                    }
+                }
+            }
+        }
+        for device in &self.blocked_reaction {
+            *self.unprotected.entry(*device).or_insert(SimDuration::ZERO) += self.tick;
+        }
+    }
+
     /// Advance one tick.
     pub fn step(&mut self) {
         self.clock += self.tick;
         let now = self.clock;
+
+        // 0. Chaos: apply due network faults, crashes and outages.
+        self.apply_chaos(now);
 
         // 1. Activate µmboxes that finished booting / reconfiguring.
         self.activate_pending(now);
@@ -488,17 +682,45 @@ impl World {
         // 6. Control plane: collect events, step, execute directives.
         let mut events = std::mem::take(&mut self.pending_events);
         events.extend(self.event_sink.drain());
+        let mut directives = Vec::new();
+        let mut reachable = true;
         if let Some(control) = &mut self.control {
+            let down = control.is_down(now);
             for e in events {
+                if down {
+                    // Nobody is home to react — the event's device stays
+                    // exposed until the control plane returns.
+                    self.blocked_reaction.insert(e.device);
+                }
                 control.ingest(e);
             }
-            let directives = control.step(now);
+            if !down {
+                self.blocked_reaction.clear();
+            }
+            directives = control.step(now);
+            reachable = !control.is_down(now);
+        }
+        if self.control.is_some() {
+            // Chaos runs route directives through the hardened delivery
+            // channel (idempotent IDs, bounded queue, retry/backoff);
+            // legacy runs keep the direct path bit-for-bit.
+            if let Some(channel) = &mut self.delivery {
+                for d in directives.drain(..) {
+                    channel.submit(now, d);
+                }
+                directives = channel.pump(now, reachable);
+            }
             for d in directives {
                 self.execute_directive(d, now);
             }
         }
         if let Some(lc) = &mut self.lifecycle {
             lc.advance(now);
+        }
+
+        // 7. Chaos: degradation accounting for this tick.
+        if self.chaos.is_some() {
+            self.account_degradation(now);
         }
     }
 
@@ -553,6 +775,9 @@ impl World {
                     new_chain.dropped = old.dropped;
                     new_chain.intercepted = old.intercepted;
                     new_chain.busy = old.busy;
+                    new_chain.down = old.down;
+                    new_chain.fail_open_passed = old.fail_open_passed;
+                    new_chain.fail_closed_dropped = old.fail_closed_dropped;
                     *old = new_chain;
                 }
             } else {
@@ -566,11 +791,7 @@ impl World {
         let dev = &self.devices[device.0 as usize];
         // Repository subscriptions apply regardless of whether local
         // vulnerability knowledge is enabled — that is their whole point.
-        let subscribed = self
-            .subscribed_signatures
-            .iter()
-            .filter(|s| s.sku == dev.sku)
-            .cloned();
+        let subscribed = self.subscribed_signatures.iter().filter(|s| s.sku == dev.sku).cloned();
         if !cfg.signatures {
             return subscribed.collect();
         }
@@ -600,6 +821,7 @@ impl World {
             signatures: self.signatures_for(device),
             view: self.gate_view.clone(),
             events: self.event_sink.clone(),
+            failure_mode: self.failure_mode,
         }
     }
 
@@ -626,6 +848,8 @@ impl World {
                         let chain = slot.chain.borrow();
                         self.retired_drops += chain.dropped;
                         self.retired_intercepts += chain.intercepted;
+                        self.retired_fail_open += chain.fail_open_passed;
+                        self.retired_fail_closed += chain.fail_closed_dropped;
                     }
                     self.net.remove_rules_by_cookie(cookie(device));
                     self.net.unregister_steer(slot.steer);
@@ -701,7 +925,13 @@ impl World {
         self.pending_events.extend(out.events);
     }
 
-    fn send_message(&mut self, from: EndpointId, at: SimTime, m: &OutMessage, spoof: Option<Ipv4Addr>) {
+    fn send_message(
+        &mut self,
+        from: EndpointId,
+        at: SimTime,
+        m: &OutMessage,
+        spoof: Option<Ipv4Addr>,
+    ) {
         let Some(dst_ep) = self.net.endpoint_by_ip(m.dst) else { return };
         let transport = if m.msg.is_tcp_plane() {
             TransportHeader::tcp(m.src_port, m.dst_port, 0, TcpFlags::ACK)
@@ -742,13 +972,28 @@ impl World {
         }
         metrics.umbox_drops += self.retired_drops;
         metrics.umbox_intercepts += self.retired_intercepts;
+        metrics.missed_blocks += self.retired_fail_open;
+        metrics.fail_closed_drops += self.retired_fail_closed;
         for slot in self.chains.values() {
             let chain = slot.chain.borrow();
             metrics.umbox_drops += chain.dropped;
             metrics.umbox_intercepts += chain.intercepted;
+            metrics.missed_blocks += chain.fail_open_passed;
+            metrics.fail_closed_drops += chain.fail_closed_dropped;
         }
         if let Some(control) = &self.control {
             metrics.controller_events = control.events_processed();
+            metrics.controller_failovers = control.failovers();
+        }
+        metrics.unprotected = self.unprotected.clone();
+        metrics.fail_open_exposure = self.fail_open_exposure;
+        metrics.faults_injected = self.faults.applied;
+        if let Some(lc) = &self.lifecycle {
+            metrics.umbox_crashes = lc.crashes;
+            metrics.umbox_respawns = lc.respawns;
+        }
+        if let Some(channel) = &self.delivery {
+            metrics.delivery = channel.stats.clone();
         }
         if let Some((hub, _)) = &self.hub {
             metrics.recipes_fired = hub.fired;
@@ -768,11 +1013,9 @@ fn resolve_plan(steps: &[StepSpec], devices: &[IoTDevice], victim: Option<Ipv4Ad
         .iter()
         .map(|s| match s {
             StepSpec::Probe(d) => AttackStep::Probe { target: ip(*d) },
-            StepSpec::Login(d, user, pass) => AttackStep::Login {
-                target: ip(*d),
-                user: (*user).into(),
-                pass: (*pass).into(),
-            },
+            StepSpec::Login(d, user, pass) => {
+                AttackStep::Login { target: ip(*d), user: (*user).into(), pass: (*pass).into() }
+            }
             StepSpec::DictionaryLogin(d) => AttackStep::DictionaryLogin { target: ip(*d) },
             StepSpec::Mgmt(d, command) => {
                 AttackStep::Mgmt { target: ip(*d), command: command.clone() }
@@ -891,6 +1134,81 @@ mod tests {
         assert!(open.ddos_bytes_at_victim > 10_000, "bytes {}", open.ddos_bytes_at_victim);
         let defended = run(Defense::iotsec());
         assert_eq!(defended.ddos_bytes_at_victim, 0);
+    }
+
+    #[test]
+    fn crashed_umbox_fail_open_leaks_fail_closed_blocks() {
+        // The camera's µmbox crashes at t=5s with a long watchdog; the
+        // attack strikes at t=6s, inside the downtime window. Fail-open
+        // passes the attack unfiltered; fail-closed drops it.
+        let run = |chaos: ChaosConfig| {
+            let mut d = Deployment::new();
+            let cam = d.device(DeviceSetup::table1_row(1));
+            d.campaign(vec![
+                StepSpec::Wait(SimDuration::from_secs(6)),
+                StepSpec::DictionaryLogin(cam),
+                StepSpec::Mgmt(cam, MgmtCommand::GetImage),
+            ]);
+            d.defend_with(Defense::iotsec());
+            d.chaos(
+                chaos.crash(SimTime::from_secs(5), cam).with_watchdog(SimDuration::from_secs(30)),
+            );
+            let mut w = World::new(&d);
+            w.run_until_attack_done(SimDuration::from_secs(60));
+            w.report()
+        };
+        let open = run(ChaosConfig::new());
+        assert!(open.privacy_leaked.contains(&DeviceId(0)), "{:?}", open.attack_outcomes);
+        assert!(open.missed_blocks > 0);
+        assert_eq!(open.umbox_crashes, 1);
+        assert!(open.fail_open_exposure > SimDuration::ZERO);
+
+        let closed = run(ChaosConfig::new().fail_closed());
+        assert!(closed.privacy_leaked.is_empty(), "{:?}", closed.attack_outcomes);
+        assert!(closed.compromised.is_empty());
+        assert!(closed.fail_closed_drops > 0);
+        assert_eq!(closed.fail_open_exposure, SimDuration::ZERO);
+        assert!(closed.unprotected_total() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn standby_failover_shrinks_unprotected_time() {
+        // A 60 s controller outage starts at t=5s; the attack (and its
+        // security events) land at t=10s. A single controller leaves the
+        // camera's events unanswered until the outage ends; the standby
+        // is promoted after detect+resync and reacts ~50 s earlier.
+        let run = |standby: bool| {
+            let mut d = Deployment::new();
+            let cam = d.device(DeviceSetup::table1_row(1));
+            d.campaign(vec![
+                StepSpec::Wait(SimDuration::from_secs(10)),
+                StepSpec::DictionaryLogin(cam),
+            ]);
+            d.defend_with(Defense::iotsec());
+            let mut chaos =
+                ChaosConfig::new().outage(SimTime::from_secs(5), SimDuration::from_secs(60));
+            if standby {
+                chaos = chaos.with_standby();
+            }
+            d.chaos(chaos);
+            let mut w = World::new(&d);
+            w.run(SimDuration::from_secs(80));
+            w.report()
+        };
+        let single = run(false);
+        let paired = run(true);
+        assert_eq!(single.controller_failovers, 0);
+        assert_eq!(paired.controller_failovers, 1);
+        // The single controller leaves the camera's events unanswered for
+        // most of the outage; the pair recovers (detect + resync ≈ 7 s)
+        // before the attack even lands, so its exposure is zero.
+        assert!(single.unprotected_total() > SimDuration::from_secs(30));
+        assert!(
+            paired.unprotected_total() < single.unprotected_total(),
+            "paired {:?} vs single {:?}",
+            paired.unprotected_total(),
+            single.unprotected_total()
+        );
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub struct Controller {
     pub installed: PostureVector,
     gate_view: ViewHandle,
     pending_view: VecDeque<(SimTime, EnvVar, &'static str)>,
+    /// The controller is down (crashed, rebooting, re-syncing) until this
+    /// instant; events queue but nothing is processed meanwhile.
+    outage_until: SimTime,
     /// Counters.
     pub stats: ControllerStats,
 }
@@ -92,8 +95,28 @@ impl Controller {
             installed: PostureVector::new(),
             gate_view,
             pending_view: VecDeque::new(),
+            outage_until: SimTime::ZERO,
             stats: ControllerStats::default(),
         }
+    }
+
+    /// Take the controller down from `from` for `duration` (fault
+    /// injection, or a failover re-sync window). Events keep queueing;
+    /// they are served once the outage ends, paying the full backlog
+    /// latency. Overlapping outages extend the existing one.
+    pub fn inject_outage(&mut self, from: SimTime, duration: SimDuration) {
+        self.outage_until = self.outage_until.max(from + duration);
+    }
+
+    /// Whether the controller is down at `now`.
+    pub fn is_down(&self, now: SimTime) -> bool {
+        now < self.outage_until
+    }
+
+    /// Add processing lag: the controller behaves as if busy for an
+    /// extra `extra` from `now` (fault injection).
+    pub fn inject_lag(&mut self, now: SimTime, extra: SimDuration) {
+        self.busy_until = self.busy_until.max(now) + extra;
     }
 
     /// The per-event service time at the current policy size.
@@ -118,6 +141,10 @@ impl Controller {
 
     /// Process queued work up to `now`; returns directives to execute.
     pub fn step(&mut self, now: SimTime) -> Vec<Directive> {
+        if self.is_down(now) {
+            // Down: nothing is served, nothing propagates.
+            return Vec::new();
+        }
         // Propagate due view updates to the data-plane gates.
         while let Some((due, var, value)) = self.pending_view.front().copied() {
             if due > now {
@@ -127,7 +154,9 @@ impl Controller {
             self.gate_view.set(var, value);
         }
 
-        // Serve queued events.
+        // Serve queued events. Work could not start before the end of any
+        // outage, so backlog latencies include the down time.
+        self.busy_until = self.busy_until.max(self.outage_until);
         let service = self.service_time();
         let mut changed = false;
         while let Some((arrival, _)) = self.queue.front().copied() {
@@ -156,7 +185,9 @@ impl Controller {
         let target = self.policy.evaluate(&state);
         let mut directives = Vec::new();
         for device in self.installed.diff(&target) {
-            if let Some(d) = plan_transition(device, &self.installed.posture(device), &target.posture(device)) {
+            if let Some(d) =
+                plan_transition(device, &self.installed.posture(device), &target.posture(device))
+            {
                 directives.push(d);
             }
         }
@@ -226,9 +257,8 @@ mod tests {
         let win = directives.iter().find(|d| d.device() == DeviceId(1)).unwrap();
         match win {
             Directive::Launch { posture, .. } | Directive::Reconfigure { posture, .. } => {
-                assert!(posture.contains(&SecurityModule::Block(
-                    iotpolicy::posture::BlockClass::OpenVerbs
-                )));
+                assert!(posture
+                    .contains(&SecurityModule::Block(iotpolicy::posture::BlockClass::OpenVerbs)));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -271,7 +301,10 @@ mod tests {
         c.gate_actuation(DeviceId(0), EnvVar::Occupancy, "present");
         let mut ctl = Controller::new(
             c.build(),
-            ControllerConfig { view_propagation: SimDuration::from_millis(50), ..Default::default() },
+            ControllerConfig {
+                view_propagation: SimDuration::from_millis(50),
+                ..Default::default()
+            },
             gate_view.clone(),
         );
         ctl.ingest_env(SimTime::from_secs(1), &[(EnvVar::Occupancy, "present")]);
@@ -295,6 +328,36 @@ mod tests {
         ctl.ingest_env(SimTime::from_secs(1), &[(EnvVar::Occupancy, "absent")]);
         ctl.step(SimTime::from_secs(1));
         assert_eq!(gate_view.get(EnvVar::Occupancy), Some("absent"));
+    }
+
+    #[test]
+    fn outage_stalls_processing_and_backlog_pays_for_it() {
+        let mut ctl = fig3_controller();
+        ctl.reconcile(SimTime::ZERO);
+        ctl.inject_outage(SimTime::from_secs(1), SimDuration::from_secs(10));
+        assert!(ctl.is_down(SimTime::from_secs(5)));
+        assert!(!ctl.is_down(SimTime::from_secs(11)));
+
+        ctl.ingest(event(0, SecurityEventKind::SignatureMatch, SimTime::from_secs(2)));
+        // Mid-outage: nothing happens.
+        assert!(ctl.step(SimTime::from_secs(5)).is_empty());
+        assert_eq!(ctl.stats.events_processed, 0);
+        // After the outage: the event is served, and its latency includes
+        // the down time it waited out.
+        let directives = ctl.step(SimTime::from_secs(12));
+        assert!(!directives.is_empty());
+        assert!(ctl.stats.latency.max() >= SimDuration::from_secs(9));
+    }
+
+    #[test]
+    fn injected_lag_delays_service() {
+        let mut ctl = fig3_controller();
+        ctl.reconcile(SimTime::ZERO);
+        ctl.inject_lag(SimTime::from_millis(1), SimDuration::from_secs(3));
+        ctl.ingest(event(0, SecurityEventKind::SignatureMatch, SimTime::from_millis(2)));
+        // The event can't finish service until the lag has drained.
+        assert!(ctl.step(SimTime::from_secs(1)).is_empty());
+        assert!(!ctl.step(SimTime::from_secs(4)).is_empty());
     }
 
     #[test]

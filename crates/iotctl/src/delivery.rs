@@ -1,0 +1,245 @@
+//! Hardened directive delivery: idempotent IDs, bounded queueing and
+//! retry with exponential backoff.
+//!
+//! Directives travel from the controller to the data plane over a
+//! channel that can be unreachable (controller outage, failover
+//! re-sync). The channel provides three guarantees the chaos layer
+//! exercises:
+//!
+//! * **Idempotence.** Every directive carries a content-derived ID; a
+//!   re-delivery of the directive a device already has (e.g. the full
+//!   posture a freshly promoted standby re-emits) is suppressed instead
+//!   of re-executed, so failover never bounces healthy chains.
+//! * **Bounded queue.** At most `capacity` envelopes wait. When the
+//!   queue is full the *newest* directive is shed and the device simply
+//!   keeps its last-known-safe posture — shedding never removes an
+//!   older directive that is closer to delivery.
+//! * **Retry with backoff.** While the channel is unreachable, due
+//!   envelopes re-arm with exponentially growing delays (capped), and
+//!   every attempt is counted.
+
+use crate::directive::Directive;
+use iotdev::device::DeviceId;
+use iotnet::time::{SimDuration, SimTime};
+use serde::Serialize;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Delivery-channel tuning.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DeliveryConfig {
+    /// Maximum envelopes queued before shedding.
+    pub capacity: usize,
+    /// First retry delay while unreachable.
+    pub base_backoff: SimDuration,
+    /// Retry delay ceiling.
+    pub max_backoff: SimDuration,
+}
+
+impl Default for DeliveryConfig {
+    fn default() -> Self {
+        DeliveryConfig {
+            capacity: 64,
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Delivery counters.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DeliveryStats {
+    /// Directives submitted by the controller.
+    pub submitted: u64,
+    /// Directives handed to the data plane.
+    pub delivered: u64,
+    /// Re-deliveries suppressed by the idempotence check.
+    pub deduped: u64,
+    /// Retry attempts made while the channel was unreachable.
+    pub retries: u64,
+    /// Directives shed because the queue was full.
+    pub shed: u64,
+}
+
+/// A directive in flight.
+#[derive(Debug, Clone)]
+pub struct DirectiveEnvelope {
+    /// Content-derived idempotence ID.
+    pub id: u64,
+    /// The directive itself.
+    pub directive: Directive,
+    /// Delivery attempts so far.
+    pub attempts: u32,
+    /// Earliest next attempt.
+    pub next_attempt: SimTime,
+}
+
+/// Content-derived idempotence ID: FNV-1a over the directive's debug
+/// representation. Two directives with identical content (same device,
+/// kind and posture) share an ID.
+pub fn directive_id(directive: &Directive) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{directive:?}").bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The controller → data-plane directive channel.
+pub struct DeliveryChannel {
+    cfg: DeliveryConfig,
+    queue: VecDeque<DirectiveEnvelope>,
+    /// The ID of the last directive actually applied per device — the
+    /// idempotence horizon. A newer, *different* directive for the same
+    /// device always goes through.
+    last_applied: BTreeMap<DeviceId, u64>,
+    /// Counters.
+    pub stats: DeliveryStats,
+}
+
+impl DeliveryChannel {
+    /// An empty channel.
+    pub fn new(cfg: DeliveryConfig) -> DeliveryChannel {
+        DeliveryChannel {
+            cfg,
+            queue: VecDeque::new(),
+            last_applied: BTreeMap::new(),
+            stats: DeliveryStats::default(),
+        }
+    }
+
+    /// Submit a directive for delivery. Returns `false` if the bounded
+    /// queue is full and the directive was shed (the device keeps its
+    /// last-known-safe posture).
+    pub fn submit(&mut self, now: SimTime, directive: Directive) -> bool {
+        self.stats.submitted += 1;
+        if self.queue.len() >= self.cfg.capacity {
+            self.stats.shed += 1;
+            return false;
+        }
+        let id = directive_id(&directive);
+        self.queue.push_back(DirectiveEnvelope { id, directive, attempts: 0, next_attempt: now });
+        true
+    }
+
+    /// Advance the channel to `now`. When `reachable`, every queued
+    /// envelope is delivered in order (idempotent re-deliveries are
+    /// suppressed) and the surviving directives are returned for
+    /// execution. When unreachable, due envelopes re-arm with
+    /// exponential backoff instead.
+    pub fn pump(&mut self, now: SimTime, reachable: bool) -> Vec<Directive> {
+        if !reachable {
+            for env in &mut self.queue {
+                if env.next_attempt <= now {
+                    env.attempts += 1;
+                    self.stats.retries += 1;
+                    let exp = env.attempts.saturating_sub(1).min(16);
+                    let backoff = (self.cfg.base_backoff * (1u64 << exp)).min(self.cfg.max_backoff);
+                    env.next_attempt = now + backoff;
+                }
+            }
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        while let Some(env) = self.queue.pop_front() {
+            let device = env.directive.device();
+            if self.last_applied.get(&device) == Some(&env.id) {
+                self.stats.deduped += 1;
+                continue;
+            }
+            self.last_applied.insert(device, env.id);
+            self.stats.delivered += 1;
+            out.push(env.directive);
+        }
+        out
+    }
+
+    /// Envelopes currently waiting.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotpolicy::posture::{Posture, SecurityModule};
+
+    fn launch(device: u32) -> Directive {
+        Directive::Launch {
+            device: DeviceId(device),
+            posture: Posture::of(SecurityModule::PasswordProxy),
+        }
+    }
+
+    #[test]
+    fn ids_are_content_derived() {
+        assert_eq!(directive_id(&launch(1)), directive_id(&launch(1)));
+        assert_ne!(directive_id(&launch(1)), directive_id(&launch(2)));
+        assert_ne!(
+            directive_id(&launch(1)),
+            directive_id(&Directive::Retire { device: DeviceId(1) })
+        );
+    }
+
+    #[test]
+    fn redelivery_of_the_current_posture_is_suppressed() {
+        let mut ch = DeliveryChannel::new(DeliveryConfig::default());
+        ch.submit(SimTime::ZERO, launch(1));
+        assert_eq!(ch.pump(SimTime::ZERO, true).len(), 1);
+        // A failover re-emits the same posture: suppressed.
+        ch.submit(SimTime::from_secs(1), launch(1));
+        assert!(ch.pump(SimTime::from_secs(1), true).is_empty());
+        assert_eq!(ch.stats.deduped, 1);
+        // But a *different* directive for the device goes through, and a
+        // later re-issue of the original is a real state change again.
+        ch.submit(SimTime::from_secs(2), Directive::Retire { device: DeviceId(1) });
+        ch.submit(SimTime::from_secs(2), launch(1));
+        assert_eq!(ch.pump(SimTime::from_secs(2), true).len(), 2);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_newest_when_full() {
+        let mut ch = DeliveryChannel::new(DeliveryConfig { capacity: 2, ..Default::default() });
+        assert!(ch.submit(SimTime::ZERO, launch(1)));
+        assert!(ch.submit(SimTime::ZERO, launch(2)));
+        assert!(!ch.submit(SimTime::ZERO, launch(3))); // shed
+        assert_eq!(ch.stats.shed, 1);
+        // The older envelopes are still intact and deliverable.
+        let out = ch.pump(SimTime::ZERO, true);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.device() != DeviceId(3)));
+    }
+
+    #[test]
+    fn unreachable_channel_backs_off_exponentially() {
+        let cfg = DeliveryConfig {
+            capacity: 8,
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_secs(1),
+        };
+        let mut ch = DeliveryChannel::new(cfg);
+        ch.submit(SimTime::ZERO, launch(1));
+
+        // Attempt 1 at t=0 → next at 100ms; attempt 2 → +200ms; etc.
+        assert!(ch.pump(SimTime::ZERO, false).is_empty());
+        assert_eq!(ch.stats.retries, 1);
+        // Not yet due: no new attempt.
+        ch.pump(SimTime::from_millis(50), false);
+        assert_eq!(ch.stats.retries, 1);
+        ch.pump(SimTime::from_millis(100), false);
+        assert_eq!(ch.stats.retries, 2);
+        ch.pump(SimTime::from_millis(300), false);
+        assert_eq!(ch.stats.retries, 3);
+        // Backoff is capped at max_backoff.
+        for i in 0..10 {
+            ch.pump(SimTime::from_secs(10 + 10 * i), false);
+        }
+        assert_eq!(ch.depth(), 1);
+
+        // The channel heals: the envelope finally delivers.
+        let out = ch.pump(SimTime::from_secs(200), true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(ch.stats.delivered, 1);
+    }
+}

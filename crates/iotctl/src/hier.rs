@@ -63,12 +63,8 @@ fn subpolicy(policy: &FsmPolicy, devices: &[DeviceId]) -> (FsmPolicy, Vec<usize>
     sub.baseline = policy.baseline.clone();
     let mut absorbed = Vec::new();
     for (i, rule) in policy.rules.iter().enumerate() {
-        let contained = rule
-            .pattern
-            .contexts
-            .keys()
-            .chain(rule.postures.keys())
-            .all(|id| devices.contains(id));
+        let contained =
+            rule.pattern.contexts.keys().chain(rule.postures.keys()).all(|id| devices.contains(id));
         if contained {
             sub.add_rule(rule.clone());
             absorbed.push(i);
@@ -340,11 +336,8 @@ mod tests {
             })
         };
         // Flat.
-        let mut flat = Controller::new(
-            many_device_policy(n),
-            ControllerConfig::default(),
-            ViewHandle::new(),
-        );
+        let mut flat =
+            Controller::new(many_device_policy(n), ControllerConfig::default(), ViewHandle::new());
         flat.reconcile(SimTime::ZERO);
         for e in mk_events() {
             flat.ingest(e);

@@ -23,17 +23,28 @@
 //! [`concurrent`] provides a thread-safe shared-view variant used by the
 //! control-plane scalability bench to measure real contention on a
 //! multicore host.
+//!
+//! The chaos layer hardens the enforcement path against control-plane
+//! failure: [`failover`] pairs the flat controller with a warm standby
+//! (view checkpointing, failure detection, promotion with re-sync), and
+//! [`delivery`] carries directives over a channel with idempotent IDs,
+//! a bounded queue that sheds to the last-known-safe posture, and retry
+//! with exponential backoff while the controller is unreachable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod concurrent;
 pub mod controller;
+pub mod delivery;
 pub mod directive;
+pub mod failover;
 pub mod hier;
 pub mod view;
 
 pub use controller::{Controller, ControllerConfig, ControllerStats};
+pub use delivery::{DeliveryChannel, DeliveryConfig, DeliveryStats};
 pub use directive::Directive;
+pub use failover::{FailoverConfig, ReplicatedController};
 pub use hier::{HierarchicalController, Partitioning};
 pub use view::GlobalView;

@@ -66,7 +66,8 @@ impl GlobalView {
             SecurityEventKind::SmokeAlarm => changed = self.set_env(EnvVar::Smoke, "yes"),
             SecurityEventKind::SmokeCleared => changed = self.set_env(EnvVar::Smoke, "no"),
             SecurityEventKind::OccupancyChanged(present) => {
-                changed = self.set_env(EnvVar::Occupancy, if present { "present" } else { "absent" });
+                changed =
+                    self.set_env(EnvVar::Occupancy, if present { "present" } else { "absent" });
             }
             SecurityEventKind::WindowChanged(open) => {
                 changed = self.set_env(EnvVar::Window, if open { "open" } else { "closed" });

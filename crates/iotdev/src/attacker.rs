@@ -257,8 +257,11 @@ impl Attacker {
         let label = self.plan.steps[self.step_idx].label();
         self.outcomes.push(AttackOutcome { step: self.step_idx, label, success, at: now });
         self.step_idx += 1;
-        self.state =
-            if self.step_idx >= self.plan.steps.len() { AttackerState::Done } else { AttackerState::Idle };
+        self.state = if self.step_idx >= self.plan.steps.len() {
+            AttackerState::Done
+        } else {
+            AttackerState::Idle
+        };
     }
 
     fn emit_to(&mut self, target: Ipv4Addr, msg: AppMessage) -> AttackerEmit {
@@ -282,12 +285,12 @@ impl Attacker {
             AttackerState::Awaiting { deadline, dict_idx } => {
                 if now >= deadline {
                     // Timed out; dictionary steps try the next entry.
-                    if let AttackStep::DictionaryLogin { target } = self.plan.steps[self.step_idx].clone()
+                    if let AttackStep::DictionaryLogin { target } =
+                        self.plan.steps[self.step_idx].clone()
                     {
                         if dict_idx + 1 < self.dictionary.len() {
                             let (user, pass) = self.dictionary[dict_idx + 1].clone();
-                            let emit =
-                                self.emit_to(target, AppMessage::MgmtLogin { user, pass });
+                            let emit = self.emit_to(target, AppMessage::MgmtLogin { user, pass });
                             self.state = AttackerState::Awaiting {
                                 deadline: now + REPLY_TIMEOUT,
                                 dict_idx: dict_idx + 1,
@@ -330,8 +333,7 @@ impl Attacker {
                     }
                     AttackStep::Mgmt { target, command } => {
                         let token = self.token_for(target).unwrap_or(0);
-                        let emit =
-                            self.emit_to(target, AppMessage::MgmtCommand { token, command });
+                        let emit = self.emit_to(target, AppMessage::MgmtCommand { token, command });
                         self.state =
                             AttackerState::Awaiting { deadline: now + REPLY_TIMEOUT, dict_idx: 0 };
                         vec![emit]
@@ -339,7 +341,9 @@ impl Attacker {
                     AttackStep::Control { target, action, auth } => {
                         let auth = match auth {
                             AttackAuth::None => ControlAuth::None,
-                            AttackAuth::Creds { user, pass } => ControlAuth::Password { user, pass },
+                            AttackAuth::Creds { user, pass } => {
+                                ControlAuth::Password { user, pass }
+                            }
                             AttackAuth::Session => {
                                 ControlAuth::Token(self.token_for(target).unwrap_or(0))
                             }

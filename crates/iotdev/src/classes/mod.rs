@@ -17,7 +17,9 @@ mod actuators;
 mod appliances;
 mod sensors;
 
-pub use actuators::{LightBulb, Oven, PlugLoad, SmartLock, SmartPlug, TrafficLight, WindowActuator};
+pub use actuators::{
+    LightBulb, Oven, PlugLoad, SmartLock, SmartPlug, TrafficLight, WindowActuator,
+};
 pub use appliances::{Refrigerator, SetTopBox, Thermostat};
 pub use sensors::{Camera, FireAlarm, LightSensor, MotionSensor};
 
@@ -167,7 +169,12 @@ mod tests {
     #[test]
     fn sensors_reject_actuation() {
         let mut env = Environment::new();
-        for class in [DeviceClass::FireAlarm, DeviceClass::LightSensor, DeviceClass::MotionSensor, DeviceClass::Refrigerator] {
+        for class in [
+            DeviceClass::FireAlarm,
+            DeviceClass::LightSensor,
+            DeviceClass::MotionSensor,
+            DeviceClass::Refrigerator,
+        ] {
             let mut logic = DeviceLogic::new(class);
             assert!(!logic.apply_action(ControlAction::TurnOn, &mut env), "{class:?}");
         }

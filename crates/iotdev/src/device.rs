@@ -198,7 +198,13 @@ pub struct IoTDevice {
 
 impl IoTDevice {
     /// Create a device of `class` at `ip` with the given SKU and flaws.
-    pub fn new(id: DeviceId, sku: Sku, class: DeviceClass, ip: Ipv4Addr, vulns: Vec<Vulnerability>) -> IoTDevice {
+    pub fn new(
+        id: DeviceId,
+        sku: Sku,
+        class: DeviceClass,
+        ip: Ipv4Addr,
+        vulns: Vec<Vulnerability>,
+    ) -> IoTDevice {
         IoTDevice {
             id,
             sku,
@@ -411,11 +417,20 @@ impl IoTDevice {
     ) -> DeviceOutput {
         let (authorized, weak_path) = self.control_authorized(src, &auth);
         if !authorized {
-            return DeviceOutput::reply(src, src_port, ports::CONTROL, AppMessage::ControlAck { ok: false });
+            return DeviceOutput::reply(
+                src,
+                src_port,
+                ports::CONTROL,
+                AppMessage::ControlAck { ok: false },
+            );
         }
         let applied = self.logic.apply_action(action, env);
-        let mut out =
-            DeviceOutput::reply(src, src_port, ports::CONTROL, AppMessage::ControlAck { ok: applied });
+        let mut out = DeviceOutput::reply(
+            src,
+            src_port,
+            ports::CONTROL,
+            AppMessage::ControlAck { ok: applied },
+        );
         if applied && weak_path && !self.is_owner(src) {
             self.compromised = true;
             out.events.push(
@@ -451,7 +466,8 @@ impl IoTDevice {
         );
         if !src.is_private() || !self.is_owner(src) {
             out.events.push(
-                SecurityEvent::new(now, self.id, SecurityEventKind::OpenResolverQuery).from_remote(src),
+                SecurityEvent::new(now, self.id, SecurityEventKind::OpenResolverQuery)
+                    .from_remote(src),
             );
         }
         out
@@ -472,8 +488,12 @@ impl IoTDevice {
         // when the specific verb does not apply to this device class.
         let applied = self.logic.apply_action(action, env);
         self.compromised = true;
-        let mut out =
-            DeviceOutput::reply(src, ports::CLOUD, ports::CLOUD, AppMessage::ControlAck { ok: true });
+        let mut out = DeviceOutput::reply(
+            src,
+            ports::CLOUD,
+            ports::CLOUD,
+            AppMessage::ControlAck { ok: true },
+        );
         out.events.push(
             SecurityEvent::new(now, self.id, SecurityEventKind::BackdoorAccessed).from_remote(src),
         );
@@ -574,7 +594,13 @@ mod tests {
     use crate::registry::Sku;
 
     fn dev(class: DeviceClass, vulns: Vec<Vulnerability>) -> IoTDevice {
-        IoTDevice::new(DeviceId(0), Sku::new("acme", "widget", "1.0"), class, Ipv4Addr::new(10, 0, 0, 5), vulns)
+        IoTDevice::new(
+            DeviceId(0),
+            Sku::new("acme", "widget", "1.0"),
+            class,
+            Ipv4Addr::new(10, 0, 0, 5),
+            vulns,
+        )
     }
 
     fn attacker_ip() -> Ipv4Addr {
@@ -621,7 +647,10 @@ mod tests {
             owner,
             5000,
             ports::MGMT,
-            AppMessage::MgmtCommand { token, command: MgmtCommand::SetPassword { new: "newpass".into() } },
+            AppMessage::MgmtCommand {
+                token,
+                command: MgmtCommand::SetPassword { new: "newpass".into() },
+            },
             &mut env,
         );
         // Attacker still gets in with admin/admin — the unfixable flaw.
@@ -651,11 +680,8 @@ mod tests {
                 AppMessage::MgmtLogin { user: "admin".into(), pass: format!("guess{i}") },
                 &mut env,
             );
-            burst += out
-                .events
-                .iter()
-                .filter(|e| e.kind == SecurityEventKind::AuthFailureBurst)
-                .count();
+            burst +=
+                out.events.iter().filter(|e| e.kind == SecurityEventKind::AuthFailureBurst).count();
             assert!(matches!(out.messages[0].msg, AppMessage::MgmtDenied));
         }
         assert_eq!(burst, 1); // raised exactly once, at the threshold

@@ -608,7 +608,9 @@ impl AppMessage {
                 }
                 AppMessage::DnsResponse { name, addr: Ipv4Addr(a), answers }
             }
-            T_CLOUD_COMMAND => AppMessage::CloudCommand { action: ControlAction::decode(&mut buf)? },
+            T_CLOUD_COMMAND => {
+                AppMessage::CloudCommand { action: ControlAction::decode(&mut buf)? }
+            }
             t => return Err(CodecError::BadTag(t)),
         };
         Ok(msg)
@@ -700,7 +702,8 @@ mod tests {
     fn plane_ports() {
         assert_eq!(AppMessage::MgmtDenied.plane_port(), ports::MGMT);
         assert_eq!(
-            AppMessage::Control { action: ControlAction::TurnOn, auth: ControlAuth::None }.plane_port(),
+            AppMessage::Control { action: ControlAction::TurnOn, auth: ControlAuth::None }
+                .plane_port(),
             ports::CONTROL
         );
         assert_eq!(

@@ -135,10 +135,7 @@ pub struct AttackGraph {
 impl AttackGraph {
     /// Build from deployment knowledge.
     pub fn build(specs: Vec<DeviceSpec>, recipes: Vec<Recipe>) -> AttackGraph {
-        let models = specs
-            .iter()
-            .map(|s| AbstractModel::for_device(s.class, s.load))
-            .collect();
+        let models = specs.iter().map(|s| AbstractModel::for_device(s.class, s.load)).collect();
         AttackGraph { specs, models, recipes }
     }
 
@@ -337,7 +334,12 @@ pub fn breakin_deployment() -> (Vec<DeviceSpec>, Vec<Recipe>) {
             load: Some(PlugLoad::AirConditioner),
             remote_vulns: vec!["cloud-bypass-backdoor".into()],
         },
-        DeviceSpec { id: DeviceId(1), class: DeviceClass::Thermostat, load: None, remote_vulns: vec![] },
+        DeviceSpec {
+            id: DeviceId(1),
+            class: DeviceClass::Thermostat,
+            load: None,
+            remote_vulns: vec![],
+        },
         DeviceSpec {
             id: DeviceId(2),
             class: DeviceClass::WindowActuator,
@@ -411,8 +413,18 @@ mod tests {
                 load: None,
                 remote_vulns: vec!["no-auth-control".into()],
             },
-            DeviceSpec { id: DeviceId(1), class: DeviceClass::FireAlarm, load: None, remote_vulns: vec![] },
-            DeviceSpec { id: DeviceId(2), class: DeviceClass::SmartLock, load: None, remote_vulns: vec![] },
+            DeviceSpec {
+                id: DeviceId(1),
+                class: DeviceClass::FireAlarm,
+                load: None,
+                remote_vulns: vec![],
+            },
+            DeviceSpec {
+                id: DeviceId(2),
+                class: DeviceClass::SmartLock,
+                load: None,
+                remote_vulns: vec![],
+            },
         ];
         let recipes = vec![Recipe {
             id: 7,

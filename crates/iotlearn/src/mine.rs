@@ -145,8 +145,16 @@ mod tests {
     #[test]
     fn mines_default_cred_attack() {
         let capture = vec![
-            pkt(WAN, ports::MGMT, &AppMessage::MgmtLogin { user: "admin".into(), pass: "admin".into() }),
-            pkt(WAN, ports::MGMT, &AppMessage::MgmtLogin { user: "admin".into(), pass: "1234".into() }),
+            pkt(
+                WAN,
+                ports::MGMT,
+                &AppMessage::MgmtLogin { user: "admin".into(), pass: "admin".into() },
+            ),
+            pkt(
+                WAN,
+                ports::MGMT,
+                &AppMessage::MgmtLogin { user: "admin".into(), pass: "1234".into() },
+            ),
         ];
         let sigs = mine_signatures(&capture, &sku());
         assert!(sigs.iter().any(|s| matches!(
@@ -179,11 +187,33 @@ mod tests {
     #[test]
     fn mines_each_exploit_class() {
         let capture = vec![
-            pkt(WAN, ports::CONTROL, &AppMessage::Control { action: ControlAction::Open, auth: ControlAuth::None }),
-            pkt(WAN, ports::CONTROL, &AppMessage::Control { action: ControlAction::Open, auth: ControlAuth::Key(0xBEEF) }),
+            pkt(
+                WAN,
+                ports::CONTROL,
+                &AppMessage::Control { action: ControlAction::Open, auth: ControlAuth::None },
+            ),
+            pkt(
+                WAN,
+                ports::CONTROL,
+                &AppMessage::Control {
+                    action: ControlAction::Open,
+                    auth: ControlAuth::Key(0xBEEF),
+                },
+            ),
             pkt(WAN, ports::CLOUD, &AppMessage::CloudCommand { action: ControlAction::TurnOff }),
-            pkt(WAN, ports::DNS, &AppMessage::DnsQuery { name: "amp.example".into(), recursion: true }),
-            pkt(WAN, ports::MGMT, &AppMessage::MgmtCommand { token: 0, command: iotdev::proto::MgmtCommand::GetConfig }),
+            pkt(
+                WAN,
+                ports::DNS,
+                &AppMessage::DnsQuery { name: "amp.example".into(), recursion: true },
+            ),
+            pkt(
+                WAN,
+                ports::MGMT,
+                &AppMessage::MgmtCommand {
+                    token: 0,
+                    command: iotdev::proto::MgmtCommand::GetConfig,
+                },
+            ),
         ];
         let sigs = mine_signatures(&capture, &sku());
         let ids: BTreeSet<&str> = sigs.iter().map(|s| s.vuln_id.as_str()).collect();
@@ -201,7 +231,11 @@ mod tests {
     #[test]
     fn lan_traffic_mines_nothing() {
         let capture = vec![
-            pkt(LAN, ports::CONTROL, &AppMessage::Control { action: ControlAction::Open, auth: ControlAuth::None }),
+            pkt(
+                LAN,
+                ports::CONTROL,
+                &AppMessage::Control { action: ControlAction::Open, auth: ControlAuth::None },
+            ),
             pkt(LAN, ports::CLOUD, &AppMessage::CloudCommand { action: ControlAction::TurnOff }),
         ];
         assert!(mine_signatures(&capture, &sku()).is_empty());
@@ -210,7 +244,9 @@ mod tests {
     #[test]
     fn mined_signatures_are_deduplicated() {
         let capture: Vec<Packet> = (0..50)
-            .map(|_| pkt(WAN, ports::CLOUD, &AppMessage::CloudCommand { action: ControlAction::TurnOff }))
+            .map(|_| {
+                pkt(WAN, ports::CLOUD, &AppMessage::CloudCommand { action: ControlAction::TurnOff })
+            })
             .collect();
         assert_eq!(mine_signatures(&capture, &sku()).len(), 1);
     }

@@ -281,7 +281,8 @@ impl SignatureRepo {
             for subscriber in subscribers {
                 let is_contributor =
                     self.reporters.get(&subscriber).map_or(0, |r| r.contributions) > 0;
-                let lag = if is_contributor { SimDuration::ZERO } else { self.config.freerider_lag };
+                let lag =
+                    if is_contributor { SimDuration::ZERO } else { self.config.freerider_lag };
                 self.inboxes.entry(subscriber).or_default().push(Notification {
                     signature: sub.signature.clone(), // anonymized: no submitter
                     available_at: now + lag,
@@ -303,8 +304,7 @@ impl SignatureRepo {
     /// Notifications available to a subscriber at `now` (drains them).
     pub fn fetch(&mut self, subscriber: ReporterId, now: SimTime) -> Vec<AttackSignature> {
         let Some(inbox) = self.inboxes.get_mut(&subscriber) else { return Vec::new() };
-        let (ready, later): (Vec<_>, Vec<_>) =
-            inbox.drain(..).partition(|n| n.available_at <= now);
+        let (ready, later): (Vec<_>, Vec<_>) = inbox.drain(..).partition(|n| n.available_at <= now);
         *inbox = later;
         ready.into_iter().map(|n| n.signature).collect()
     }
@@ -362,7 +362,12 @@ mod tests {
     }
 
     fn good_sig() -> AttackSignature {
-        AttackSignature::new(sku(), "open-dns-resolver", Matcher::RecursiveDnsFromExternal, Severity::Medium)
+        AttackSignature::new(
+            sku(),
+            "open-dns-resolver",
+            Matcher::RecursiveDnsFromExternal,
+            Severity::Medium,
+        )
     }
 
     fn evil_sig() -> AttackSignature {
@@ -402,10 +407,8 @@ mod tests {
         assert_eq!(repo.rejected, 1);
         assert!(repo.reputation(mallory) < before);
         // With the screen disabled (ablation), it becomes a pending sub.
-        let mut repo = SignatureRepo::new(RepoConfig {
-            screen_unselective: false,
-            ..RepoConfig::default()
-        });
+        let mut repo =
+            SignatureRepo::new(RepoConfig { screen_unselective: false, ..RepoConfig::default() });
         let mallory = repo.register();
         assert!(repo.submit(mallory, evil_sig()).is_some());
     }
@@ -429,7 +432,15 @@ mod tests {
         let bob = repo.register();
         let carol = repo.register();
         let sub = repo
-            .submit(mallory, AttackSignature::new(sku(), "fake", Matcher::PayloadContains(b"x".to_vec()), Severity::Low))
+            .submit(
+                mallory,
+                AttackSignature::new(
+                    sku(),
+                    "fake",
+                    Matcher::PayloadContains(b"x".to_vec()),
+                    Severity::Low,
+                ),
+            )
             .unwrap();
         let rep_before = repo.reputation(mallory);
         repo.vote(bob, sub, false);
@@ -467,7 +478,15 @@ mod tests {
         let sheep = repo.register();
         // Mallory slips a selective-looking but bogus signature through.
         let sub = repo
-            .submit(mallory, AttackSignature::new(sku(), "bogus", Matcher::PayloadContains(b"\x01".to_vec()), Severity::High))
+            .submit(
+                mallory,
+                AttackSignature::new(
+                    sku(),
+                    "bogus",
+                    Matcher::PayloadContains(b"\x01".to_vec()),
+                    Severity::High,
+                ),
+            )
             .unwrap();
         repo.vote(sheep, sub, true);
         let published = repo.process(SimTime::ZERO);

@@ -41,6 +41,12 @@ pub struct EventQueue<E> {
     now: SimTime,
 }
 
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue").field("len", &self.heap.len()).field("now", &self.now).finish()
+    }
+}
+
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()

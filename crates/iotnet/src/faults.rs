@@ -1,0 +1,282 @@
+//! Deterministic fault injection for the network substrate.
+//!
+//! The chaos layer needs repeatable failure schedules: the same seed must
+//! produce the same faults at the same simulated instants, run after run.
+//! [`FaultScheduler`] therefore rides on the existing event wheel
+//! ([`EventQueue`]) rather than drawing random timers at runtime — every
+//! fault is scheduled up front (or at least deterministically), and
+//! [`FaultScheduler::apply_due`] drains the due ones into a [`Topology`]
+//! each simulation tick.
+//!
+//! Supported fault shapes:
+//!
+//! * **Link flap** — a wire fails at one instant and *heals* at a later
+//!   one ([`FaultScheduler::flap_wire`]). Both halves are scheduled
+//!   together so a flap can never leave the wire down forever.
+//! * **Loss burst** — a wire's loss probability is overridden for a
+//!   window ([`FaultScheduler::loss_burst`]).
+//! * **Corruption burst** — frames on a wire are corrupted in flight and
+//!   discarded for a window ([`FaultScheduler::corruption_burst`]).
+//! * **Partition** — every wire crossing a node-set boundary fails for a
+//!   window ([`FaultScheduler::partition`]); the crossing set is computed
+//!   deterministically from the topology's sorted wire list.
+
+use crate::addr::NodeId;
+use crate::engine::EventQueue;
+use crate::time::SimTime;
+use crate::topology::Topology;
+
+/// One scheduled fault action against the topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetFault {
+    /// Fail both directions of the wire between two nodes.
+    WireDown(NodeId, NodeId),
+    /// Heal both directions of the wire between two nodes.
+    WireHeal(NodeId, NodeId),
+    /// Begin a loss burst: override the wire's loss probability.
+    LossBurst(NodeId, NodeId, f64),
+    /// End a loss burst: restore the wire's static loss probability.
+    LossClear(NodeId, NodeId),
+    /// Begin a corruption burst at the given per-frame probability.
+    CorruptBurst(NodeId, NodeId, f64),
+    /// End a corruption burst.
+    CorruptClear(NodeId, NodeId),
+    /// Fail every wire in the cut set (a network partition forms).
+    PartitionCut(Vec<(NodeId, NodeId)>),
+    /// Heal every wire in the cut set (the partition heals).
+    PartitionHeal(Vec<(NodeId, NodeId)>),
+}
+
+/// A seedless, deterministic fault schedule over the event wheel.
+///
+/// Faults are enqueued with explicit times; ties apply in FIFO order
+/// (the event wheel is FIFO-stable), so a schedule built the same way
+/// twice applies identically twice.
+#[derive(Debug, Default)]
+pub struct FaultScheduler {
+    queue: EventQueue<NetFault>,
+    /// Total fault actions applied so far.
+    pub applied: u64,
+}
+
+impl FaultScheduler {
+    /// An empty schedule.
+    pub fn new() -> FaultScheduler {
+        FaultScheduler::default()
+    }
+
+    /// Schedule a raw fault action at `at`.
+    pub fn schedule(&mut self, at: SimTime, fault: NetFault) {
+        self.queue.schedule(at, fault);
+    }
+
+    /// Schedule a link flap: the wire between `a` and `b` fails at
+    /// `down_at` and heals at `heal_at`. Both halves are enqueued
+    /// together, so every injected outage is bounded.
+    pub fn flap_wire(&mut self, a: NodeId, b: NodeId, down_at: SimTime, heal_at: SimTime) {
+        assert!(down_at <= heal_at, "flap must heal at or after it fails");
+        self.queue.schedule(down_at, NetFault::WireDown(a, b));
+        self.queue.schedule(heal_at, NetFault::WireHeal(a, b));
+    }
+
+    /// Schedule a loss burst on the wire between `a` and `b`: loss
+    /// probability `loss` from `from` until `until`.
+    pub fn loss_burst(&mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime, loss: f64) {
+        assert!(from <= until, "burst must end at or after it starts");
+        self.queue.schedule(from, NetFault::LossBurst(a, b, loss));
+        self.queue.schedule(until, NetFault::LossClear(a, b));
+    }
+
+    /// Schedule a corruption burst on the wire between `a` and `b`:
+    /// per-frame corruption probability `rate` from `from` until `until`.
+    pub fn corruption_burst(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        from: SimTime,
+        until: SimTime,
+        rate: f64,
+    ) {
+        assert!(from <= until, "burst must end at or after it starts");
+        self.queue.schedule(from, NetFault::CorruptBurst(a, b, rate));
+        self.queue.schedule(until, NetFault::CorruptClear(a, b));
+    }
+
+    /// Schedule a partition isolating `group` from the rest of the
+    /// topology between `from` and `until`: every wire with exactly one
+    /// end in `group` fails at `from` and heals at `until`. The cut set
+    /// is computed from the topology's sorted wire list, so identical
+    /// topologies yield identical cuts.
+    pub fn partition(&mut self, topo: &Topology, group: &[NodeId], from: SimTime, until: SimTime) {
+        assert!(from <= until, "partition must heal at or after it cuts");
+        let cut: Vec<(NodeId, NodeId)> = topo
+            .wires()
+            .into_iter()
+            .filter(|(a, b)| group.contains(a) != group.contains(b))
+            .collect();
+        self.queue.schedule(from, NetFault::PartitionCut(cut.clone()));
+        self.queue.schedule(until, NetFault::PartitionHeal(cut));
+    }
+
+    /// Number of fault actions still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Time of the next pending fault action, if any.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Apply every fault action due at or before `now` to the topology,
+    /// in schedule order. Returns how many actions were applied.
+    pub fn apply_due(&mut self, now: SimTime, topo: &mut Topology) -> usize {
+        let mut n = 0;
+        while let Some((_, fault)) = self.queue.pop_until(now) {
+            match fault {
+                NetFault::WireDown(a, b) => topo.fail_wire(a, b),
+                NetFault::WireHeal(a, b) => topo.heal_wire(a, b),
+                NetFault::LossBurst(a, b, loss) => topo.set_wire_burst_loss(a, b, Some(loss)),
+                NetFault::LossClear(a, b) => topo.set_wire_burst_loss(a, b, None),
+                NetFault::CorruptBurst(a, b, rate) => topo.set_wire_corrupt_rate(a, b, rate),
+                NetFault::CorruptClear(a, b) => topo.set_wire_corrupt_rate(a, b, 0.0),
+                NetFault::PartitionCut(cut) => {
+                    for (a, b) in cut {
+                        topo.fail_wire(a, b);
+                    }
+                }
+                NetFault::PartitionHeal(cut) => {
+                    for (a, b) in cut {
+                        topo.heal_wire(a, b);
+                    }
+                }
+            }
+            n += 1;
+        }
+        self.applied += n as u64;
+        n as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::EndpointId;
+    use crate::link::LinkParams;
+    use crate::net::Network;
+    use crate::packet::{Packet, TransportHeader};
+    use crate::time::SimDuration;
+    use crate::topology::TopologyBuilder;
+    use bytes::Bytes;
+
+    fn two_host_net() -> (Network, EndpointId, EndpointId) {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch();
+        let a = b.attach_endpoint(sw, LinkParams::lan());
+        let c = b.attach_endpoint(sw, LinkParams::lan());
+        (Network::new(b.build(), 7), a, c)
+    }
+
+    fn pkt(net: &Network, from: EndpointId, to: EndpointId, payload: &[u8]) -> Packet {
+        Packet::new(
+            net.mac_of(from),
+            net.mac_of(to),
+            net.ip_of(from),
+            net.ip_of(to),
+            TransportHeader::udp(1000, 80),
+            Bytes::copy_from_slice(payload),
+        )
+    }
+
+    #[test]
+    fn flap_fails_then_heals_and_traffic_resumes() {
+        let (mut net, a, c) = two_host_net();
+        let (na, nsw) = (NodeId::Endpoint(a), NodeId::Switch(crate::addr::SwitchId(0)));
+        let mut faults = FaultScheduler::new();
+        faults.flap_wire(na, nsw, SimTime::from_secs(1), SimTime::from_secs(2));
+
+        // During the flap the uplink is dead: the packet is dropped.
+        faults.apply_due(SimTime::from_secs(1), net.topology_mut());
+        net.send(a, SimTime::from_secs(1), pkt(&net, a, c, b"lost"));
+        assert!(net.step_until(SimTime::from_millis(1500)).is_empty());
+
+        // After the heal, traffic resumes.
+        faults.apply_due(SimTime::from_secs(2), net.topology_mut());
+        net.send(a, SimTime::from_secs(2), pkt(&net, a, c, b"back"));
+        let deliveries = net.step_until(SimTime::from_secs(3));
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(&deliveries[0].packet.payload[..], b"back");
+        assert_eq!(faults.applied, 2);
+        assert_eq!(faults.pending(), 0);
+    }
+
+    #[test]
+    fn loss_and_corruption_bursts_window_correctly() {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch();
+        let e = b.attach_endpoint(sw, LinkParams::ideal());
+        let mut topo = b.build();
+        let (ne, ns) = (NodeId::Endpoint(e), NodeId::Switch(sw));
+
+        let mut faults = FaultScheduler::new();
+        faults.loss_burst(ne, ns, SimTime::from_secs(1), SimTime::from_secs(2), 0.9);
+        faults.corruption_burst(ne, ns, SimTime::from_secs(1), SimTime::from_secs(3), 0.4);
+
+        faults.apply_due(SimTime::from_secs(1), &mut topo);
+        assert_eq!(topo.link(ne, ns).unwrap().effective_loss(), 0.9);
+        assert_eq!(topo.link(ns, ne).unwrap().corrupt_rate, 0.4);
+
+        faults.apply_due(SimTime::from_secs(2), &mut topo);
+        assert_eq!(topo.link(ne, ns).unwrap().effective_loss(), 0.0);
+        assert_eq!(topo.link(ne, ns).unwrap().corrupt_rate, 0.4);
+
+        faults.apply_due(SimTime::from_secs(3), &mut topo);
+        assert_eq!(topo.link(ne, ns).unwrap().corrupt_rate, 0.0);
+        assert_eq!(faults.applied, 4);
+    }
+
+    #[test]
+    fn partition_cuts_exactly_the_boundary_wires() {
+        let (mut topo, core, edges, eps, _, _) = TopologyBuilder::enterprise(2, 2);
+        let mut faults = FaultScheduler::new();
+        // Isolate edge 0 and everything attached to it.
+        let group =
+            vec![NodeId::Switch(edges[0]), NodeId::Endpoint(eps[0]), NodeId::Endpoint(eps[1])];
+        faults.partition(&topo, &group, SimTime::from_secs(1), SimTime::from_secs(5));
+        faults.apply_due(SimTime::from_secs(1), &mut topo);
+        // Only the core<->edge0 trunk crosses the boundary.
+        let trunk = (NodeId::Switch(core), NodeId::Switch(edges[0]));
+        assert!(!topo.link(trunk.0, trunk.1).unwrap().up);
+        // Wires inside the group and outside it are untouched.
+        assert!(topo.link(NodeId::Switch(edges[0]), NodeId::Endpoint(eps[0])).unwrap().up);
+        assert!(topo.link(NodeId::Switch(core), NodeId::Switch(edges[1])).unwrap().up);
+        faults.apply_due(SimTime::from_secs(5), &mut topo);
+        assert!(topo.link(trunk.0, trunk.1).unwrap().up);
+    }
+
+    #[test]
+    fn same_schedule_applies_identically() {
+        let build = |faults: &mut FaultScheduler, topo: &Topology| {
+            let w = topo.wires();
+            let (a, b) = w[0];
+            faults.flap_wire(a, b, SimTime::from_millis(100), SimTime::from_millis(400));
+            faults.loss_burst(a, b, SimTime::from_millis(200), SimTime::from_millis(300), 0.5);
+        };
+        let run = || {
+            let (mut topo, _, _, _, _, _) = TopologyBuilder::enterprise(2, 2);
+            let mut faults = FaultScheduler::new();
+            build(&mut faults, &topo);
+            let mut trace = Vec::new();
+            let mut t = SimTime::ZERO;
+            while faults.pending() > 0 {
+                t += SimDuration::from_millis(50);
+                let n = faults.apply_due(t, &mut topo);
+                if n > 0 {
+                    trace.push((t, n, format!("{:?}", topo.wires())));
+                }
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -291,13 +291,21 @@ mod tests {
     use bytes::Bytes;
 
     fn pkt(src: Ipv4Addr, dst: Ipv4Addr, transport: TransportHeader) -> Packet {
-        Packet::new(MacAddr::from_index(1), MacAddr::from_index(2), src, dst, transport, Bytes::new())
+        Packet::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            src,
+            dst,
+            transport,
+            Bytes::new(),
+        )
     }
 
     #[test]
     fn wildcard_matches_everything() {
         let m = FlowMatch::any();
-        let p = pkt(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), TransportHeader::udp(1, 2));
+        let p =
+            pkt(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), TransportHeader::udp(1, 2));
         assert!(m.matches(PortNo(0), &p));
         assert_eq!(m.specificity(), 0);
     }
@@ -305,19 +313,29 @@ mod tests {
     #[test]
     fn host_and_service_matches() {
         let cam = Ipv4Addr::new(10, 0, 0, 5);
-        let p80 = pkt(Ipv4Addr::new(10, 0, 0, 9), cam, TransportHeader::tcp(5555, 80, 0, Default::default()));
-        let p81 = pkt(Ipv4Addr::new(10, 0, 0, 9), cam, TransportHeader::tcp(5555, 81, 0, Default::default()));
+        let p80 = pkt(
+            Ipv4Addr::new(10, 0, 0, 9),
+            cam,
+            TransportHeader::tcp(5555, 80, 0, Default::default()),
+        );
+        let p81 = pkt(
+            Ipv4Addr::new(10, 0, 0, 9),
+            cam,
+            TransportHeader::tcp(5555, 81, 0, Default::default()),
+        );
         assert!(FlowMatch::to_host(cam).matches(PortNo(0), &p80));
         assert!(FlowMatch::to_tcp_service(cam, 80).matches(PortNo(0), &p80));
         assert!(!FlowMatch::to_tcp_service(cam, 80).matches(PortNo(0), &p81));
         assert!(!FlowMatch::to_udp_service(cam, 80).matches(PortNo(0), &p80));
-        assert!(FlowMatch::from_host(cam).matches(PortNo(0), &pkt(cam, cam, TransportHeader::udp(1, 2))));
+        assert!(FlowMatch::from_host(cam)
+            .matches(PortNo(0), &pkt(cam, cam, TransportHeader::udp(1, 2))));
     }
 
     #[test]
     fn in_port_restriction() {
         let m = FlowMatch::any().with_in_port(PortNo(3));
-        let p = pkt(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), TransportHeader::udp(1, 2));
+        let p =
+            pkt(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), TransportHeader::udp(1, 2));
         assert!(m.matches(PortNo(3), &p));
         assert!(!m.matches(PortNo(4), &p));
     }
@@ -338,10 +356,14 @@ mod tests {
     #[test]
     fn miss_counter_and_cookie_removal() {
         let mut t = FlowTable::new();
-        t.install(FlowRule::new(1, FlowMatch::to_host(Ipv4Addr::new(9, 9, 9, 9)), FlowAction::Drop).with_cookie(42));
+        t.install(
+            FlowRule::new(1, FlowMatch::to_host(Ipv4Addr::new(9, 9, 9, 9)), FlowAction::Drop)
+                .with_cookie(42),
+        );
         t.install(FlowRule::new(1, FlowMatch::any(), FlowAction::Normal).with_cookie(42));
         t.install(FlowRule::new(1, FlowMatch::any(), FlowAction::Normal).with_cookie(7));
-        let p = pkt(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), TransportHeader::udp(1, 2));
+        let p =
+            pkt(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), TransportHeader::udp(1, 2));
         assert_eq!(t.remove_by_cookie(42), 2);
         assert_eq!(t.len(), 1);
         assert!(t.lookup(PortNo(0), &p).is_some());
@@ -354,7 +376,8 @@ mod tests {
     fn hit_counters_increment() {
         let mut t = FlowTable::new();
         t.install(FlowRule::new(1, FlowMatch::any(), FlowAction::Normal));
-        let p = pkt(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), TransportHeader::udp(1, 2));
+        let p =
+            pkt(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), TransportHeader::udp(1, 2));
         for _ in 0..5 {
             t.lookup(PortNo(0), &p);
         }

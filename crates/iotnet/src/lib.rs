@@ -8,6 +8,8 @@
 //!
 //! * [`time`] — simulated clock ([`time::SimTime`]) and durations.
 //! * [`engine`] — a time-ordered, FIFO-stable event queue.
+//! * [`faults`] — deterministic fault injection over the event wheel:
+//!   link flaps (fail *and* heal), loss/corruption bursts, partitions.
 //! * [`addr`] — MAC/IPv4 addressing and node identifiers.
 //! * [`packet`] — Ethernet/IPv4/UDP/TCP packet model with a real wire
 //!   codec (encode to bytes, parse back), in the spirit of smoltcp's
@@ -34,6 +36,7 @@
 pub mod addr;
 pub mod capture;
 pub mod engine;
+pub mod faults;
 pub mod flow;
 pub mod link;
 pub mod net;
@@ -45,6 +48,7 @@ pub mod topology;
 
 pub use addr::{EndpointId, Ipv4Addr, MacAddr, NodeId, PortNo, SwitchId};
 pub use engine::EventQueue;
+pub use faults::{FaultScheduler, NetFault};
 pub use flow::{FlowAction, FlowMatch, FlowRule, FlowTable};
 pub use link::{Link, LinkParams};
 pub use net::{Delivery, InlineProcessor, InlineVerdict, Network, SteerHandle};

@@ -25,7 +25,11 @@ pub struct LinkParams {
 impl LinkParams {
     /// A fast wired LAN segment: 100 µs, 1 Gbit/s, lossless.
     pub fn lan() -> LinkParams {
-        LinkParams { latency: SimDuration::from_micros(100), bandwidth_bps: 1_000_000_000, loss: 0.0 }
+        LinkParams {
+            latency: SimDuration::from_micros(100),
+            bandwidth_bps: 1_000_000_000,
+            loss: 0.0,
+        }
     }
 
     /// A home Wi-Fi hop: 2 ms, 50 Mbit/s, 0.5% loss.
@@ -41,7 +45,11 @@ impl LinkParams {
     /// A WAN/Internet path: 40 ms, 100 Mbit/s, 0.1% loss. Used for the
     /// remote-attacker and cloud-service attachment points.
     pub fn wan() -> LinkParams {
-        LinkParams { latency: SimDuration::from_millis(40), bandwidth_bps: 100_000_000, loss: 0.001 }
+        LinkParams {
+            latency: SimDuration::from_millis(40),
+            bandwidth_bps: 100_000_000,
+            loss: 0.001,
+        }
     }
 
     /// An ideal link (zero latency, infinite bandwidth, lossless) for
@@ -67,26 +75,60 @@ pub struct Link {
     pub carried: u64,
     /// Bytes carried.
     pub bytes: u64,
+    /// Transient loss-probability override (fault-injection loss burst);
+    /// while `Some`, it replaces `params.loss`.
+    pub burst_loss: Option<f64>,
+    /// Transient probability that a carried frame is corrupted in flight
+    /// and discarded at the receiver (failed FCS). `0.0` outside bursts.
+    pub corrupt_rate: f64,
+    /// Packets discarded because they were corrupted in flight.
+    pub corrupted: u64,
 }
 
 impl Link {
     /// A new, up link with the given parameters.
     pub fn new(params: LinkParams) -> Link {
-        Link { params, up: true, tx_free_at: SimTime::ZERO, dropped: 0, carried: 0, bytes: 0 }
+        Link {
+            params,
+            up: true,
+            tx_free_at: SimTime::ZERO,
+            dropped: 0,
+            carried: 0,
+            bytes: 0,
+            burst_loss: None,
+            corrupt_rate: 0.0,
+            corrupted: 0,
+        }
+    }
+
+    /// The loss probability currently in force: the burst override if one
+    /// is active, the static parameter otherwise.
+    pub fn effective_loss(&self) -> f64 {
+        self.burst_loss.unwrap_or(self.params.loss)
     }
 
     /// Attempt to transmit `wire_bits` at time `now`.
     ///
     /// Returns `Some(delivery_time)` if the packet survives, `None` if it
-    /// is lost or the link is down. The transmitter queue is advanced
-    /// either way only on success.
-    pub fn transmit<R: Rng>(&mut self, now: SimTime, wire_bits: u64, rng: &mut R) -> Option<SimTime> {
+    /// is lost, corrupted in flight, or the link is down. The transmitter
+    /// queue is advanced either way only on success.
+    pub fn transmit<R: Rng>(
+        &mut self,
+        now: SimTime,
+        wire_bits: u64,
+        rng: &mut R,
+    ) -> Option<SimTime> {
         if !self.up {
             self.dropped += 1;
             return None;
         }
-        if self.params.loss > 0.0 && rng.gen::<f64>() < self.params.loss {
+        let loss = self.effective_loss();
+        if loss > 0.0 && rng.gen::<f64>() < loss {
             self.dropped += 1;
+            return None;
+        }
+        if self.corrupt_rate > 0.0 && rng.gen::<f64>() < self.corrupt_rate {
+            self.corrupted += 1;
             return None;
         }
         let start = now.max(self.tx_free_at);
@@ -164,11 +206,8 @@ mod tests {
     #[test]
     fn lossy_link_drops_roughly_at_rate() {
         let mut rng = StdRng::seed_from_u64(42);
-        let mut link = Link::new(LinkParams {
-            latency: SimDuration::ZERO,
-            bandwidth_bps: 0,
-            loss: 0.3,
-        });
+        let mut link =
+            Link::new(LinkParams { latency: SimDuration::ZERO, bandwidth_bps: 0, loss: 0.3 });
         let mut delivered = 0;
         for _ in 0..10_000 {
             if link.transmit(SimTime::ZERO, 100, &mut rng).is_some() {
@@ -177,6 +216,31 @@ mod tests {
         }
         let rate = delivered as f64 / 10_000.0;
         assert!((rate - 0.7).abs() < 0.03, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn burst_loss_overrides_static_loss() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut link = Link::new(LinkParams::ideal()); // static loss 0.0
+        assert_eq!(link.effective_loss(), 0.0);
+        link.burst_loss = Some(1.0);
+        assert_eq!(link.effective_loss(), 1.0);
+        assert!(link.transmit(SimTime::ZERO, 100, &mut rng).is_none());
+        assert_eq!(link.dropped, 1);
+        link.burst_loss = None;
+        assert!(link.transmit(SimTime::ZERO, 100, &mut rng).is_some());
+    }
+
+    #[test]
+    fn corruption_burst_discards_frames() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut link = Link::new(LinkParams::ideal());
+        link.corrupt_rate = 1.0;
+        assert!(link.transmit(SimTime::ZERO, 100, &mut rng).is_none());
+        assert_eq!(link.corrupted, 1);
+        assert_eq!(link.dropped, 0); // corruption is counted separately
+        link.corrupt_rate = 0.0;
+        assert!(link.transmit(SimTime::ZERO, 100, &mut rng).is_some());
     }
 
     #[test]

@@ -204,7 +204,12 @@ impl Network {
 
     /// Register an inline processor under `id` with a fixed detour latency.
     /// Replaces any previous registration under the same id.
-    pub fn register_steer(&mut self, id: SteerId, processor: Box<dyn InlineProcessor>, detour: SimDuration) {
+    pub fn register_steer(
+        &mut self,
+        id: SteerId,
+        processor: Box<dyn InlineProcessor>,
+        detour: SimDuration,
+    ) {
         self.steer.insert(id, SteerHandle { processor, detour, hits: 0 });
     }
 
@@ -232,7 +237,8 @@ impl Network {
         };
         match link.transmit(now, bits, &mut self.rng) {
             Some(at) => {
-                self.queue.schedule(at, NetEvent::AtSwitch { sw: info.switch, in_port: info.port, pkt });
+                self.queue
+                    .schedule(at, NetEvent::AtSwitch { sw: info.switch, in_port: info.port, pkt });
             }
             None => self.stats.dropped_loss += 1,
         }
@@ -243,7 +249,9 @@ impl Network {
     pub fn step_until(&mut self, deadline: SimTime) -> Vec<Delivery> {
         while let Some((at, ev)) = self.queue.pop_until(deadline) {
             match ev {
-                NetEvent::AtSwitch { sw, in_port, pkt } => self.handle_at_switch(at, sw, in_port, pkt),
+                NetEvent::AtSwitch { sw, in_port, pkt } => {
+                    self.handle_at_switch(at, sw, in_port, pkt)
+                }
                 NetEvent::AtEndpoint { ep, pkt } => {
                     let mac = self.topo.endpoint(ep).mac;
                     if pkt.eth.dst == mac || pkt.eth.dst.is_broadcast() {
@@ -320,7 +328,11 @@ impl Network {
                         if let Some(t) = link.transmit(at, bits, &mut self.rng) {
                             self.queue.schedule(
                                 t,
-                                NetEvent::AtSwitch { sw: next_sw, in_port: next_port, pkt: pkt.clone() },
+                                NetEvent::AtSwitch {
+                                    sw: next_sw,
+                                    in_port: next_port,
+                                    pkt: pkt.clone(),
+                                },
                             );
                         } else {
                             self.stats.dropped_loss += 1;

@@ -85,10 +85,7 @@ impl EthernetHeader {
         dst.copy_from_slice(&data[0..6]);
         src.copy_from_slice(&data[6..12]);
         let ethertype = u16::from_be_bytes([data[12], data[13]]);
-        Ok((
-            EthernetHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype },
-            Self::LEN,
-        ))
+        Ok((EthernetHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype }, Self::LEN))
     }
 }
 
@@ -186,16 +183,14 @@ impl TcpFlags {
     pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false };
 
     fn to_bits(self) -> u8 {
-        (self.fin as u8) | ((self.syn as u8) << 1) | ((self.rst as u8) << 2) | ((self.ack as u8) << 4)
+        (self.fin as u8)
+            | ((self.syn as u8) << 1)
+            | ((self.rst as u8) << 2)
+            | ((self.ack as u8) << 4)
     }
 
     fn from_bits(b: u8) -> TcpFlags {
-        TcpFlags {
-            fin: b & 0x01 != 0,
-            syn: b & 0x02 != 0,
-            rst: b & 0x04 != 0,
-            ack: b & 0x10 != 0,
-        }
+        TcpFlags { fin: b & 0x01 != 0, syn: b & 0x02 != 0, rst: b & 0x04 != 0, ack: b & 0x10 != 0 }
     }
 }
 
@@ -247,14 +242,18 @@ impl TransportHeader {
     /// Source port.
     pub fn src_port(&self) -> u16 {
         match *self {
-            TransportHeader::Udp { src_port, .. } | TransportHeader::Tcp { src_port, .. } => src_port,
+            TransportHeader::Udp { src_port, .. } | TransportHeader::Tcp { src_port, .. } => {
+                src_port
+            }
         }
     }
 
     /// Destination port.
     pub fn dst_port(&self) -> u16 {
         match *self {
-            TransportHeader::Udp { dst_port, .. } | TransportHeader::Tcp { dst_port, .. } => dst_port,
+            TransportHeader::Udp { dst_port, .. } | TransportHeader::Tcp { dst_port, .. } => {
+                dst_port
+            }
         }
     }
 

@@ -76,11 +76,8 @@ impl Switch {
         if !packet.eth.src.is_multicast() {
             self.mac_table.insert(packet.eth.src, in_port);
         }
-        let action = self
-            .table
-            .lookup(in_port, packet)
-            .map(|r| r.action)
-            .unwrap_or(FlowAction::Normal);
+        let action =
+            self.table.lookup(in_port, packet).map(|r| r.action).unwrap_or(FlowAction::Normal);
         match action {
             FlowAction::Drop => {
                 self.policy_drops += 1;

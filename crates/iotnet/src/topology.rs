@@ -110,12 +110,50 @@ impl Topology {
 
     /// Repair both directions of the wire between two nodes.
     pub fn repair_wire(&mut self, a: NodeId, b: NodeId) {
+        self.heal_wire(a, b);
+    }
+
+    /// Heal both directions of the wire between two nodes: the link comes
+    /// back up and traffic resumes. Counterpart to [`Topology::fail_wire`];
+    /// the fault scheduler uses this for the "heal" half of a link flap.
+    pub fn heal_wire(&mut self, a: NodeId, b: NodeId) {
         if let Some(l) = self.links.get_mut(&(a, b)) {
             l.repair();
         }
         if let Some(l) = self.links.get_mut(&(b, a)) {
             l.repair();
         }
+    }
+
+    /// Set or clear a transient loss-probability override on both
+    /// directions of the wire between two nodes.
+    pub fn set_wire_burst_loss(&mut self, a: NodeId, b: NodeId, loss: Option<f64>) {
+        if let Some(l) = self.links.get_mut(&(a, b)) {
+            l.burst_loss = loss;
+        }
+        if let Some(l) = self.links.get_mut(&(b, a)) {
+            l.burst_loss = loss;
+        }
+    }
+
+    /// Set the in-flight corruption probability on both directions of the
+    /// wire between two nodes (`0.0` ends the burst).
+    pub fn set_wire_corrupt_rate(&mut self, a: NodeId, b: NodeId, rate: f64) {
+        if let Some(l) = self.links.get_mut(&(a, b)) {
+            l.corrupt_rate = rate;
+        }
+        if let Some(l) = self.links.get_mut(&(b, a)) {
+            l.corrupt_rate = rate;
+        }
+    }
+
+    /// All undirected wires, each reported once as its lexicographically
+    /// smaller directed key, in sorted order (deterministic regardless of
+    /// insertion order — fault planning iterates this).
+    pub fn wires(&self) -> Vec<LinkKey> {
+        let mut keys: Vec<LinkKey> = self.links.keys().filter(|(a, b)| a <= b).copied().collect();
+        keys.sort();
+        keys
     }
 }
 
@@ -147,7 +185,12 @@ impl TopologyBuilder {
     }
 
     /// Wire two switches together with symmetric link parameters.
-    pub fn connect_switches(&mut self, a: SwitchId, b: SwitchId, params: LinkParams) -> (PortNo, PortNo) {
+    pub fn connect_switches(
+        &mut self,
+        a: SwitchId,
+        b: SwitchId,
+        params: LinkParams,
+    ) -> (PortNo, PortNo) {
         let pa = self.alloc_port(a, PortTarget::Unwired);
         let pb = self.alloc_port(b, PortTarget::Unwired);
         self.topo.switch_ports[a.0 as usize][pa.0 as usize] = PortTarget::Switch(b, pb);
@@ -168,7 +211,12 @@ impl TopologyBuilder {
     }
 
     /// Attach a new endpoint with an explicit IP address.
-    pub fn attach_endpoint_with(&mut self, sw: SwitchId, params: LinkParams, ip: Ipv4Addr) -> EndpointId {
+    pub fn attach_endpoint_with(
+        &mut self,
+        sw: SwitchId,
+        params: LinkParams,
+        ip: Ipv4Addr,
+    ) -> EndpointId {
         let ep = EndpointId(self.topo.endpoints.len() as u32);
         let mac = MacAddr::from_index(ep.0 + 1);
         let port = self.alloc_port(sw, PortTarget::Endpoint(ep));
@@ -297,5 +345,49 @@ mod tests {
         assert!(!t.link(ne, ns).unwrap().up);
         t.repair_wire(ns, ne);
         assert!(t.link(ns, ne).unwrap().up);
+    }
+
+    #[test]
+    fn heal_wire_restores_both_directions() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_switch();
+        let e0 = b.attach_endpoint(s0, LinkParams::lan());
+        let mut t = b.build();
+        let ns = NodeId::Switch(s0);
+        let ne = NodeId::Endpoint(e0);
+        t.fail_wire(ns, ne);
+        t.heal_wire(ns, ne);
+        assert!(t.link(ns, ne).unwrap().up);
+        assert!(t.link(ne, ns).unwrap().up);
+    }
+
+    #[test]
+    fn wires_enumerates_each_wire_once_sorted() {
+        let (t, _, _, _, _, _) = TopologyBuilder::enterprise(2, 3);
+        let wires = t.wires();
+        // 2 core-edge trunks + 6 device uplinks + wan + cluster = 10 wires.
+        assert_eq!(wires.len(), 10);
+        let mut sorted = wires.clone();
+        sorted.sort();
+        assert_eq!(wires, sorted);
+        for (a, b) in &wires {
+            assert!(a <= b);
+            assert!(t.link(*a, *b).is_some() && t.link(*b, *a).is_some());
+        }
+    }
+
+    #[test]
+    fn wire_burst_helpers_hit_both_directions() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_switch();
+        let e0 = b.attach_endpoint(s0, LinkParams::lan());
+        let mut t = b.build();
+        let (ns, ne) = (NodeId::Switch(s0), NodeId::Endpoint(e0));
+        t.set_wire_burst_loss(ns, ne, Some(0.5));
+        assert_eq!(t.link(ne, ns).unwrap().effective_loss(), 0.5);
+        t.set_wire_burst_loss(ns, ne, None);
+        assert_eq!(t.link(ns, ne).unwrap().effective_loss(), 0.0);
+        t.set_wire_corrupt_rate(ns, ne, 0.25);
+        assert_eq!(t.link(ne, ns).unwrap().corrupt_rate, 0.25);
     }
 }

@@ -43,7 +43,9 @@ pub fn mitigation_for(vuln: &Vulnerability) -> Posture {
         }
         Vulnerability::NoAuthControl => Posture::of(SecurityModule::PasswordProxy),
         Vulnerability::ExposedKeyPair { .. } => Posture::of(SecurityModule::Ids { ruleset: 1 }),
-        Vulnerability::OpenDnsResolver => Posture::of(SecurityModule::Block(BlockClass::DnsResponses)),
+        Vulnerability::OpenDnsResolver => {
+            Posture::of(SecurityModule::Block(BlockClass::DnsResponses))
+        }
         Vulnerability::CloudBypassBackdoor => Posture::of(SecurityModule::Block(BlockClass::Cloud)),
     }
 }
@@ -64,7 +66,12 @@ impl PolicyCompiler {
     /// Register a device. Its context domain includes `unpatched` when it
     /// ships with vulnerabilities; standing mitigations and escalation
     /// rules are added automatically.
-    pub fn device(&mut self, id: DeviceId, class: DeviceClass, vulns: &[Vulnerability]) -> &mut Self {
+    pub fn device(
+        &mut self,
+        id: DeviceId,
+        class: DeviceClass,
+        vulns: &[Vulnerability],
+    ) -> &mut Self {
         let mut contexts = vec![
             SecurityContext::Normal,
             SecurityContext::Suspicious,
@@ -77,8 +84,13 @@ impl PolicyCompiler {
 
         for vuln in vulns {
             self.rules.push(
-                PolicyRule::new(priority::MITIGATION, StatePattern::any(), id, mitigation_for(vuln))
-                    .with_origin(&format!("vuln:{}:{id}", vuln.id())),
+                PolicyRule::new(
+                    priority::MITIGATION,
+                    StatePattern::any(),
+                    id,
+                    mitigation_for(vuln),
+                )
+                .with_origin(&format!("vuln:{}:{id}", vuln.id())),
             );
         }
 
@@ -117,7 +129,12 @@ impl PolicyCompiler {
     /// Figure 5: permit actuation on `target` only while `var == value`
     /// (e.g. the oven's plug accepts "ON" only while `Occupancy =
     /// present`).
-    pub fn gate_actuation(&mut self, target: DeviceId, var: EnvVar, value: &'static str) -> &mut Self {
+    pub fn gate_actuation(
+        &mut self,
+        target: DeviceId,
+        var: EnvVar,
+        value: &'static str,
+    ) -> &mut Self {
         self.schema.add_env(var);
         self.rules.push(
             PolicyRule::new(
@@ -142,10 +159,7 @@ impl PolicyCompiler {
                     protected,
                     Posture::of(SecurityModule::Block(BlockClass::OpenVerbs)),
                 )
-                .with_origin(&format!(
-                    "protect:{protected}:on-{}-of:{watched}",
-                    ctx.name()
-                )),
+                .with_origin(&format!("protect:{protected}:on-{}-of:{watched}", ctx.name())),
             );
         }
         self
@@ -207,10 +221,11 @@ mod tests {
     #[test]
     fn suspicion_escalates_on_top_of_mitigation() {
         let policy = compiled();
-        let state = policy
-            .schema
-            .initial_state()
-            .with_context(&policy.schema, CAM, SecurityContext::Suspicious);
+        let state = policy.schema.initial_state().with_context(
+            &policy.schema,
+            CAM,
+            SecurityContext::Suspicious,
+        );
         let p = policy.posture_for(&state, CAM);
         assert!(p.contains(&SecurityModule::ChallengeLogins));
         assert!(p.contains(&SecurityModule::Mirror));
@@ -222,10 +237,11 @@ mod tests {
     #[test]
     fn compromise_quarantines() {
         let policy = compiled();
-        let state = policy
-            .schema
-            .initial_state()
-            .with_context(&policy.schema, PLUG, SecurityContext::Compromised);
+        let state = policy.schema.initial_state().with_context(
+            &policy.schema,
+            PLUG,
+            SecurityContext::Compromised,
+        );
         assert!(policy.posture_for(&state, PLUG).blocks_all());
     }
 
@@ -262,10 +278,11 @@ mod tests {
         c.device(DeviceId(1), DeviceClass::WindowActuator, &[]);
         c.protect_on_suspicion(DeviceId(0), DeviceId(1));
         let policy = c.build();
-        let state = policy
-            .schema
-            .initial_state()
-            .with_context(&policy.schema, DeviceId(0), SecurityContext::Suspicious);
+        let state = policy.schema.initial_state().with_context(
+            &policy.schema,
+            DeviceId(0),
+            SecurityContext::Suspicious,
+        );
         assert!(policy
             .posture_for(&state, DeviceId(1))
             .contains(&SecurityModule::Block(BlockClass::OpenVerbs)));

@@ -92,7 +92,11 @@ pub fn find_rule_conflicts(policy: &FsmPolicy) -> Vec<Conflict> {
 /// the detection-accuracy experiment E2). Returns the planted `(a, b)`
 /// id pairs.
 #[allow(clippy::explicit_counter_loop)] // the zipped-range form reads worse
-pub fn plant_conflicts<R: Rng>(recipes: &mut Vec<Recipe>, n: usize, rng: &mut R) -> Vec<(u32, u32)> {
+pub fn plant_conflicts<R: Rng>(
+    recipes: &mut Vec<Recipe>,
+    n: usize,
+    rng: &mut R,
+) -> Vec<(u32, u32)> {
     use iotdev::proto::ControlAction::*;
     let mut planted = Vec::with_capacity(n);
     let mut next_id = recipes.iter().map(|r| r.id).max().map_or(0, |m| m + 1);
@@ -199,8 +203,13 @@ mod tests {
                 .with_origin("allow-all"),
         );
         policy.add_rule(
-            PolicyRule::new(10, StatePattern::any().env(EnvVar::Smoke, "yes"), DeviceId(0), Posture::quarantine())
-                .with_origin("quarantine-on-smoke"),
+            PolicyRule::new(
+                10,
+                StatePattern::any().env(EnvVar::Smoke, "yes"),
+                DeviceId(0),
+                Posture::quarantine(),
+            )
+            .with_origin("quarantine-on-smoke"),
         );
         let conflicts = find_rule_conflicts(&policy);
         assert_eq!(conflicts.len(), 1);

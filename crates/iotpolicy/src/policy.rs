@@ -114,7 +114,12 @@ pub struct PolicyRule {
 
 impl PolicyRule {
     /// Build a rule affecting one device.
-    pub fn new(priority: u16, pattern: StatePattern, device: DeviceId, posture: Posture) -> PolicyRule {
+    pub fn new(
+        priority: u16,
+        pattern: StatePattern,
+        device: DeviceId,
+        posture: Posture,
+    ) -> PolicyRule {
         let mut postures = BTreeMap::new();
         postures.insert(device, posture);
         PolicyRule { priority, pattern, postures, override_lower: false, origin: String::new() }
@@ -212,10 +217,13 @@ impl FsmPolicy {
     /// Exhaustively enumerate `(state, posture-vector)` pairs. Only for
     /// small schemas (tests and the E1/A1 experiments).
     pub fn enumerate(&self) -> Vec<(SystemState, PostureVector)> {
-        self.schema.iter_states().map(|s| {
-            let v = self.evaluate(&s);
-            (s, v)
-        }).collect()
+        self.schema
+            .iter_states()
+            .map(|s| {
+                let v = self.evaluate(&s);
+                (s, v)
+            })
+            .collect()
     }
 }
 
@@ -296,10 +304,11 @@ mod tests {
     #[test]
     fn figure3_firealarm_suspicion_blocks_window_open() {
         let policy = figure3_policy(ALARM, WINDOW);
-        let state = policy
-            .schema
-            .initial_state()
-            .with_context(&policy.schema, ALARM, SecurityContext::Suspicious);
+        let state = policy.schema.initial_state().with_context(
+            &policy.schema,
+            ALARM,
+            SecurityContext::Suspicious,
+        );
         let p = policy.posture_for(&state, WINDOW);
         assert!(p.contains(&SecurityModule::Block(BlockClass::OpenVerbs)));
         // The alarm itself is not blocked — the posture targets the
@@ -310,10 +319,11 @@ mod tests {
     #[test]
     fn figure3_window_bruteforce_gets_challenge() {
         let policy = figure3_policy(ALARM, WINDOW);
-        let state = policy
-            .schema
-            .initial_state()
-            .with_context(&policy.schema, WINDOW, SecurityContext::Suspicious);
+        let state = policy.schema.initial_state().with_context(
+            &policy.schema,
+            WINDOW,
+            SecurityContext::Suspicious,
+        );
         let p = policy.posture_for(&state, WINDOW);
         assert!(p.contains(&SecurityModule::ChallengeLogins));
         assert!(!p.contains(&SecurityModule::Block(BlockClass::OpenVerbs)));
@@ -344,8 +354,13 @@ mod tests {
             Posture::quarantine(),
         ));
         policy.add_rule(
-            PolicyRule::new(50, StatePattern::any(), DeviceId(0), Posture::of(SecurityModule::Mirror))
-                .overriding(),
+            PolicyRule::new(
+                50,
+                StatePattern::any(),
+                DeviceId(0),
+                Posture::of(SecurityModule::Mirror),
+            )
+            .overriding(),
         );
         let p = policy.posture_for(&policy.schema.initial_state(), DeviceId(0));
         assert!(!p.blocks_all(), "override must replace the quarantine");

@@ -174,12 +174,8 @@ impl PostureVector {
     /// Devices whose posture differs between `self` (old) and `new` —
     /// the reconfiguration set the controller must touch.
     pub fn diff<'a>(&'a self, new: &'a PostureVector) -> Vec<DeviceId> {
-        let mut ids: Vec<DeviceId> = self
-            .by_device
-            .keys()
-            .chain(new.by_device.keys())
-            .copied()
-            .collect();
+        let mut ids: Vec<DeviceId> =
+            self.by_device.keys().chain(new.by_device.keys()).copied().collect();
         ids.sort();
         ids.dedup();
         ids.into_iter().filter(|id| self.posture(*id) != new.posture(*id)).collect()

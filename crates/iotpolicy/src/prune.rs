@@ -168,9 +168,7 @@ pub fn factor(policy: &FsmPolicy) -> FactoredSpace {
         })
         .collect();
     components.sort_by_key(|c| c.slots.clone().into_iter().map(slot_key).min());
-    components
-        .iter_mut()
-        .for_each(|c| c.slots.sort_by_key(|s| slot_key(*s)));
+    components.iter_mut().for_each(|c| c.slots.sort_by_key(|s| slot_key(*s)));
     FactoredSpace { components }
 }
 
@@ -241,11 +239,8 @@ mod tests {
         let f = factor(&policy);
         // The fire alarm and the window are coupled by the fig3 rule; the
         // two env vars (smoke, window) are untouched by rules → separate.
-        let dev_component = f
-            .components
-            .iter()
-            .find(|c| c.slots.contains(&Slot::Device(0)))
-            .unwrap();
+        let dev_component =
+            f.components.iter().find(|c| c.slots.contains(&Slot::Device(0))).unwrap();
         assert!(dev_component.slots.contains(&Slot::Device(1)));
     }
 
@@ -257,11 +252,8 @@ mod tests {
         c.gate_actuation(DeviceId(0), EnvVar::Occupancy, "present");
         let policy = c.build();
         let f = factor(&policy);
-        let plug_comp = f
-            .components
-            .iter()
-            .find(|comp| comp.slots.contains(&Slot::Device(0)))
-            .unwrap();
+        let plug_comp =
+            f.components.iter().find(|comp| comp.slots.contains(&Slot::Device(0))).unwrap();
         let occ_slot = Slot::Env(policy.schema.env_slot(EnvVar::Occupancy).unwrap());
         assert!(plug_comp.slots.contains(&occ_slot));
     }

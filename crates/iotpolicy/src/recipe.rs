@@ -254,7 +254,10 @@ impl TargetPool {
         use ControlAction::*;
         match class {
             DeviceClass::LightBulb => vec![TurnOn, TurnOff, SetColor(1), SetColor(2)],
-            DeviceClass::SmartPlug | DeviceClass::Oven | DeviceClass::Camera | DeviceClass::SetTopBox => {
+            DeviceClass::SmartPlug
+            | DeviceClass::Oven
+            | DeviceClass::Camera
+            | DeviceClass::SetTopBox => {
                 vec![TurnOn, TurnOff]
             }
             DeviceClass::WindowActuator => vec![Open, Close],
@@ -372,9 +375,7 @@ impl Table2Anchor {
 pub fn table2_corpus<R: Rng>(pool: &TargetPool, rng: &mut R) -> Vec<(Table2Anchor, Vec<Recipe>)> {
     let mut out = Vec::new();
     let mut next_id = 0;
-    for anchor in
-        [Table2Anchor::NestProtect, Table2Anchor::WemoInsight, Table2Anchor::ScoutAlarm]
-    {
+    for anchor in [Table2Anchor::NestProtect, Table2Anchor::WemoInsight, Table2Anchor::ScoutAlarm] {
         let corpus = anchor.corpus(pool, rng, next_id);
         next_id += corpus.len() as u32;
         out.push((anchor, corpus));
@@ -451,7 +452,10 @@ mod tests {
         assert!(matches!(parse(0, "IF smoke=maybe THEN dev1 on"), Err(ParseError::Condition(_))));
         assert!(matches!(parse(0, "IF smoke=yes THEN camera on"), Err(ParseError::Target(_))));
         assert!(matches!(parse(0, "IF smoke=yes THEN dev1 explode"), Err(ParseError::Action(_))));
-        assert!(matches!(parse(0, "IF smoke=yes THEN dev1 set-color x"), Err(ParseError::Action(_))));
+        assert!(matches!(
+            parse(0, "IF smoke=yes THEN dev1 set-color x"),
+            Err(ParseError::Action(_))
+        ));
     }
 
     #[test]
@@ -466,8 +470,7 @@ mod tests {
         let total: usize = corpus.iter().map(|(_, r)| r.len()).sum();
         assert_eq!(total, 478);
         // Recipe ids are corpus-unique.
-        let mut ids: Vec<u32> =
-            corpus.iter().flat_map(|(_, r)| r.iter().map(|x| x.id)).collect();
+        let mut ids: Vec<u32> = corpus.iter().flat_map(|(_, r)| r.iter().map(|x| x.id)).collect();
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), 478);

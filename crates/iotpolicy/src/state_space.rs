@@ -88,8 +88,7 @@ impl StateSchema {
     /// is the paper's point.
     pub fn size(&self) -> u128 {
         let dev: u128 = self.devices.iter().map(|d| d.contexts.len() as u128).product();
-        let env: u128 =
-            self.env_vars.iter().map(|v| v.domain().len() as u128).product();
+        let env: u128 = self.env_vars.iter().map(|v| v.domain().len() as u128).product();
         dev.saturating_mul(env)
     }
 
@@ -152,7 +151,12 @@ pub struct SystemState {
 
 impl SystemState {
     /// Set the context of the device in `slot`.
-    pub fn with_context(mut self, schema: &StateSchema, id: DeviceId, ctx: SecurityContext) -> Self {
+    pub fn with_context(
+        mut self,
+        schema: &StateSchema,
+        id: DeviceId,
+        ctx: SecurityContext,
+    ) -> Self {
         if let Some(slot) = schema.device_slot(id) {
             self.contexts[slot] = ctx;
         }
@@ -198,8 +202,7 @@ impl Iterator for StateIter<'_> {
         }
         if carried {
             for (slot, dev) in self.schema.devices.iter().enumerate() {
-                let cur_idx =
-                    dev.contexts.iter().position(|c| *c == s.contexts[slot]).unwrap_or(0);
+                let cur_idx = dev.contexts.iter().position(|c| *c == s.contexts[slot]).unwrap_or(0);
                 if cur_idx + 1 < dev.contexts.len() {
                     s.contexts[slot] = dev.contexts[cur_idx + 1];
                     carried = false;
@@ -252,11 +255,7 @@ mod tests {
         // is impractical" regime the paper warns about.
         let mut s = StateSchema::new();
         for i in 0..40 {
-            s.add_device_with(
-                DeviceId(i),
-                DeviceClass::Camera,
-                SecurityContext::ALL.to_vec(),
-            );
+            s.add_device_with(DeviceId(i), DeviceClass::Camera, SecurityContext::ALL.to_vec());
         }
         s.add_all_env();
         assert!(s.size() > u64::MAX as u128 / 4);
@@ -267,10 +266,7 @@ mod tests {
         let s = two_device_schema();
         let mut env = iotdev::env::Environment::new();
         env.smoke_density = 1.0;
-        let st = s.state_from(
-            &[(DeviceId(0), SecurityContext::Suspicious)],
-            &env.discretize(),
-        );
+        let st = s.state_from(&[(DeviceId(0), SecurityContext::Suspicious)], &env.discretize());
         assert_eq!(s.context_of(&st, DeviceId(0)), Some(SecurityContext::Suspicious));
         assert_eq!(s.context_of(&st, DeviceId(1)), Some(SecurityContext::Normal));
         assert_eq!(s.env_value(&st, EnvVar::Smoke), Some("yes"));

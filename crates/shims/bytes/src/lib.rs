@@ -1,0 +1,346 @@
+//! Offline shim for the `bytes` crate (see `crates/shims/README.md`).
+//!
+//! Provides the slice of the API this workspace uses: cheaply cloneable
+//! immutable [`Bytes`] (ref-counted), an append-only [`BytesMut`] builder
+//! with big-endian `put_*` writers via [`BufMut`], big-endian `get_*`
+//! readers via [`Buf`] on `&[u8]`, and `freeze`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Wrap a static slice.
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copy out to a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Bytes {
+        Bytes::from_static(v)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Bytes {
+        Bytes::from_static(v.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Bytes {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.0[..] == other.0[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self.0[..] == *other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for b in self.0.iter() {
+            for esc in std::ascii::escape_default(*b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Bytes {}
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Bytes {}
+
+/// A growable byte buffer for building wire images.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Convert to an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Big-endian reader methods over a shrinking front-consumed slice (the
+/// subset of `bytes::Buf` in use). Reads past the end panic, as upstream.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Discard the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+    /// Read a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+    /// Read a big-endian i16.
+    fn get_i16(&mut self) -> i16 {
+        self.get_u16() as i16
+    }
+    /// Read a big-endian f64.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+    /// Copy the next `dst.len()` bytes out.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Big-endian writer methods (the subset of `bytes::BufMut` in use).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64);
+
+    /// Append a big-endian i16.
+    fn put_i16(&mut self, v: i16) {
+        self.put_u16(v as u16);
+    }
+    /// Append a big-endian f64.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_endianness() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(0x01);
+        b.put_u16(0x0203);
+        b.put_u32(0x0405_0607);
+        b.put_slice(&[0xff]);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[1, 2, 3, 4, 5, 6, 7, 0xff]);
+        assert_eq!(frozen, Bytes::copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 0xff]));
+    }
+
+    #[test]
+    fn buf_reads_consume_from_the_front() {
+        let data = [1u8, 0x02, 0x03, 0xAA, 0xBB, 0xCC, 0xDD, 9];
+        let mut buf: &[u8] = &data;
+        assert_eq!(buf.remaining(), 8);
+        assert_eq!(buf.get_u8(), 1);
+        assert_eq!(buf.get_u16(), 0x0203);
+        assert_eq!(buf.get_u32(), 0xAABB_CCDD);
+        assert_eq!(buf.remaining(), 1);
+        buf.advance(1);
+        assert_eq!(buf.remaining(), 0);
+
+        let mut b = BytesMut::new();
+        b.put_f64(1.5);
+        b.put_i16(-2);
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_f64(), 1.5);
+        assert_eq!(r.get_i16(), -2);
+    }
+
+    #[test]
+    fn bytes_constructors() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from_static(b"hi").len(), 2);
+        assert_eq!(Bytes::from(vec![9u8]).to_vec(), vec![9u8]);
+    }
+}

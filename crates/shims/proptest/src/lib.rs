@@ -1,0 +1,451 @@
+//! Offline shim for the `proptest` crate (see `crates/shims/README.md`).
+//!
+//! Random property testing without shrinking: each `proptest!` test runs
+//! a fixed number of cases sampled from its strategies with an RNG seeded
+//! deterministically from the test's name, so failures reproduce exactly.
+//! Covers the API surface the workspace uses: `Strategy`/`prop_map`,
+//! `Just`, `any`, ranges, `prop_oneof!`, `collection::vec`, and the
+//! `prop_assert*` macros.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Number of cases each property runs (overridable via `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// The RNG driving a property test run.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeded deterministically from the test name.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A failed test case (returned by `prop_assert*`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Mapped strategy (see [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed sub-strategies (built by `prop_oneof!`).
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        assert!(!self.0.is_empty(), "prop_oneof! of zero strategies");
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].sample(rng)
+    }
+}
+
+/// "Any value of this type" strategy, via [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Arbitrary value of `T` from raw random bits.
+pub fn any<T: ArbitraryBits>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Types constructible from raw random bits for [`any`].
+pub trait ArbitraryBits {
+    /// Build from 64 random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl ArbitraryBits for $t {
+            fn from_bits(bits: u64) -> $t { bits as $t }
+        })*
+    };
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryBits for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl ArbitraryBits for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        f64::from_bits(bits)
+    }
+}
+
+impl ArbitraryBits for f32 {
+    fn from_bits(bits: u64) -> f32 {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl<T: ArbitraryBits> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::from_bits(rng.next_u64())
+    }
+}
+
+/// String strategies from a regex subset: concatenations of literal chars
+/// and `[class]` atoms, each optionally repeated `{m}` / `{m,n}`. Covers
+/// the patterns used in this workspace (e.g. `"[ -~]{0,20}"`); anything
+/// fancier panics so the gap is visible rather than silently mis-sampled.
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pat: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        let mut out = String::new();
+        while i < pat.len() {
+            let class: Vec<char> = if pat[i] == '[' {
+                i += 1;
+                let mut class = Vec::new();
+                while i < pat.len() && pat[i] != ']' {
+                    if i + 2 < pat.len() && pat[i + 1] == '-' && pat[i + 2] != ']' {
+                        let (lo, hi) = (pat[i] as u32, pat[i + 2] as u32);
+                        assert!(lo <= hi, "bad range in regex subset: {self:?}");
+                        class.extend((lo..=hi).filter_map(char::from_u32));
+                        i += 3;
+                    } else {
+                        let mut c = pat[i];
+                        if c == '\\' {
+                            i += 1;
+                            c = pat[i];
+                        }
+                        class.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < pat.len(), "unterminated class in regex subset: {self:?}");
+                i += 1;
+                class
+            } else {
+                let mut c = pat[i];
+                assert!(
+                    !"(){}|?*+^$.".contains(c) || c == '\\',
+                    "unsupported regex construct {c:?} in {self:?}"
+                );
+                if c == '\\' {
+                    i += 1;
+                    c = pat[i];
+                }
+                i += 1;
+                vec![c]
+            };
+            let (lo, hi) = if i < pat.len() && pat[i] == '{' {
+                let close = pat[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repetition in {self:?}"))
+                    + i;
+                let body: String = pat[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                    None => {
+                        let m: usize = body.parse().unwrap();
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!class.is_empty(), "empty class in regex subset: {self:?}");
+            for _ in 0..rng.gen_range(lo..hi + 1) {
+                out.push(class[rng.gen_range(0..class.len())]);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(S0.0, S1.1);
+tuple_strategy!(S0.0, S1.1, S2.2);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        })*
+    };
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A `Vec` of `size` elements sampled from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy built by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.start < self.size.end {
+                rng.gen_range(self.size.clone())
+            } else {
+                self.size.start
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, Strategy, TestCaseError,
+    };
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $(let $arg = $strat;)*
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for case in 0..$crate::cases() {
+                    $(let $arg = $crate::Strategy::sample(&$arg, &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest {} failed at case {}: {}", stringify!($name), case, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fallible assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fallible equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} ({:?} != {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// Fallible inequality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if *lhs == *rhs {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        use rand::Rng;
+        let a: Vec<u64> = {
+            let mut r = crate::TestRng::for_test("t");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::TestRng::for_test("t");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn oneof_map_and_vec_compose(
+            v in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|x| x)], 0..9),
+        ) {
+            prop_assert!(v.len() < 9);
+            for x in v {
+                prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+            }
+        }
+
+        #[test]
+        fn regex_subset_and_tuples(
+            s in "[a-c]{2,5}",
+            pair in ("[x-z]{1,3}", 0u8..4),
+        ) {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let (word, n) = pair;
+            prop_assert!(!word.is_empty() && word.len() <= 3);
+            prop_assert!(word.chars().all(|c| ('x'..='z').contains(&c)));
+            prop_assert!(n < 4);
+        }
+
+        #[test]
+        fn any_samples(b in any::<bool>(), x in any::<u16>(), f in any::<f64>()) {
+            prop_assert!(!b || b);
+            prop_assert_eq!(x, x);
+            prop_assert!(f.is_nan() || f == f);
+        }
+    }
+}

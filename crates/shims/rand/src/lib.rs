@@ -1,0 +1,244 @@
+//! Offline shim for the `rand` crate (see `crates/shims/README.md`).
+//!
+//! Implements the API surface this workspace uses — `StdRng` (xoshiro256**
+//! seeded via splitmix64), the [`Rng`]/[`SeedableRng`] traits with
+//! `gen`/`gen_bool`/`gen_range`, and [`seq::SliceRandom`] with
+//! `choose`/`shuffle`. The streams differ from upstream `rand`'s, but all
+//! workspace code relies only on determinism-per-seed and statistical
+//! uniformity, never on exact upstream values.
+
+/// Core RNG contract plus the convenience samplers.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` from the "standard" distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::standard(self) < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform sample from a half-open range. Panics on an empty range.
+    fn gen_range<T: UniformRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::uniform(self, range)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding contract.
+pub trait SeedableRng: Sized {
+    /// Deterministically construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Sample one value.
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {
+        $(impl Standard for $t {
+            fn standard<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types samplable uniformly from a `Range` by [`Rng::gen_range`].
+pub trait UniformRange: Sized {
+    /// Uniform sample from `range`.
+    fn uniform<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {
+        $(impl UniformRange for $t {
+            fn uniform<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Lemire multiply-shift: uniform enough for simulation use.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (range.start as i128 + hi) as $t
+            }
+        })*
+    };
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformRange for f64 {
+    fn uniform<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + f64::standard(rng) * (range.end - range.start)
+    }
+}
+
+/// Named RNGs.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 expansion of the seed, as upstream does.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// `choose`/`shuffle` over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// In-place Fisher-Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..i + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_is_uniform_unit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs = [1, 2, 3, 4];
+        assert!(xs.choose(&mut rng).is_some());
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut ys: Vec<u32> = (0..100).collect();
+        ys.shuffle(&mut rng);
+        let mut sorted = ys.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(ys, sorted); // astronomically unlikely to be identity
+    }
+}

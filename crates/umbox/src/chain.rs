@@ -17,6 +17,7 @@ use iotnet::net::{InlineProcessor, InlineVerdict};
 use iotnet::packet::Packet;
 use iotnet::time::{SimDuration, SimTime};
 use iotpolicy::posture::{Posture, SecurityModule};
+use serde::Serialize;
 
 /// One slot in a chain. A closed enum (rather than trait objects all the
 /// way down) so rulesets can be hot-swapped without downcasting; the
@@ -70,6 +71,24 @@ impl Slot {
     }
 }
 
+/// What a chain does with traffic while its µmbox instance is down
+/// (crashed and awaiting watchdog respawn, or disruptively rebooting).
+///
+/// The trade-off is the classic one: `FailOpen` preserves availability
+/// but leaves the device unprotected for the outage window; `FailClosed`
+/// preserves the security invariant but blackholes the device. The chaos
+/// experiment (E15) quantifies both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum FailureMode {
+    /// Pass traffic unfiltered while down (availability over security).
+    /// The default, matching the implicit semantics of the boot window
+    /// before a chain's steer rule is installed.
+    #[default]
+    FailOpen,
+    /// Drop traffic while down (security over availability).
+    FailClosed,
+}
+
 /// Everything the compiler needs besides the posture itself.
 #[derive(Debug, Clone)]
 pub struct ChainConfig {
@@ -85,6 +104,8 @@ pub struct ChainConfig {
     pub view: ViewHandle,
     /// Where the chain reports security events.
     pub events: EventSink,
+    /// What the chain does with traffic while its instance is down.
+    pub failure_mode: FailureMode,
 }
 
 /// A compiled chain attached (or attachable) to a steer point.
@@ -101,6 +122,15 @@ pub struct UmboxChain {
     pub intercepted: u64,
     /// Accumulated processing time.
     pub busy: SimDuration,
+    /// What to do with traffic while the backing instance is down.
+    pub failure_mode: FailureMode,
+    /// Whether the backing instance is currently down (set by the
+    /// simulation loop from the lifecycle manager's serving state).
+    pub down: bool,
+    /// Packets passed unfiltered because the chain was down fail-open.
+    pub fail_open_passed: u64,
+    /// Packets dropped because the chain was down fail-closed.
+    pub fail_closed_dropped: u64,
 }
 
 impl UmboxChain {
@@ -114,6 +144,10 @@ impl UmboxChain {
             dropped: 0,
             intercepted: 0,
             busy: SimDuration::ZERO,
+            failure_mode: FailureMode::default(),
+            down: false,
+            fail_open_passed: 0,
+            fail_closed_dropped: 0,
         }
     }
 
@@ -146,7 +180,23 @@ impl UmboxChain {
     }
 
     /// Run a packet through the chain (the core of the inline adapter).
+    ///
+    /// While the backing instance is down, the packet never reaches the
+    /// elements: it is passed unfiltered (`FailOpen`) or dropped
+    /// (`FailClosed`) at zero processing cost.
     pub fn run(&mut self, now: SimTime, packet: Packet) -> InlineVerdict {
+        if self.down {
+            return match self.failure_mode {
+                FailureMode::FailOpen => {
+                    self.fail_open_passed += 1;
+                    InlineVerdict::pass(packet, SimDuration::ZERO)
+                }
+                FailureMode::FailClosed => {
+                    self.fail_closed_dropped += 1;
+                    InlineVerdict::drop(SimDuration::ZERO)
+                }
+            };
+        }
         self.processed += 1;
         let mut cost = SimDuration::ZERO;
         let mut current = packet;
@@ -191,6 +241,7 @@ impl InlineProcessor for UmboxChain {
 /// mirror tap last so it sees exactly what the device would.
 pub fn build_chain(posture: &Posture, config: &ChainConfig) -> UmboxChain {
     let mut chain = UmboxChain::empty(config.device, config.events.clone());
+    chain.failure_mode = config.failure_mode;
     use iotpolicy::posture::BlockClass;
 
     for module in posture.modules() {
@@ -225,7 +276,12 @@ pub fn build_chain(posture: &Posture, config: &ChainConfig) -> UmboxChain {
     }
     for module in posture.modules() {
         if let SecurityModule::ContextGate { var, value } = module {
-            chain.push(Slot::Gate(ContextGate::new(config.device, *var, value, config.view.clone())));
+            chain.push(Slot::Gate(ContextGate::new(
+                config.device,
+                *var,
+                value,
+                config.view.clone(),
+            )));
         }
     }
     if posture.contains(&SecurityModule::ChallengeLogins) {
@@ -260,6 +316,7 @@ mod tests {
             signatures: Vec::new(),
             view: ViewHandle::new(),
             events: EventSink::new(),
+            failure_mode: FailureMode::FailOpen,
         }
     }
 
@@ -286,7 +343,10 @@ mod tests {
         let mut chain = build_chain(&Posture::quarantine(), &cfg);
         let out = chain.run(
             SimTime::ZERO,
-            pkt(ports::TELEMETRY, &AppMessage::Telemetry { kind: iotdev::proto::TelemetryKind::Status, value: 0.0 }),
+            pkt(
+                ports::TELEMETRY,
+                &AppMessage::Telemetry { kind: iotdev::proto::TelemetryKind::Status, value: 0.0 },
+            ),
         );
         assert!(out.forward.is_empty());
         assert_eq!(chain.dropped, 1);
@@ -327,7 +387,8 @@ mod tests {
         let cfg = config();
         let posture = Posture::of(SecurityModule::PasswordProxy);
         let mut chain = build_chain(&posture, &cfg);
-        let login = pkt(ports::MGMT, &AppMessage::MgmtLogin { user: "admin".into(), pass: "admin".into() });
+        let login =
+            pkt(ports::MGMT, &AppMessage::MgmtLogin { user: "admin".into(), pass: "admin".into() });
         for _ in 0..3 {
             let out = chain.run(SimTime::ZERO, login.clone());
             // Proxy answers with a denial on the device's behalf.
@@ -344,7 +405,8 @@ mod tests {
         use iotlearn::signature::{Matcher, Severity};
         let cfg = config();
         let mut chain = build_chain(&Posture::of(SecurityModule::Ids { ruleset: 1 }), &cfg);
-        let backdoor = pkt(ports::CLOUD, &AppMessage::CloudCommand { action: ControlAction::TurnOff });
+        let backdoor =
+            pkt(ports::CLOUD, &AppMessage::CloudCommand { action: ControlAction::TurnOff });
         assert_eq!(chain.run(SimTime::ZERO, backdoor.clone()).forward.len(), 1);
         let gen = chain.update_signatures(vec![AttackSignature::new(
             Sku::new("belkin", "wemo", "1.1"),
@@ -360,12 +422,44 @@ mod tests {
     }
 
     #[test]
+    fn down_chain_fails_open_or_closed() {
+        let posture = Posture::quarantine(); // would drop everything if up
+        let mut open = build_chain(&posture, &config());
+        open.down = true;
+        let p = pkt(
+            ports::TELEMETRY,
+            &AppMessage::Telemetry { kind: iotdev::proto::TelemetryKind::Status, value: 0.0 },
+        );
+        let out = open.run(SimTime::ZERO, p.clone());
+        // Fail-open: the quarantine is bypassed while down.
+        assert_eq!(out.forward.len(), 1);
+        assert_eq!(open.fail_open_passed, 1);
+        assert_eq!(open.processed, 0);
+
+        let mut cfg = config();
+        cfg.failure_mode = FailureMode::FailClosed;
+        let mut closed = build_chain(&Posture::allow(), &cfg); // would pass if up
+        closed.down = true;
+        assert!(closed.run(SimTime::ZERO, p.clone()).forward.is_empty());
+        assert_eq!(closed.fail_closed_dropped, 1);
+
+        // Back up: normal processing resumes.
+        closed.down = false;
+        assert_eq!(closed.run(SimTime::ZERO, p).forward.len(), 1);
+        assert_eq!(closed.processed, 1);
+    }
+
+    #[test]
     fn gate_in_chain_respects_view() {
         let cfg = config();
         cfg.view.set(EnvVar::Occupancy, "absent");
-        let posture = Posture::of(SecurityModule::ContextGate { var: EnvVar::Occupancy, value: "present" });
+        let posture =
+            Posture::of(SecurityModule::ContextGate { var: EnvVar::Occupancy, value: "present" });
         let mut chain = build_chain(&posture, &cfg);
-        let on = pkt(ports::CONTROL, &AppMessage::Control { action: ControlAction::TurnOn, auth: ControlAuth::None });
+        let on = pkt(
+            ports::CONTROL,
+            &AppMessage::Control { action: ControlAction::TurnOn, auth: ControlAuth::None },
+        );
         assert!(chain.run(SimTime::ZERO, on.clone()).forward.is_empty());
         cfg.view.set(EnvVar::Occupancy, "present");
         assert_eq!(chain.run(SimTime::ZERO, on).forward.len(), 1);

@@ -7,8 +7,8 @@
 //! on the device's behalf, report security events, and account its
 //! processing cost.
 
-use iotdev::events::SecurityEvent;
 use iotdev::env::EnvVar;
+use iotdev::events::SecurityEvent;
 use iotnet::packet::Packet;
 use iotnet::time::{SimDuration, SimTime};
 use std::cell::RefCell;
@@ -149,14 +149,22 @@ mod tests {
     fn event_sink_roundtrip() {
         let sink = EventSink::new();
         assert!(sink.is_empty());
-        sink.push_all([SecurityEvent::new(SimTime::ZERO, DeviceId(1), SecurityEventKind::SmokeAlarm)]);
+        sink.push_all([SecurityEvent::new(
+            SimTime::ZERO,
+            DeviceId(1),
+            SecurityEventKind::SmokeAlarm,
+        )]);
         assert_eq!(sink.len(), 1);
         let drained = sink.drain();
         assert_eq!(drained.len(), 1);
         assert!(sink.is_empty());
         // Clones share state.
         let clone = sink.clone();
-        clone.push_all([SecurityEvent::new(SimTime::ZERO, DeviceId(2), SecurityEventKind::SmokeAlarm)]);
+        clone.push_all([SecurityEvent::new(
+            SimTime::ZERO,
+            DeviceId(2),
+            SecurityEventKind::SmokeAlarm,
+        )]);
         assert_eq!(sink.len(), 1);
     }
 

@@ -133,7 +133,13 @@ pub struct RateLimiter {
 impl RateLimiter {
     /// A limiter at `pps` with a burst of the same size.
     pub fn new(pps: u32) -> RateLimiter {
-        RateLimiter { pps, burst: pps.max(1), tokens: pps.max(1) as f64, last_refill: SimTime::ZERO, dropped: 0 }
+        RateLimiter {
+            pps,
+            burst: pps.max(1),
+            tokens: pps.max(1) as f64,
+            last_refill: SimTime::ZERO,
+            dropped: 0,
+        }
     }
 
     fn refill(&mut self, now: SimTime) {
@@ -240,7 +246,8 @@ mod tests {
     #[test]
     fn on_verbs_and_cloud_blocks() {
         let mut on = BlockFilter::new(DeviceId(0), BlockClass::OnVerbs);
-        let turn_on = AppMessage::Control { action: ControlAction::TurnOn, auth: ControlAuth::None };
+        let turn_on =
+            AppMessage::Control { action: ControlAction::TurnOn, auth: ControlAuth::None };
         let cloud_on = AppMessage::CloudCommand { action: ControlAction::TurnOn };
         assert!(on.process(SimTime::ZERO, pkt(ports::CONTROL, &turn_on)).packet.is_none());
         assert!(on.process(SimTime::ZERO, pkt(ports::CLOUD, &cloud_on)).packet.is_none());
@@ -255,7 +262,13 @@ mod tests {
     fn block_all_blocks_everything() {
         let mut f = BlockFilter::new(DeviceId(0), BlockClass::All);
         assert!(f
-            .process(SimTime::ZERO, pkt(ports::TELEMETRY, &AppMessage::Event { kind: iotdev::proto::EventKind::SmokeAlarm }))
+            .process(
+                SimTime::ZERO,
+                pkt(
+                    ports::TELEMETRY,
+                    &AppMessage::Event { kind: iotdev::proto::EventKind::SmokeAlarm }
+                )
+            )
             .packet
             .is_none());
     }
@@ -264,11 +277,17 @@ mod tests {
     fn whitelist_drops_undeclared_planes() {
         let mut w = ProtocolWhitelist::standard();
         assert!(w
-            .process(SimTime::ZERO, pkt(ports::CLOUD, &AppMessage::CloudCommand { action: ControlAction::TurnOn }))
+            .process(
+                SimTime::ZERO,
+                pkt(ports::CLOUD, &AppMessage::CloudCommand { action: ControlAction::TurnOn })
+            )
             .packet
             .is_none());
         assert!(w
-            .process(SimTime::ZERO, pkt(ports::DNS, &AppMessage::DnsQuery { name: "x".into(), recursion: true }))
+            .process(
+                SimTime::ZERO,
+                pkt(ports::DNS, &AppMessage::DnsQuery { name: "x".into(), recursion: true })
+            )
             .packet
             .is_none());
         assert!(w.process(SimTime::ZERO, pkt(ports::CONTROL, &close_msg())).packet.is_some());
@@ -289,7 +308,11 @@ mod tests {
         // After a second, ~10 more tokens.
         let mut passed = 0;
         for _ in 0..100 {
-            if rl.process(SimTime::from_secs(1), pkt(ports::TELEMETRY, &close_msg())).packet.is_some() {
+            if rl
+                .process(SimTime::from_secs(1), pkt(ports::TELEMETRY, &close_msg()))
+                .packet
+                .is_some()
+            {
                 passed += 1;
             }
         }

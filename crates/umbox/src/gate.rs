@@ -10,11 +10,11 @@
 
 use crate::element::{costs, Element, ElementOutcome, ViewHandle};
 use iotdev::device::DeviceId;
+use iotdev::env::EnvVar;
 use iotdev::events::{SecurityEvent, SecurityEventKind};
 use iotdev::proto::AppMessage;
 use iotnet::packet::Packet;
 use iotnet::time::SimTime;
-use iotdev::env::EnvVar;
 
 /// The Figure 5 context gate.
 #[derive(Debug)]
@@ -35,7 +35,12 @@ pub struct ContextGate {
 
 impl ContextGate {
     /// A gate requiring `var == required` on `view`.
-    pub fn new(device: DeviceId, var: EnvVar, required: &'static str, view: ViewHandle) -> ContextGate {
+    pub fn new(
+        device: DeviceId,
+        var: EnvVar,
+        required: &'static str,
+        view: ViewHandle,
+    ) -> ContextGate {
         ContextGate { device, var, required, view, blocked: 0, allowed: 0 }
     }
 
@@ -133,7 +138,8 @@ mod tests {
             Ipv4Addr::new(10, 0, 0, 7),
             Ipv4Addr::new(10, 0, 0, 5),
             TransportHeader::udp(4000, ports::TELEMETRY),
-            AppMessage::Telemetry { kind: iotdev::proto::TelemetryKind::Power, value: 1.0 }.encode(),
+            AppMessage::Telemetry { kind: iotdev::proto::TelemetryKind::Power, value: 1.0 }
+                .encode(),
         );
         let out = gate.process(SimTime::ZERO, telemetry);
         assert!(out.packet.is_some());

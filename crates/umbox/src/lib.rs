@@ -35,7 +35,7 @@ pub mod lifecycle;
 pub mod proxy;
 pub mod resource;
 
-pub use chain::{build_chain, ChainConfig, UmboxChain};
+pub use chain::{build_chain, ChainConfig, FailureMode, UmboxChain};
 pub use element::{Element, ElementOutcome, EventSink, ViewHandle};
 pub use lifecycle::{LifecycleManager, UmboxInstance, UmboxState, VmKind};
 pub use resource::{Cluster, PlacementPolicy};

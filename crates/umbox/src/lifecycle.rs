@@ -20,7 +20,7 @@ use iotdev::device::DeviceId;
 use iotnet::stats::DurationHist;
 use iotnet::time::{SimDuration, SimTime};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How a µmbox is realized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -89,6 +89,12 @@ pub enum UmboxState {
         /// Whether traffic is dropped meanwhile.
         disruptive: bool,
     },
+    /// Crashed (fault injection); the watchdog begins a respawn at the
+    /// stored time. Not serving meanwhile.
+    Crashed {
+        /// When the watchdog notices the crash and starts the respawn.
+        restart_at: SimTime,
+    },
     /// Destroyed.
     Dead,
 }
@@ -112,6 +118,8 @@ pub struct UmboxInstance {
     pub boots: u32,
     /// In-place reconfigurations performed.
     pub reconfigs: u32,
+    /// Crashes suffered (fault injection).
+    pub crashes: u32,
 }
 
 impl UmboxInstance {
@@ -121,6 +129,7 @@ impl UmboxInstance {
             UmboxState::Running => true,
             UmboxState::Booting { ready_at } => now >= ready_at,
             UmboxState::Reconfiguring { done_at, disruptive } => !disruptive || now >= done_at,
+            UmboxState::Crashed { .. } => false,
             UmboxState::Dead => false,
         }
     }
@@ -130,10 +139,20 @@ impl UmboxInstance {
 /// pre-booted unikernels.
 #[derive(Debug)]
 pub struct LifecycleManager {
-    instances: HashMap<UmboxId, UmboxInstance>,
+    // BTreeMap so watchdog respawns consume pool slots in id order — a
+    // HashMap would make simultaneous respawns racy on the pool and break
+    // the chaos layer's bit-for-bit reproducibility.
+    instances: BTreeMap<UmboxId, UmboxInstance>,
     next_id: u32,
     /// Pre-booted unikernels available for instant attach.
     pub pool_available: u32,
+    /// How long the watchdog takes to notice a crashed instance and start
+    /// the respawn.
+    pub watchdog_delay: SimDuration,
+    /// Crashes injected so far.
+    pub crashes: u64,
+    /// Watchdog respawns performed so far.
+    pub respawns: u64,
     /// Instantiation latencies observed.
     pub boot_hist: DurationHist,
     /// Reconfiguration latencies observed.
@@ -144,9 +163,12 @@ impl LifecycleManager {
     /// A manager with `pool` pre-booted unikernels.
     pub fn new(pool: u32) -> LifecycleManager {
         LifecycleManager {
-            instances: HashMap::new(),
+            instances: BTreeMap::new(),
             next_id: 0,
             pool_available: pool,
+            watchdog_delay: SimDuration::from_secs(5),
+            crashes: 0,
+            respawns: 0,
             boot_hist: DurationHist::new(),
             reconfig_hist: DurationHist::new(),
         }
@@ -180,9 +202,26 @@ impl LifecycleManager {
                 state: UmboxState::Booting { ready_at },
                 boots: 1,
                 reconfigs: 0,
+                crashes: 0,
             },
         );
         (id, ready_at)
+    }
+
+    /// Crash an instance at `now` (fault injection). The instance stops
+    /// serving immediately; the watchdog notices after
+    /// [`LifecycleManager::watchdog_delay`] and respawns it from the pool
+    /// (see [`LifecycleManager::advance`]). A crashed pooled slot is lost
+    /// — it does not return to the pool. No-op on unknown/dead handles.
+    pub fn crash(&mut self, id: UmboxId, now: SimTime) {
+        if let Some(inst) = self.instances.get_mut(&id) {
+            if inst.state == UmboxState::Dead {
+                return;
+            }
+            inst.state = UmboxState::Crashed { restart_at: now + self.watchdog_delay };
+            inst.crashes += 1;
+            self.crashes += 1;
+        }
     }
 
     /// Reconfigure an instance at `now`; returns when the new
@@ -191,6 +230,11 @@ impl LifecycleManager {
     pub fn reconfigure(&mut self, id: UmboxId, now: SimTime) -> SimTime {
         let inst = self.instances.get_mut(&id).expect("unknown umbox");
         assert!(inst.state != UmboxState::Dead, "reconfiguring a dead umbox");
+        if let UmboxState::Crashed { restart_at } = inst.state {
+            // A crashed instance can't apply the reconfig; the new
+            // configuration goes live once the watchdog respawn completes.
+            return restart_at + inst.kind.boot_latency();
+        }
         let (latency, disruptive) = inst.kind.reconfigure();
         self.reconfig_hist.record(latency);
         let done_at = now + latency;
@@ -200,8 +244,39 @@ impl LifecycleManager {
     }
 
     /// Mark booting/reconfiguring instances whose deadline passed as
-    /// running (called from the simulation loop).
+    /// running, and respawn crashed instances whose watchdog fired
+    /// (called from the simulation loop).
     pub fn advance(&mut self, now: SimTime) {
+        // Watchdog pass: respawn due crashed instances in id order so the
+        // pool is consumed deterministically.
+        let due: Vec<(UmboxId, SimTime)> = self
+            .instances
+            .values()
+            .filter_map(|i| match i.state {
+                UmboxState::Crashed { restart_at } if now >= restart_at => Some((i.id, restart_at)),
+                _ => None,
+            })
+            .collect();
+        for (id, restart_at) in due {
+            let kind = self.instances[&id].kind;
+            let effective = if kind == VmKind::UnikernelPooled {
+                if self.pool_available > 0 {
+                    self.pool_available -= 1;
+                    VmKind::UnikernelPooled
+                } else {
+                    VmKind::Unikernel
+                }
+            } else {
+                kind
+            };
+            let latency = effective.boot_latency();
+            self.boot_hist.record(latency);
+            let inst = self.instances.get_mut(&id).expect("respawn of known instance");
+            inst.kind = effective;
+            inst.state = UmboxState::Booting { ready_at: restart_at + latency };
+            inst.boots += 1;
+            self.respawns += 1;
+        }
         for inst in self.instances.values_mut() {
             match inst.state {
                 UmboxState::Booting { ready_at } if now >= ready_at => {
@@ -314,6 +389,61 @@ mod tests {
         assert_eq!(mgr.pool_available, 1);
         assert_eq!(mgr.serving_count(ready), 0);
         assert_eq!(mgr.live().count(), 0);
+    }
+
+    #[test]
+    fn crash_stops_service_and_watchdog_respawns_from_pool() {
+        let mut mgr = LifecycleManager::new(2);
+        mgr.watchdog_delay = SimDuration::from_secs(5);
+        let (id, ready) = mgr.launch(DeviceId(0), VmKind::UnikernelPooled, SimTime::ZERO);
+        mgr.advance(ready);
+        assert!(mgr.get(id).unwrap().is_serving(ready));
+
+        let crash_at = SimTime::from_secs(10);
+        mgr.crash(id, crash_at);
+        assert!(!mgr.get(id).unwrap().is_serving(crash_at));
+        assert_eq!(mgr.crashes, 1);
+        assert_eq!(mgr.get(id).unwrap().crashes, 1);
+        // The crashed pooled slot is lost, not returned.
+        assert_eq!(mgr.pool_available, 1);
+
+        // Before the watchdog fires nothing happens.
+        mgr.advance(crash_at + SimDuration::from_secs(1));
+        assert!(!mgr.get(id).unwrap().is_serving(crash_at + SimDuration::from_secs(1)));
+
+        // Watchdog fires: respawn attaches a fresh pooled unikernel.
+        let restart = crash_at + mgr.watchdog_delay;
+        mgr.advance(restart);
+        let back = restart + VmKind::UnikernelPooled.boot_latency();
+        assert!(mgr.get(id).unwrap().is_serving(back));
+        assert_eq!(mgr.respawns, 1);
+        assert_eq!(mgr.get(id).unwrap().boots, 2);
+        assert_eq!(mgr.pool_available, 0);
+    }
+
+    #[test]
+    fn respawn_falls_back_to_cold_boot_when_pool_is_dry() {
+        let mut mgr = LifecycleManager::new(1);
+        let (id, ready) = mgr.launch(DeviceId(0), VmKind::UnikernelPooled, SimTime::ZERO);
+        mgr.advance(ready);
+        assert_eq!(mgr.pool_available, 0);
+        mgr.crash(id, SimTime::from_secs(1));
+        let restart = SimTime::from_secs(1) + mgr.watchdog_delay;
+        mgr.advance(restart);
+        assert_eq!(mgr.get(id).unwrap().kind, VmKind::Unikernel);
+        assert!(mgr.get(id).unwrap().is_serving(restart + VmKind::Unikernel.boot_latency()));
+    }
+
+    #[test]
+    fn reconfigure_during_crash_defers_to_the_respawn() {
+        let mut mgr = LifecycleManager::new(1);
+        let (id, ready) = mgr.launch(DeviceId(0), VmKind::UnikernelPooled, SimTime::ZERO);
+        mgr.advance(ready);
+        mgr.crash(id, SimTime::from_secs(1));
+        let done = mgr.reconfigure(id, SimTime::from_secs(2));
+        // Still crashed; the new config activates with the respawn.
+        assert!(matches!(mgr.get(id).unwrap().state, UmboxState::Crashed { .. }));
+        assert!(done >= SimTime::from_secs(1) + mgr.watchdog_delay);
     }
 
     #[test]

@@ -120,7 +120,9 @@ impl Element for PasswordProxy {
             }
             (ports::CONTROL, Ok(AppMessage::Control { auth, .. })) => {
                 let ok = match &auth {
-                    iotdev::proto::ControlAuth::Password { user, pass } => self.creds_ok(user, pass),
+                    iotdev::proto::ControlAuth::Password { user, pass } => {
+                        self.creds_ok(user, pass)
+                    }
                     _ => self.authorized.contains(&packet.ip.src),
                 };
                 if ok {
@@ -187,7 +189,7 @@ impl Element for LoginChallenger {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use iotnet::addr::{Ipv4Addr, MacAddr};
 
     fn login_pkt(user: &str, pass: &str) -> Packet {

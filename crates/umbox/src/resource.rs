@@ -75,9 +75,7 @@ impl Cluster {
     pub fn place(&mut self, device: DeviceId, kind: VmKind) -> Result<usize, NoCapacity> {
         let need = kind.footprint_mib();
         let candidate = match self.policy {
-            PlacementPolicy::FirstFit => {
-                self.servers.iter().position(|s| s.free() >= need)
-            }
+            PlacementPolicy::FirstFit => self.servers.iter().position(|s| s.free() >= need),
             PlacementPolicy::LeastLoaded => {
                 let mut best: Option<(usize, u32)> = None;
                 for (i, s) in self.servers.iter().enumerate() {

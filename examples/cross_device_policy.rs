@@ -23,7 +23,11 @@ fn run(defense: Defense, label: &str) {
 
     println!("--- {label} ---");
     for outcome in &report.attack_outcomes {
-        println!("  {:<32} {}", outcome.label, if outcome.success { "SUCCEEDED" } else { "blocked" });
+        println!(
+            "  {:<32} {}",
+            outcome.label,
+            if outcome.success { "SUCCEEDED" } else { "blocked" }
+        );
     }
     let plug_on = world.device(wemo).logic.is_on().unwrap_or(false);
     println!("  oven plug ended up ON:  {plug_on}");

@@ -35,7 +35,11 @@ fn main() {
 
         println!("defense = {label}");
         for outcome in &report.attack_outcomes {
-            println!("  step {:<28} -> {}", outcome.label, if outcome.success { "SUCCEEDED" } else { "blocked" });
+            println!(
+                "  step {:<28} -> {}",
+                outcome.label,
+                if outcome.success { "SUCCEEDED" } else { "blocked" }
+            );
         }
         println!(
             "  camera image stolen: {}\n",

@@ -22,7 +22,11 @@ fn run(defense: Defense, label: &str) {
 
     println!("--- {label} ---");
     for outcome in &report.attack_outcomes {
-        println!("  {:<32} {}", outcome.label, if outcome.success { "SUCCEEDED" } else { "blocked" });
+        println!(
+            "  {:<32} {}",
+            outcome.label,
+            if outcome.success { "SUCCEEDED" } else { "blocked" }
+        );
     }
     println!("  privacy leaked:   {}", report.privacy_leaked.contains(&camera));
     println!("  proxy intercepts: {}", report.umbox_intercepts);

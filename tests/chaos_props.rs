@@ -1,0 +1,69 @@
+//! Chaos determinism properties: a fault schedule is part of the run's
+//! seed, so identical `(Deployment, ChaosConfig)` pairs must reproduce
+//! byte-identical metrics — faults, crashes, outages, failovers and all.
+
+use iotsec_repro::iotdev::proto::MgmtCommand;
+use iotsec_repro::iotnet::time::{SimDuration, SimTime};
+use iotsec_repro::iotsec::chaos::ChaosConfig;
+use iotsec_repro::iotsec::defense::Defense;
+use iotsec_repro::iotsec::deployment::{Deployment, DeviceSetup, StepSpec};
+use iotsec_repro::iotsec::world::World;
+use proptest::prelude::*;
+
+fn chaos_run(chaos_seed: u64, flaps: u32, bursts: u32, crashes: u32, outages: u32) -> String {
+    let mut d = Deployment::new();
+    let cam = d.device(DeviceSetup::table1_row(1));
+    let plug = d.device(DeviceSetup::table1_row(6));
+    d.campaign(vec![
+        StepSpec::Wait(SimDuration::from_secs(3)),
+        StepSpec::DictionaryLogin(cam),
+        StepSpec::Mgmt(cam, MgmtCommand::GetImage),
+        StepSpec::DnsReflect { reflector: plug, queries: 20 },
+    ]);
+    d.defend_with(Defense::iotsec());
+    d.chaos(
+        ChaosConfig {
+            link_flaps: flaps,
+            loss_bursts: bursts,
+            umbox_crashes: crashes,
+            controller_outages: outages,
+            outage_len: SimDuration::from_secs(5),
+            horizon: SimDuration::from_secs(25),
+            ..ChaosConfig::default()
+        }
+        .with_seed(chaos_seed)
+        .crash(SimTime::from_secs(4), cam),
+    );
+    let mut w = World::new(&d);
+    w.run(SimDuration::from_secs(30));
+    format!("{:?}", w.report())
+}
+
+proptest! {
+    /// Same chaos seed ⇒ byte-identical metrics, whatever the schedule.
+    #[test]
+    fn same_chaos_seed_reproduces_identical_metrics(
+        seed in any::<u64>(),
+        flaps in 0u32..4,
+        bursts in 0u32..3,
+        crashes in 0u32..3,
+        outages in 0u32..2,
+    ) {
+        let a = chaos_run(seed, flaps, bursts, crashes, outages);
+        let b = chaos_run(seed, flaps, bursts, crashes, outages);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// The schedule actually matters: the property above is not vacuous —
+/// across a handful of seeds, at least one places its faults where they
+/// change the observable outcome.
+#[test]
+fn chaos_schedule_is_seed_dependent() {
+    let base = chaos_run(1, 3, 2, 2, 1);
+    assert_eq!(base, chaos_run(1, 3, 2, 2, 1));
+    assert!(
+        (2..10).any(|seed| chaos_run(seed, 3, 2, 2, 1) != base),
+        "every seed produced identical metrics — fault injection is inert"
+    );
+}

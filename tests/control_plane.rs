@@ -58,12 +58,9 @@ fn stale_view_admits_a_racing_actuation() {
     let run = |propagation: SimDuration| {
         let mut d = Deployment::new();
         let wemo = d.device(
-            DeviceSetup::table1_row(7)
-                .powering(iotsec_repro::iotdev::classes::PlugLoad::Oven),
+            DeviceSetup::table1_row(7).powering(iotsec_repro::iotdev::classes::PlugLoad::Oven),
         );
-        let _cam = d.device(DeviceSetup::clean(
-            iotsec_repro::iotdev::device::DeviceClass::Camera,
-        ));
+        let _cam = d.device(DeviceSetup::clean(iotsec_repro::iotdev::device::DeviceClass::Camera));
         d.gate(wemo, iotsec_repro::iotdev::env::EnvVar::Occupancy, "present");
         d.campaign(vec![
             StepSpec::Cloud(wemo, ControlAction::TurnOff),
@@ -115,9 +112,17 @@ fn quarantine_after_compromise_contains_the_device() {
     let mut d = Deployment::new();
     let light = d.device(DeviceSetup::table1_row(5));
     d.campaign(vec![
-        StepSpec::Control(light, ControlAction::SetPhase(2), iotsec_repro::iotdev::attacker::AttackAuth::None),
+        StepSpec::Control(
+            light,
+            ControlAction::SetPhase(2),
+            iotsec_repro::iotdev::attacker::AttackAuth::None,
+        ),
         StepSpec::Wait(SimDuration::from_secs(5)),
-        StepSpec::Control(light, ControlAction::SetPhase(0), iotsec_repro::iotdev::attacker::AttackAuth::None),
+        StepSpec::Control(
+            light,
+            ControlAction::SetPhase(0),
+            iotsec_repro::iotdev::attacker::AttackAuth::None,
+        ),
     ]);
     // IoTSec but WITHOUT the standing signature mitigation: the first
     // strike lands, and we verify the *reactive* path (event →

@@ -105,7 +105,11 @@ fn fingerprint_selects_the_signature_feed() {
     // subscribe to — SKU granularity, exactly what §4 demands.
     let db = FingerprintDb::with_table1();
     let mut observed = Fingerprint::default();
-    observed.serve(ports::MGMT).serve(ports::CONTROL).serve(ports::CLOUD).emit(TelemetryKind::Power);
+    observed
+        .serve(ports::MGMT)
+        .serve(ports::CONTROL)
+        .serve(ports::CLOUD)
+        .emit(TelemetryKind::Power);
     observed.period_s = 5;
     let id = db.identify(&observed, 0.8).expect("fingerprint should identify the SKU");
     assert_eq!(id.sku, iotsec_repro::iotdev::registry::Sku::new("belkin", "wemo", "1.1"));

@@ -120,10 +120,19 @@ fn heavy_umboxes_exhaust_the_router() {
 /// Reactive reconfiguration under sustained attack: the IDS ruleset
 /// swap and posture changes never take the device's protection down
 /// (make-before-break) — no strike lands *after* the first blocked one.
+/// The chaos layer meanwhile flaps two decoy uplinks (not on the attack
+/// path) throughout, so the guarantee holds while the fault scheduler
+/// churns the topology and the delivery channel carries the directives.
 #[test]
 fn reconfiguration_never_drops_protection() {
+    use iotsec_repro::iotdev::device::DeviceClass;
+    use iotsec_repro::iotnet::time::SimTime;
+    use iotsec_repro::iotsec::chaos::ChaosConfig;
+
     let mut d = Deployment::new();
     let light = d.device(DeviceSetup::table1_row(5));
+    let decoy_a = d.device(DeviceSetup::clean(DeviceClass::Camera));
+    let decoy_b = d.device(DeviceSetup::clean(DeviceClass::SmartPlug));
     let mut steps = Vec::new();
     for i in 0..10 {
         steps.push(StepSpec::Control(
@@ -135,16 +144,25 @@ fn reconfiguration_never_drops_protection() {
     }
     d.campaign(steps);
     d.defend_with(Defense::iotsec());
+    let mut chaos = ChaosConfig::new();
+    for i in 0..5u64 {
+        let at = SimTime::from_secs(2 + 4 * i);
+        chaos = chaos.flap(decoy_a, at, at + SimDuration::from_secs(2)).flap(
+            decoy_b,
+            at + SimDuration::from_secs(1),
+            at + SimDuration::from_secs(3),
+        );
+    }
+    d.chaos(chaos);
     let mut w = World::new(&d);
     w.run_until_attack_done(SimDuration::from_secs(300));
     let m = w.report();
-    // Every control strike is blocked; the posture churn (suspicious →
-    // reconfigure) never opens a window.
-    let strikes: Vec<_> = m
-        .attack_outcomes
-        .iter()
-        .filter(|o| o.label.starts_with("control"))
-        .collect();
+    // The decoy flaps all fired (a down and a heal each)...
+    assert_eq!(m.faults_injected, 20);
+    // ...and every control strike is still blocked; the posture churn
+    // (suspicious → reconfigure) never opens a window.
+    let strikes: Vec<_> =
+        m.attack_outcomes.iter().filter(|o| o.label.starts_with("control")).collect();
     assert_eq!(strikes.len(), 10);
     assert!(strikes.iter().all(|o| !o.success), "{strikes:?}");
     assert!(m.compromised.is_empty());

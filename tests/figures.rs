@@ -18,7 +18,11 @@ fn fig4_current_world_attacker_reads_camera() {
     let mut w = World::new(&d);
     w.run_until_attack_done(SimDuration::from_secs(120));
     let m = w.report();
-    assert!(m.campaign_succeeded(), "the 'current world' side of Figure 4: {:?}", m.attack_outcomes);
+    assert!(
+        m.campaign_succeeded(),
+        "the 'current world' side of Figure 4: {:?}",
+        m.attack_outcomes
+    );
     assert!(m.privacy_leaked.contains(&cam));
 }
 

@@ -26,7 +26,12 @@ fn crowdsourced_signature_protects_a_second_deployment() {
     let voter2 = repo.register();
     repo.subscribe(deployment_b, &sku);
 
-    let observed = AttackSignature::new(sku.clone(), "cloud-bypass-backdoor", Matcher::CloudCommand, Severity::High);
+    let observed = AttackSignature::new(
+        sku.clone(),
+        "cloud-bypass-backdoor",
+        Matcher::CloudCommand,
+        Severity::High,
+    );
     let sub = repo.submit(deployment_a, observed).unwrap();
     repo.vote(voter1, sub, true);
     repo.vote(voter2, sub, true);
@@ -120,7 +125,8 @@ fn fuzz_discovers_couplings_that_the_attack_graph_weaponizes() {
         AbstractModel::for_device(DeviceClass::FireAlarm, None),
     ];
     let truth = ground_truth(&models);
-    let result = fuzz_interactions(&models, 5_000, Strategy::CoverageGuided, &mut StdRng::seed_from_u64(2));
+    let result =
+        fuzz_interactions(&models, 5_000, Strategy::CoverageGuided, &mut StdRng::seed_from_u64(2));
     assert!(result.recall(&truth) >= 1.0);
     // The plug→thermostat coupling the fuzzer found is exactly the edge
     // the break-in attack graph rides.

@@ -46,6 +46,7 @@ fn config() -> ChainConfig {
         signatures: vec![],
         view: ViewHandle::new(),
         events: EventSink::new(),
+        failure_mode: umbox::chain::FailureMode::FailOpen,
     }
 }
 
@@ -158,7 +159,10 @@ fn device_replies_round_trip_on_the_wire() {
     let msgs = [
         AppMessage::MgmtLogin { user: "admin".into(), pass: "admin".into() },
         AppMessage::MgmtLogin { user: "x".into(), pass: "y".into() },
-        AppMessage::MgmtCommand { token: 1, command: iotsec_repro::iotdev::proto::MgmtCommand::GetImage },
+        AppMessage::MgmtCommand {
+            token: 1,
+            command: iotsec_repro::iotdev::proto::MgmtCommand::GetImage,
+        },
     ];
     for (i, m) in msgs.iter().enumerate() {
         let out = dev.handle_message(

@@ -2,18 +2,38 @@
 //! paper plus the quantitative E-series.
 //!
 //! ```text
-//! cargo run --release -p iotsec-bench --bin experiments          # all
-//! cargo run --release -p iotsec-bench --bin experiments table1   # one
+//! cargo run --release -p iotsec-bench --bin experiments            # all
+//! cargo run --release -p iotsec-bench --bin experiments table1     # one
+//! cargo run --release -p iotsec-bench --bin experiments e16 --threads 4
+//! cargo run --release -p iotsec-bench --bin experiments all --json # + BENCH_E16.json
 //! ```
+//!
+//! `--threads N` sets the worker count for the E16 parallel sweep;
+//! `--json` writes `BENCH_E16.json` with one record per experiment run
+//! (wall-clock for each, plus engine/cache counters for E16). If E16's
+//! parallel digests diverge from the serial reference the process exits
+//! non-zero — the CI perf-smoke job depends on that.
 
 use iotsec_bench::{
-    exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_models, exp_pipeline, exp_policy, exp_umbox,
-    exp_world,
+    exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_models, exp_perf, exp_pipeline, exp_policy,
+    exp_umbox, exp_world,
 };
+use std::time::Instant;
 
 const SEED: u64 = 20151116; // HotNets '15, November 16
 
-fn run(id: &str) -> bool {
+/// One experiment's JSON record. Every record carries the full field
+/// set; only E16 populates the engine counters.
+struct Record {
+    experiment: String,
+    wall_ms: u128,
+    events_processed: u64,
+    cache_hit_rate: f64,
+    threads: usize,
+    deterministic: bool,
+}
+
+fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
     match id {
         "table1" | "t1" => exp_world::table1().print(),
         "table2" | "t2" => exp_policy::table2(SEED).print(),
@@ -44,9 +64,26 @@ fn run(id: &str) -> bool {
                 t.print();
             }
         }
-        _ => return false,
+        "perf" | "e16" => {
+            let report = exp_perf::perf(SEED, threads);
+            report.table.print();
+            println!(
+                "E16 summary: serial {} ms, parallel({}) {} ms, speedup {:.2}x, \
+                 {} events, cache hit rate {:.3}, deterministic: {}",
+                report.wall_ms_serial,
+                report.threads,
+                report.wall_ms_parallel,
+                report.speedup(),
+                report.events_processed,
+                report.cache_hit_rate,
+                report.deterministic,
+            );
+            println!();
+            return Some((report.events_processed, report.cache_hit_rate, report.deterministic));
+        }
+        _ => return None,
     }
-    true
+    Some((0, 0.0, true))
 }
 
 const ALL: &[&str] = &[
@@ -71,21 +108,86 @@ const ALL: &[&str] = &[
     "mining",
     "fingerprinting",
     "chaos",
+    "perf",
 ];
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    println!("# IoTSec reproduction — experiment run (seed {SEED})");
-    if args.is_empty() || args[0] == "all" {
-        for id in ALL {
-            assert!(run(id), "unknown experiment {id}");
-        }
-        return;
+fn render_json(seed: u64, threads: usize, records: &[Record]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"seed\": {}, \"threads\": {}, \"wall_ms\": {}, \
+             \"events_processed\": {}, \"cache_hit_rate\": {:.4}, \"deterministic\": {}}}{}\n",
+            r.experiment,
+            seed,
+            r.threads,
+            r.wall_ms,
+            r.events_processed,
+            r.cache_hit_rate,
+            r.deterministic,
+            if i + 1 == records.len() { "" } else { "," },
+        ));
     }
-    for id in &args {
-        if !run(id) {
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut json = false;
+    let mut threads = 2usize;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--threads" => {
+                let v = args.next().unwrap_or_default();
+                threads = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a positive integer, got '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            _ => ids.push(arg),
+        }
+    }
+    let to_run: Vec<&str> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ALL.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+
+    println!("# IoTSec reproduction — experiment run (seed {SEED})");
+    let mut records = Vec::new();
+    let mut diverged = false;
+    for id in &to_run {
+        let start = Instant::now();
+        let Some((events, hit_rate, deterministic)) = run(id, threads) else {
             eprintln!("unknown experiment '{id}'. available: all {}", ALL.join(" "));
             std::process::exit(2);
-        }
+        };
+        diverged |= !deterministic;
+        records.push(Record {
+            experiment: id.to_string(),
+            wall_ms: start.elapsed().as_millis(),
+            events_processed: events,
+            cache_hit_rate: hit_rate,
+            threads,
+            deterministic,
+        });
+    }
+    if json {
+        let path = "BENCH_E16.json";
+        std::fs::write(path, render_json(SEED, threads, &records)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path} ({} records)", records.len());
+    }
+    if diverged {
+        eprintln!("E16 determinism check FAILED: parallel sweep diverged from serial reference");
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,146 @@
+//! E16 — the parallel sweep engine: throughput, flow-cache efficacy and
+//! thread-count determinism.
+//!
+//! The experiment runs the same E11-shaped job grid (scenario × seed ×
+//! population) twice — once serial (`threads = 1`, the reference) and
+//! once across the requested worker count — and compares the merged
+//! outcome digests byte-for-byte. Divergence is a hard failure (the
+//! binary exits non-zero), which is what the CI perf-smoke job leans
+//! on. Wall-clock numbers are reported but deliberately kept *out* of
+//! the digests: they are the only non-deterministic output.
+
+use crate::sweep::{sweep_worlds, SweepScenario, WorldJob};
+use crate::Table;
+use iotctl::concurrent::SweepLedger;
+use std::time::Instant;
+
+/// Everything E16 produces: the printable table plus the numbers the
+/// JSON report and the CI gate consume.
+#[derive(Debug)]
+pub struct PerfReport {
+    /// Per-job outcome table.
+    pub table: Table,
+    /// Worker threads used for the parallel leg.
+    pub threads: usize,
+    /// Wall-clock of the serial reference leg.
+    pub wall_ms_serial: u128,
+    /// Wall-clock of the parallel leg.
+    pub wall_ms_parallel: u128,
+    /// Engine events processed across the sweep (one leg).
+    pub events_processed: u64,
+    /// Aggregate flow-decision-cache hit rate across the sweep.
+    pub cache_hit_rate: f64,
+    /// Whether the parallel digests matched the serial ones.
+    pub deterministic: bool,
+}
+
+impl PerfReport {
+    /// Serial-over-parallel wall-clock ratio (>1 means the parallel leg
+    /// was faster). On a single-core host this hovers around 1.0.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ms_parallel == 0 {
+            1.0
+        } else {
+            self.wall_ms_serial as f64 / self.wall_ms_parallel as f64
+        }
+    }
+}
+
+/// The standard E16 job grid: both scenarios × 3 seeds × 3 populations
+/// (18 world instances), in canonical order.
+pub fn standard_jobs(seed: u64) -> Vec<WorldJob> {
+    let mut jobs = Vec::new();
+    for scenario in [SweepScenario::HomeUndefended, SweepScenario::HomeIoTSec] {
+        for s in [seed, seed + 1, seed + 2] {
+            for population in [0u32, 8, 24] {
+                jobs.push(WorldJob { scenario, seed: s, population });
+            }
+        }
+    }
+    jobs
+}
+
+/// E16 — run the sweep serial and parallel, check determinism, report.
+pub fn perf(seed: u64, threads: usize) -> PerfReport {
+    let jobs = standard_jobs(seed);
+
+    let serial_ledger = SweepLedger::new();
+    let t0 = Instant::now();
+    let serial = sweep_worlds(&jobs, 1, &serial_ledger);
+    let wall_ms_serial = t0.elapsed().as_millis();
+
+    let parallel_ledger = SweepLedger::new();
+    let t1 = Instant::now();
+    let parallel = sweep_worlds(&jobs, threads.max(1), &parallel_ledger);
+    let wall_ms_parallel = t1.elapsed().as_millis();
+
+    let serial_digests: Vec<String> = serial.iter().map(|o| o.digest()).collect();
+    let parallel_digests: Vec<String> = parallel.iter().map(|o| o.digest()).collect();
+    let deterministic = serial_digests == parallel_digests;
+
+    let mut table = Table::new(
+        &format!(
+            "E16: parallel sweep — {} worlds, {} thread(s) vs serial (identical: {})",
+            jobs.len(),
+            threads.max(1),
+            deterministic
+        ),
+        &["scenario", "seed", "population", "events", "cache hits", "cache rate", "digest match"],
+    );
+    for (i, out) in serial.iter().enumerate() {
+        let rate = if out.cache_lookups == 0 {
+            0.0
+        } else {
+            out.cache_hits as f64 / out.cache_lookups as f64
+        };
+        table.rowd(&[
+            out.job.scenario.label().to_string(),
+            out.job.seed.to_string(),
+            out.job.population.to_string(),
+            out.events_processed.to_string(),
+            format!("{}/{}", out.cache_hits, out.cache_lookups),
+            format!("{:.3}", rate),
+            (serial_digests[i] == parallel_digests[i]).to_string(),
+        ]);
+    }
+
+    PerfReport {
+        table,
+        threads: threads.max(1),
+        wall_ms_serial,
+        wall_ms_parallel,
+        events_processed: serial_ledger.events(),
+        cache_hit_rate: serial_ledger.cache_hit_rate(),
+        deterministic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_grid_is_canonical() {
+        let a = standard_jobs(7);
+        let b = standard_jobs(7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 18);
+        assert_eq!(a[0].population, 0);
+        assert_eq!(a[17].scenario, SweepScenario::HomeIoTSec);
+    }
+
+    #[test]
+    fn perf_reports_deterministic_sweep() {
+        // A trimmed grid keeps the unit test quick; the full grid runs
+        // in the experiments binary and the root sweep_props test.
+        let jobs = vec![
+            WorldJob { scenario: SweepScenario::HomeUndefended, seed: 3, population: 0 },
+            WorldJob { scenario: SweepScenario::HomeIoTSec, seed: 3, population: 0 },
+        ];
+        let ledger = SweepLedger::new();
+        let serial = sweep_worlds(&jobs, 1, &ledger);
+        let parallel = sweep_worlds(&jobs, 3, &SweepLedger::new());
+        assert_eq!(serial, parallel);
+        assert!(ledger.cache_hit_rate() > 0.0, "repeat flows must hit the decision cache");
+    }
+}

@@ -19,6 +19,7 @@
 //! | E12 | [`exp_anomaly`] |
 //! | E13, E14 | [`exp_pipeline`] |
 //! | E15 | [`exp_chaos`] |
+//! | E16 | [`exp_perf`] (on the [`sweep`] engine) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,10 +29,12 @@ pub mod exp_chaos;
 pub mod exp_crowd;
 pub mod exp_ctl;
 pub mod exp_models;
+pub mod exp_perf;
 pub mod exp_pipeline;
 pub mod exp_policy;
 pub mod exp_umbox;
 pub mod exp_world;
+pub mod sweep;
 pub mod table;
 
 pub use table::Table;

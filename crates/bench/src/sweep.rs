@@ -1,0 +1,251 @@
+//! The parallel sweep engine: a work-stealing runner for independent
+//! world instances (the E16 tentpole).
+//!
+//! [`iotsec::world::World`] is deliberately single-threaded (`Rc` and
+//! `RefCell` throughout), so the unit of parallelism is one *whole
+//! world*: each job is a `(scenario, seed, population)` triple, built
+//! and run entirely inside whichever worker thread claims it. Jobs are
+//! distributed through the `crossbeam::deque` work-stealing triple
+//! (global [`Injector`], per-worker [`Worker`] deques, cross-worker
+//! [`Stealer`]s) and every result lands in a slot indexed by its job id,
+//! so the merged output is a pure function of the job list — `--threads
+//! 1` and `--threads N` produce byte-identical sweeps.
+
+use crate::exp_world::exploit_landed;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use iotctl::concurrent::SweepLedger;
+use iotnet::time::SimDuration;
+use iotsec::defense::Defense;
+use iotsec::scenario;
+use iotsec::world::World;
+use std::sync::Mutex;
+
+/// Which canned scenario a sweep job instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepScenario {
+    /// [`scenario::scaled_home`] with no defense: the attacker sweep
+    /// lands everywhere (upper bound on attack traffic).
+    HomeUndefended,
+    /// [`scenario::scaled_home`] under full IoTSec: every exploit is
+    /// absorbed by the enforcement path (upper bound on µmbox work).
+    HomeIoTSec,
+}
+
+impl SweepScenario {
+    /// Stable label (used in tables, digests and JSON).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepScenario::HomeUndefended => "home-undefended",
+            SweepScenario::HomeIoTSec => "home-iotsec",
+        }
+    }
+
+    fn defense(&self) -> Defense {
+        match self {
+            SweepScenario::HomeUndefended => Defense::None,
+            SweepScenario::HomeIoTSec => Defense::iotsec(),
+        }
+    }
+}
+
+/// One independent world instance in a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldJob {
+    /// Scenario to instantiate.
+    pub scenario: SweepScenario,
+    /// Deployment seed.
+    pub seed: u64,
+    /// Extra clean background devices (the population axis).
+    pub population: u32,
+}
+
+/// The deterministic outcome of one world job, plus the perf counters
+/// the engine work of this PR is measured by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldOutcome {
+    /// The job that produced this outcome.
+    pub job: WorldJob,
+    /// Devices compromised.
+    pub compromised: usize,
+    /// Devices with data exposure.
+    pub privacy_leaked: usize,
+    /// Reflection bytes at the victim.
+    pub ddos_bytes: u64,
+    /// Campaign steps that succeeded.
+    pub steps_succeeded: usize,
+    /// µmbox drops + intercepts.
+    pub umbox_blocks: u64,
+    /// Whether the Table-1 row-1 exploit class landed (sanity anchor).
+    pub camera_leaked: bool,
+    /// Simulation events the engine processed (timer-wheel pops).
+    pub events_processed: u64,
+    /// Flow-decision-cache lookups.
+    pub cache_lookups: u64,
+    /// Flow-decision-cache hits.
+    pub cache_hits: u64,
+}
+
+impl WorldOutcome {
+    /// Canonical one-line digest. The determinism acceptance check
+    /// compares these byte-for-byte between serial and parallel runs;
+    /// every field in here — including the engine counters — must be a
+    /// pure function of the job.
+    pub fn digest(&self) -> String {
+        format!(
+            "{}/s{}/p{}: c={} l={} d={} ok={} ub={} cam={} ev={} cl={} ch={}",
+            self.job.scenario.label(),
+            self.job.seed,
+            self.job.population,
+            self.compromised,
+            self.privacy_leaked,
+            self.ddos_bytes,
+            self.steps_succeeded,
+            self.umbox_blocks,
+            self.camera_leaked,
+            self.events_processed,
+            self.cache_lookups,
+            self.cache_hits,
+        )
+    }
+}
+
+/// Build and run one world job to completion (entirely on the calling
+/// thread — `World` never crosses a thread boundary).
+pub fn run_world_job(job: &WorldJob) -> WorldOutcome {
+    let (d, _) = scenario::scaled_home(job.scenario.defense(), job.seed, job.population);
+    let mut w = World::new(&d);
+    w.env.occupied = true;
+    w.run_until_attack_done(SimDuration::from_secs(300));
+    let m = w.report();
+    let (cache_lookups, cache_hits) = w.net.cache_stats();
+    WorldOutcome {
+        job: *job,
+        compromised: m.compromised.len(),
+        privacy_leaked: m.privacy_leaked.len(),
+        ddos_bytes: m.ddos_bytes_at_victim,
+        steps_succeeded: m.steps_succeeded(),
+        umbox_blocks: m.umbox_drops + m.umbox_intercepts,
+        camera_leaked: exploit_landed(1, &m),
+        events_processed: w.net.events_processed(),
+        cache_lookups,
+        cache_hits,
+    }
+}
+
+/// Pop the next task: local deque first, then the global injector, then
+/// steal from a sibling. Returns `None` only when every source is dry —
+/// correct as a termination test here because the job list is pushed in
+/// full before any worker starts and jobs never spawn jobs.
+fn find_task<T>(
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+    me: usize,
+) -> Option<T> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        match injector.steal() {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    for (i, s) in stealers.iter().enumerate() {
+        if i == me {
+            continue;
+        }
+        loop {
+            match s.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+/// Run `run(index, &job)` over every job across `threads` workers and
+/// return the results in job order. `threads <= 1` is a plain serial
+/// loop (the reference the parallel path must match byte-for-byte);
+/// otherwise each worker loops [`find_task`] and writes its result into
+/// the slot for that job index, which *is* the canonical-order merge.
+pub fn run_sweep<J, R, F>(jobs: Vec<J>, threads: usize, run: F) -> Vec<R>
+where
+    J: Send + Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().enumerate().map(|(i, j)| run(i, j)).collect();
+    }
+    let injector: Injector<(usize, &J)> = Injector::new();
+    for (i, j) in jobs.iter().enumerate() {
+        injector.push((i, j));
+    }
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let workers: Vec<Worker<(usize, &J)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, &J)>> = workers.iter().map(|w| w.stealer()).collect();
+    crossbeam::scope(|s| {
+        for (me, worker) in workers.into_iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let slots = &slots;
+            let run = &run;
+            s.spawn(move |_| {
+                while let Some((i, job)) = find_task(&worker, injector, stealers, me) {
+                    let result = run(i, job);
+                    *slots[i].lock().unwrap() = Some(result);
+                }
+            });
+        }
+    })
+    .unwrap();
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every job produces exactly one result"))
+        .collect()
+}
+
+/// The world-level sweep: run every [`WorldJob`] across `threads`
+/// workers, bumping `ledger` as each instance completes, and return
+/// the outcomes in job order.
+pub fn sweep_worlds(jobs: &[WorldJob], threads: usize, ledger: &SweepLedger) -> Vec<WorldOutcome> {
+    run_sweep(jobs.to_vec(), threads, |_, job| {
+        let out = run_world_job(job);
+        ledger.record(out.events_processed, out.cache_lookups, out.cache_hits);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_sweep_preserves_job_order() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let serial = run_sweep(jobs.clone(), 1, |i, j| (i, j * 3));
+        let parallel = run_sweep(jobs, 4, |i, j| (i, j * 3));
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[17], (17, 51));
+    }
+
+    #[test]
+    fn world_sweep_is_thread_count_invariant() {
+        let jobs = [
+            WorldJob { scenario: SweepScenario::HomeIoTSec, seed: 7, population: 0 },
+            WorldJob { scenario: SweepScenario::HomeUndefended, seed: 7, population: 4 },
+        ];
+        let ledger1 = SweepLedger::new();
+        let ledger2 = SweepLedger::new();
+        let serial = sweep_worlds(&jobs, 1, &ledger1);
+        let parallel = sweep_worlds(&jobs, 2, &ledger2);
+        assert_eq!(serial, parallel);
+        assert_eq!(ledger1.done(), 2);
+        assert_eq!(ledger1.events(), ledger2.events());
+        assert!(ledger1.events() > 0, "worlds must actually process events");
+    }
+}

@@ -188,6 +188,27 @@ pub fn smart_home(defense: Defense, seed: u64) -> (Deployment, Vec<DeviceId>) {
     (d, vulnerable)
 }
 
+/// The population axis for perf sweeps (E16): the full [`smart_home`]
+/// plus `extra` clean background devices cycling through sensor and
+/// actuator classes. The extras widen the switch (more ports, more MAC
+/// entries, more per-tick device FSM work) without touching the attack
+/// surface, so the security outcome stays exactly the smart home's
+/// while world size scales. Returns the deployment and the vulnerable
+/// device ids in Table 1 row order.
+pub fn scaled_home(defense: Defense, seed: u64, extra: u32) -> (Deployment, Vec<DeviceId>) {
+    let (mut d, vulnerable) = smart_home(defense, seed);
+    const FILLER: &[DeviceClass] = &[
+        DeviceClass::LightBulb,
+        DeviceClass::MotionSensor,
+        DeviceClass::Thermostat,
+        DeviceClass::Camera,
+    ];
+    for i in 0..extra {
+        d.device(DeviceSetup::clean(FILLER[i as usize % FILLER.len()]));
+    }
+    (d, vulnerable)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +242,17 @@ mod tests {
             let (d, _) = table1_row(row, Defense::None);
             let mut w = World::new(&d);
             w.run(SimDuration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn scaled_home_adds_only_clean_devices() {
+        let (base, _) = smart_home(Defense::None, 1);
+        let (d, vulnerable) = scaled_home(Defense::None, 1, 9);
+        assert_eq!(vulnerable.len(), 7);
+        assert_eq!(d.devices.len(), base.devices.len() + 9);
+        for setup in &d.devices[base.devices.len()..] {
+            assert!(setup.vulns.is_empty());
         }
     }
 

@@ -172,9 +172,11 @@ pub struct World {
     gate_view: ViewHandle,
     event_sink: EventSink,
     cfg: Option<IoTSecConfig>,
-    subscribed_signatures: Vec<AttackSignature>,
-    /// Per-device operator-known flaws (the policy compiler's input).
-    known_vulns: Vec<Vec<Vulnerability>>,
+    /// Per-device interned signature rulesets (repository subscriptions
+    /// plus vuln-derived rules), computed once at construction. Chains
+    /// share these by `Rc` refcount instead of rebuilding the signature
+    /// vector on every launch/reconfigure.
+    device_signatures: Vec<Rc<[AttackSignature]>>,
     core_switch: SwitchId,
     device_switch: Vec<SwitchId>,
     next_steer: u32,
@@ -185,8 +187,11 @@ pub struct World {
     retired_drops: u64,
     retired_intercepts: u64,
     recipes_fired_seed: u64,
-    // --- chaos layer (all inert unless `chaos` is Some) ---------------
-    chaos: Option<ChaosConfig>,
+    // --- chaos layer (all inert unless `chaos_enabled`) ----------------
+    /// Whether a chaos schedule was installed. The schedule itself lives
+    /// in `faults`/`crash_plan`/`outage_plan`; the full `ChaosConfig` is
+    /// consumed at construction, not cloned into the world.
+    chaos_enabled: bool,
     failure_mode: FailureMode,
     faults: FaultScheduler,
     /// Sorted µmbox crash schedule; `crash_idx` is the cursor.
@@ -414,6 +419,24 @@ impl World {
             }
         }
 
+        // Intern each device's signature ruleset once: repository
+        // subscriptions for its SKU plus (when enabled) vuln-derived
+        // rules. Every chain protecting the device then shares the slice
+        // by refcount instead of re-cloning signatures per launch.
+        let device_signatures: Vec<Rc<[AttackSignature]>> = deployment
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, setup)| {
+                build_signatures(
+                    cfg.as_ref(),
+                    &devices[i].sku,
+                    &setup.vulns,
+                    &deployment.subscribed_signatures,
+                )
+            })
+            .collect();
+
         let mut world = World {
             clock: SimTime::ZERO,
             tick: deployment.tick,
@@ -434,8 +457,7 @@ impl World {
             gate_view,
             event_sink,
             cfg,
-            subscribed_signatures: deployment.subscribed_signatures.clone(),
-            known_vulns: deployment.devices.iter().map(|d| d.vulns.clone()).collect(),
+            device_signatures,
             core_switch: core,
             device_switch,
             next_steer: 1,
@@ -445,7 +467,7 @@ impl World {
             retired_drops: 0,
             retired_intercepts: 0,
             recipes_fired_seed: 0,
-            chaos: deployment.chaos.clone(),
+            chaos_enabled: deployment.chaos.is_some(),
             failure_mode: deployment.chaos.as_ref().map(|c| c.failure_mode).unwrap_or_default(),
             faults: FaultScheduler::new(),
             crash_plan: Vec::new(),
@@ -573,7 +595,7 @@ impl World {
     /// Apply every fault whose time has come: network faults to the
     /// topology, crashes to the lifecycle, outages to the control plane.
     fn apply_chaos(&mut self, now: SimTime) {
-        if self.chaos.is_none() {
+        if !self.chaos_enabled {
             return;
         }
         self.faults.apply_due(now, self.net.topology_mut());
@@ -719,7 +741,7 @@ impl World {
         }
 
         // 7. Chaos: degradation accounting for this tick.
-        if self.chaos.is_some() {
+        if self.chaos_enabled {
             self.account_degradation(now);
         }
     }
@@ -786,31 +808,11 @@ impl World {
         }
     }
 
-    fn signatures_for(&self, device: DeviceId) -> Vec<AttackSignature> {
-        let Some(cfg) = &self.cfg else { return Vec::new() };
-        let dev = &self.devices[device.0 as usize];
-        // Repository subscriptions apply regardless of whether local
-        // vulnerability knowledge is enabled — that is their whole point.
-        let subscribed = self.subscribed_signatures.iter().filter(|s| s.sku == dev.sku).cloned();
-        if !cfg.signatures {
-            return subscribed.collect();
-        }
-        let known = &self.known_vulns[device.0 as usize];
-        subscribed
-            .chain(known.iter().map(|v| {
-                let matcher = match v {
-                    Vulnerability::DefaultCredentials { user, pass } => {
-                        Matcher::DefaultCredLogin { user: user.clone(), pass: pass.clone() }
-                    }
-                    Vulnerability::OpenMgmtAccess => Matcher::MgmtFromExternal,
-                    Vulnerability::ExposedKeyPair { key } => Matcher::KeyAuthControl { key: *key },
-                    Vulnerability::NoAuthControl => Matcher::UnauthenticatedControl,
-                    Vulnerability::OpenDnsResolver => Matcher::RecursiveDnsFromExternal,
-                    Vulnerability::CloudBypassBackdoor => Matcher::CloudCommand,
-                };
-                AttackSignature::new(dev.sku.clone(), v.id(), matcher, Severity::High)
-            }))
-            .collect()
+    /// The interned signature ruleset for `device` — an `Rc` refcount
+    /// bump, never a clone of the rules (`tests/alloc_counter.rs` pins
+    /// this down with a counting allocator).
+    pub fn signatures_for(&self, device: DeviceId) -> Rc<[AttackSignature]> {
+        Rc::clone(&self.device_signatures[device.0 as usize])
     }
 
     fn chain_config(&self, device: DeviceId) -> ChainConfig {
@@ -1005,6 +1007,39 @@ impl World {
 
 fn cookie(device: DeviceId) -> u64 {
     0x1000 + device.0 as u64
+}
+
+/// Build one device's interned signature ruleset: repository
+/// subscriptions matching its SKU (which apply regardless of local
+/// vulnerability knowledge — that is their whole point), plus rules
+/// derived from operator-known flaws when `cfg.signatures` is enabled.
+fn build_signatures(
+    cfg: Option<&IoTSecConfig>,
+    sku: &iotdev::registry::Sku,
+    vulns: &[Vulnerability],
+    subscribed: &[AttackSignature],
+) -> Rc<[AttackSignature]> {
+    let Some(cfg) = cfg else { return Vec::new().into() };
+    let matching = subscribed.iter().filter(|s| s.sku == *sku).cloned();
+    if !cfg.signatures {
+        return matching.collect::<Vec<_>>().into();
+    }
+    matching
+        .chain(vulns.iter().map(|v| {
+            let matcher = match v {
+                Vulnerability::DefaultCredentials { user, pass } => {
+                    Matcher::DefaultCredLogin { user: user.clone(), pass: pass.clone() }
+                }
+                Vulnerability::OpenMgmtAccess => Matcher::MgmtFromExternal,
+                Vulnerability::ExposedKeyPair { key } => Matcher::KeyAuthControl { key: *key },
+                Vulnerability::NoAuthControl => Matcher::UnauthenticatedControl,
+                Vulnerability::OpenDnsResolver => Matcher::RecursiveDnsFromExternal,
+                Vulnerability::CloudBypassBackdoor => Matcher::CloudCommand,
+            };
+            AttackSignature::new(sku.clone(), v.id(), matcher, Severity::High)
+        }))
+        .collect::<Vec<_>>()
+        .into()
 }
 
 fn resolve_plan(steps: &[StepSpec], devices: &[IoTDevice], victim: Option<Ipv4Addr>) -> AttackPlan {

@@ -49,6 +49,62 @@ impl ConcurrentView {
     }
 }
 
+/// Shared progress/statistics ledger for multi-threaded simulation
+/// sweeps. Worker threads running independent world instances bump the
+/// atomic counters as they finish; the sweep driver (in `iotsec-bench`)
+/// reads them for progress and perf reporting. Lives here alongside
+/// [`ConcurrentView`] because it is the same pattern — the strongly
+/// consistent, thread-safe slice of otherwise single-threaded state.
+#[derive(Debug, Default)]
+pub struct SweepLedger {
+    /// World instances completed.
+    pub jobs_done: std::sync::atomic::AtomicU64,
+    /// Simulation events processed, summed over completed instances.
+    pub events_processed: std::sync::atomic::AtomicU64,
+    /// Flow-decision-cache lookups, summed over completed instances.
+    pub cache_lookups: std::sync::atomic::AtomicU64,
+    /// Flow-decision-cache hits, summed over completed instances.
+    pub cache_hits: std::sync::atomic::AtomicU64,
+}
+
+impl SweepLedger {
+    /// A zeroed ledger.
+    pub fn new() -> SweepLedger {
+        SweepLedger::default()
+    }
+
+    /// Record one finished world instance.
+    pub fn record(&self, events_processed: u64, cache_lookups: u64, cache_hits: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.jobs_done.fetch_add(1, Relaxed);
+        self.events_processed.fetch_add(events_processed, Relaxed);
+        self.cache_lookups.fetch_add(cache_lookups, Relaxed);
+        self.cache_hits.fetch_add(cache_hits, Relaxed);
+    }
+
+    /// Completed-job count.
+    pub fn done(&self) -> u64 {
+        self.jobs_done.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Aggregate flow-cache hit rate over completed instances (0 when no
+    /// lookups happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let lookups = self.cache_lookups.load(Relaxed);
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits.load(Relaxed) as f64 / lookups as f64
+        }
+    }
+
+    /// Total simulation events over completed instances.
+    pub fn events(&self) -> u64 {
+        self.events_processed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Stress result: events ingested and reads served per wall-clock run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StressOutcome {
@@ -135,6 +191,25 @@ mod tests {
         // a liveness check, the exact count depends on interleaving.
         assert!(out.final_version > 0);
         assert!(out.reads > 0);
+    }
+
+    #[test]
+    fn sweep_ledger_accumulates_across_threads() {
+        let ledger = SweepLedger::new();
+        crossbeam::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for _ in 0..10 {
+                        ledger.record(100, 50, 25);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(ledger.done(), 40);
+        assert_eq!(ledger.events(), 4000);
+        assert!((ledger.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(SweepLedger::new().cache_hit_rate(), 0.0);
     }
 
     #[test]

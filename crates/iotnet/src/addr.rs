@@ -136,7 +136,9 @@ id_type!(
 );
 
 /// A switch port number (local to one switch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PortNo(pub u16);
 
 impl PortNo {

@@ -4,6 +4,17 @@
 //! timestamp, and events with equal timestamps are delivered in insertion
 //! order (FIFO-stable). Determinism here is what makes every experiment in
 //! EXPERIMENTS.md exactly reproducible from its seed.
+//!
+//! Two implementations share the same ordering contract:
+//!
+//! * [`EventQueue`] — the production queue, a **hierarchical timer wheel**
+//!   with a binary-heap overflow tier. Near-future events (the common case:
+//!   link latencies and µmbox detours are microseconds to milliseconds) go
+//!   into O(1) wheel slots; events beyond the wheel's horizon wait in the
+//!   overflow heap and are cascaded in when the wheel advances.
+//! * [`HeapEventQueue`] — the original `BinaryHeap` queue, kept as the
+//!   reference implementation. Property tests assert the wheel delivers
+//!   the exact same event order on randomized schedules.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -34,16 +45,46 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A time-ordered, FIFO-stable event queue.
+/// Level-0 slot width: 2^12 ns = 4.096 µs.
+const GRAN_BITS: u32 = 12;
+/// Slots per wheel level (2^6 = 64).
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels. Total span = 2^(12 + 3·6) ns ≈ 1.07 s; anything further
+/// out sits in the overflow heap until the wheel advances.
+const LEVELS: usize = 3;
+
+fn level_shift(level: usize) -> u32 {
+    GRAN_BITS + SLOT_BITS * level as u32
+}
+
+/// A time-ordered, FIFO-stable event queue backed by a hierarchical timer
+/// wheel with a heap overflow tier.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// `levels[l][slot]` holds entries whose delivery time falls in that
+    /// slot of level `l`. Slot vectors are unsorted; a slot is sorted once,
+    /// when it becomes due, by draining it into `ready`.
+    levels: Vec<Vec<Vec<Entry<E>>>>,
+    /// Entries per level, to skip empty levels in O(1).
+    level_len: [usize; LEVELS],
+    /// Entries beyond the wheel's span, earliest first.
+    overflow: BinaryHeap<Entry<E>>,
+    /// The due set: every entry at or before the current level-0 slot,
+    /// ordered by `(at, seq)`. Popping drains this heap; it is refilled by
+    /// advancing the wheel cursor.
+    ready: BinaryHeap<Entry<E>>,
+    /// Start (ns) of the level-0 slot currently feeding `ready`.
+    cursor: u64,
+    len: usize,
     next_seq: u64,
     now: SimTime,
+    /// Events popped over the queue's lifetime.
+    pub processed: u64,
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue").field("len", &self.heap.len()).field("now", &self.now).finish()
+        f.debug_struct("EventQueue").field("len", &self.len).field("now", &self.now).finish()
     }
 }
 
@@ -56,10 +97,244 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
+            level_len: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            ready: BinaryHeap::new(),
+            cursor: 0,
+            len: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
     }
 
     /// The current clock: the timestamp of the last popped event (or zero).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` — the event fires
+    /// immediately on the next pop. (This arises when a zero-latency hop
+    /// computes a delivery time equal to the current instant.)
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        self.place(Entry { at, seq, event });
+    }
+
+    /// Route an entry to the due set, a wheel slot, or the overflow tier.
+    fn place(&mut self, entry: Entry<E>) {
+        let ns = entry.at.as_nanos();
+        // At or before the slot currently being drained: it is due now.
+        // (This also catches clock-clamped entries "behind" the cursor.)
+        if ns < self.cursor + (1 << GRAN_BITS) {
+            self.ready.push(entry);
+            return;
+        }
+        for level in 0..LEVELS {
+            // The entry belongs at `level` iff all bits above that level's
+            // slot index agree with the cursor's — i.e. it lands within the
+            // window the level spans from the cursor's position.
+            let shift = level_shift(level) + SLOT_BITS;
+            if (ns >> shift) == (self.cursor >> shift) {
+                let slot = (ns >> level_shift(level)) as usize & (SLOTS - 1);
+                self.levels[level][slot].push(entry);
+                self.level_len[level] += 1;
+                return;
+            }
+        }
+        self.overflow.push(entry);
+    }
+
+    /// Move the cursor to the next populated slot and drain it into
+    /// `ready`. Precondition: `ready` is empty and `len > 0`.
+    fn advance(&mut self) {
+        loop {
+            // A cascade may have routed entries straight into `ready` (they
+            // landed at or before the moved cursor's slot); those are the
+            // earliest pending events, so stop here.
+            if !self.ready.is_empty() {
+                return;
+            }
+            // Find the first populated level-0 slot at or after the cursor
+            // within the current level-0 window.
+            if self.level_len[0] > 0 {
+                let start = (self.cursor >> GRAN_BITS) as usize & (SLOTS - 1);
+                for slot in start..SLOTS {
+                    if !self.levels[0][slot].is_empty() {
+                        let drained = std::mem::take(&mut self.levels[0][slot]);
+                        self.level_len[0] -= drained.len();
+                        // Align the cursor with the drained slot.
+                        let window = self.cursor >> (GRAN_BITS + SLOT_BITS);
+                        self.cursor = (window << SLOT_BITS | slot as u64) << GRAN_BITS;
+                        self.ready.extend(drained);
+                        return;
+                    }
+                }
+            }
+            // Level-0 window exhausted: cascade the next populated slot of
+            // the first higher level that has one, re-placing its entries
+            // (they now fit lower levels relative to the moved cursor).
+            let mut cascaded = false;
+            for level in 1..LEVELS {
+                if self.level_len[level] == 0 {
+                    continue;
+                }
+                let shift = level_shift(level);
+                let start = (self.cursor >> shift) as usize & (SLOTS - 1);
+                // Entries at this level are strictly after the cursor's own
+                // slot's lower-level window, so scanning from `start` is
+                // safe: slot `start` can only hold entries not yet cascaded.
+                for slot in start..SLOTS {
+                    if self.levels[level][slot].is_empty() {
+                        continue;
+                    }
+                    let drained = std::mem::take(&mut self.levels[level][slot]);
+                    self.level_len[level] -= drained.len();
+                    let window = self.cursor >> (shift + SLOT_BITS);
+                    self.cursor = (window << SLOT_BITS | slot as u64) << shift;
+                    for e in drained {
+                        self.place(e);
+                    }
+                    cascaded = true;
+                    break;
+                }
+                if cascaded {
+                    break;
+                }
+            }
+            if cascaded {
+                continue;
+            }
+            // Wheel fully drained: re-anchor at the overflow's earliest
+            // entry and pull in everything within the new span.
+            let head = self.overflow.pop().expect("len > 0 but queue empty");
+            self.cursor = head.at.as_nanos() >> GRAN_BITS << GRAN_BITS;
+            let span_end = {
+                let shift = level_shift(LEVELS - 1) + SLOT_BITS;
+                ((self.cursor >> shift) + 1) << shift
+            };
+            self.ready.push(head);
+            while let Some(peek) = self.overflow.peek() {
+                if peek.at.as_nanos() >= span_end {
+                    break;
+                }
+                let e = self.overflow.pop().unwrap();
+                self.place(e);
+            }
+            return;
+        }
+    }
+
+    /// Make `ready` non-empty if any event is pending.
+    fn ensure_ready(&mut self) {
+        if self.ready.is_empty() && self.len > 0 {
+            self.advance();
+        }
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(e) = self.ready.peek() {
+            return Some(e.at);
+        }
+        // Cold path (`&self`, so no cursor advance): scan the wheel and the
+        // overflow head. Only hit by callers polling an idle queue.
+        let mut min: Option<SimTime> = None;
+        for level in 0..LEVELS {
+            if self.level_len[level] == 0 {
+                continue;
+            }
+            for slot in &self.levels[level] {
+                for e in slot {
+                    if min.is_none_or(|m| e.at < m) {
+                        min = Some(e.at);
+                    }
+                }
+            }
+        }
+        if let Some(e) = self.overflow.peek() {
+            if min.is_none_or(|m| e.at < m) {
+                min = Some(e.at);
+            }
+        }
+        min
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.ensure_ready();
+        let entry = self.ready.pop()?;
+        self.len -= 1;
+        self.processed += 1;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Pop the next event only if it is due at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        self.ensure_ready();
+        if self.ready.peek()?.at <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drop all pending events (used when a scenario is reset).
+    pub fn clear(&mut self) {
+        for level in &mut self.levels {
+            for slot in level {
+                slot.clear();
+            }
+        }
+        self.level_len = [0; LEVELS];
+        self.overflow.clear();
+        self.ready.clear();
+        self.len = 0;
+    }
+}
+
+/// The original `BinaryHeap`-backed queue, kept as the ordering reference
+/// for the timer wheel (see `tests/sweep_props.rs`) and for benchmarks.
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for HeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapEventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        HeapEventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The current clock.
     pub fn now(&self) -> SimTime {
         self.now
     }
@@ -74,11 +349,7 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Schedule `event` at absolute time `at`.
-    ///
-    /// Scheduling in the past is clamped to `now` — the event fires
-    /// immediately on the next pop. (This arises when a zero-latency hop
-    /// computes a delivery time equal to the current instant.)
+    /// Schedule `event` at absolute time `at` (clamped to `now`).
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let at = at.max(self.now);
         let seq = self.next_seq;
@@ -96,20 +367,6 @@ impl<E> EventQueue<E> {
         let entry = self.heap.pop()?;
         self.now = entry.at;
         Some((entry.at, entry.event))
-    }
-
-    /// Pop the next event only if it is due at or before `deadline`.
-    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        if self.peek_time()? <= deadline {
-            self.pop()
-        } else {
-            None
-        }
-    }
-
-    /// Drop all pending events (used when a scenario is reset).
-    pub fn clear(&mut self) {
-        self.heap.clear();
     }
 }
 
@@ -162,6 +419,45 @@ mod tests {
         assert_eq!(q.len(), 1);
     }
 
+    #[test]
+    fn far_future_events_cross_the_overflow_tier() {
+        let mut q = EventQueue::new();
+        // Beyond the wheel's ~1.07 s span: lands in overflow.
+        q.schedule(SimTime::from_secs(3600), "far");
+        q.schedule(SimTime::from_secs(7200), "farther");
+        q.schedule(SimTime::from_micros(3), "near");
+        assert_eq!(q.pop(), Some((SimTime::from_micros(3), "near")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3600), "far")));
+        // Scheduling relative to the advanced clock still orders correctly.
+        q.schedule(SimTime::from_secs(3601), "mid");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3601), "mid")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(7200), "farther")));
+        assert!(q.is_empty());
+        assert_eq!(q.processed, 4);
+    }
+
+    #[test]
+    fn peek_time_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(9), "later");
+        q.schedule(SimTime::from_millis(7), "sooner");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn clear_empties_every_tier() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(1), 1);
+        q.schedule(SimTime::from_millis(500), 2);
+        q.schedule(SimTime::from_secs(50), 3);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
     proptest! {
         #[test]
         fn prop_pop_order_is_nondecreasing(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
@@ -188,6 +484,23 @@ mod tests {
                 seen[i] = true;
             }
             prop_assert!(seen.iter().all(|s| *s));
+        }
+
+        #[test]
+        fn prop_wheel_matches_heap_order(times in proptest::collection::vec(0u64..5_000_000_000, 1..300)) {
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                wheel.schedule(SimTime::from_nanos(*t), i);
+                heap.schedule(SimTime::from_nanos(*t), i);
+            }
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                if b.is_none() {
+                    break;
+                }
+            }
         }
     }
 }

@@ -192,6 +192,7 @@ pub struct FlowTable {
     hits: Vec<u64>,
     install_seq: Vec<u64>,
     next_seq: u64,
+    epoch: u64,
     /// Lookups that matched no rule.
     pub misses: u64,
 }
@@ -202,6 +203,13 @@ impl FlowTable {
         FlowTable::default()
     }
 
+    /// A counter bumped on every structural change (install / removal /
+    /// clear). Rule *indices* are only meaningful within one epoch, which
+    /// is what lets the switch's decision cache hold indices safely.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Install a rule. Later installations win priority ties (this mirrors
     /// OpenFlow's overlap behaviour closely enough for our controller,
     /// which always diffs epochs anyway).
@@ -210,6 +218,7 @@ impl FlowTable {
         self.hits.push(0);
         self.install_seq.push(self.next_seq);
         self.next_seq += 1;
+        self.epoch += 1;
     }
 
     /// Remove every rule whose cookie equals `cookie`; returns how many
@@ -227,6 +236,9 @@ impl FlowTable {
                 i += 1;
             }
         }
+        if removed > 0 {
+            self.epoch += 1;
+        }
         removed
     }
 
@@ -235,6 +247,7 @@ impl FlowTable {
         self.rules.clear();
         self.hits.clear();
         self.install_seq.clear();
+        self.epoch += 1;
     }
 
     /// Number of installed rules.
@@ -250,6 +263,14 @@ impl FlowTable {
     /// Look up the best-matching rule for `packet` on `in_port`,
     /// incrementing its hit counter.
     pub fn lookup(&mut self, in_port: PortNo, packet: &Packet) -> Option<&FlowRule> {
+        let best = self.lookup_index(in_port, packet);
+        self.record(best);
+        best.map(|i| &self.rules[i])
+    }
+
+    /// The index of the best-matching rule (no counter updates). Indices
+    /// are stable only within the current [`FlowTable::epoch`].
+    pub fn lookup_index(&self, in_port: PortNo, packet: &Packet) -> Option<usize> {
         let mut best: Option<usize> = None;
         for (i, rule) in self.rules.iter().enumerate() {
             if !rule.matcher.matches(in_port, packet) {
@@ -266,16 +287,23 @@ impl FlowTable {
                 }
             }
         }
-        match best {
-            Some(i) => {
-                self.hits[i] += 1;
-                Some(&self.rules[i])
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        best
+    }
+
+    /// Account a lookup outcome: bump the rule's hit counter, or the miss
+    /// counter. Used by the switch's decision cache to keep counters exact
+    /// when the table scan itself is skipped.
+    pub fn record(&mut self, index: Option<usize>) {
+        match index {
+            Some(i) => self.hits[i] += 1,
+            None => self.misses += 1,
         }
+    }
+
+    /// The rule at `index` (panics if out of range; indices come from
+    /// [`FlowTable::lookup_index`] within the same epoch).
+    pub fn rule(&self, index: usize) -> &FlowRule {
+        &self.rules[index]
     }
 
     /// Iterate over rules with their hit counts.

@@ -271,6 +271,17 @@ impl Network {
         !self.queue.is_empty()
     }
 
+    /// Total events popped by the event engine over the network's lifetime.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed
+    }
+
+    /// Aggregate flow-decision-cache counters across every switch, as
+    /// `(lookups, hits)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.switches.iter().fold((0, 0), |(l, h), s| (l + s.cache_lookups, h + s.cache_hits))
+    }
+
     /// Timestamp of the next queued event.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.queue.peek_time()

@@ -5,24 +5,82 @@
 //! per-switch counters. The paper's enforcement story assumes every IoT
 //! device's *first-hop* switch or AP is programmable; this model is that
 //! first hop.
+//!
+//! Two fast paths keep per-packet work off the hot loop:
+//!
+//! * Port lists are [`PortList`]s (inline up to 8 ports) — unicast output
+//!   and home-scale floods never allocate.
+//! * A flow-decision cache memoizes the full `(in_port, flow key)` →
+//!   decision mapping, skipping the linear table scan for repeat flows.
+//!   It is invalidated by flow-table changes (via [`FlowTable::epoch`])
+//!   and by MAC-table learning changes, so cached decisions are always
+//!   exactly what the slow path would have computed. Rule hit / miss
+//!   counters are still updated on cache hits, keeping every counter
+//!   byte-identical to an uncached run.
 
 use crate::addr::{MacAddr, PortNo, SwitchId};
 use crate::flow::{FlowAction, FlowRule, FlowTable};
 use crate::packet::Packet;
+use smallvec::SmallVec;
 use std::collections::HashMap;
+
+/// An output port list, inline (allocation-free) up to 8 ports.
+pub type PortList = SmallVec<PortNo, 8>;
+
+/// Decisions cached per switch before the cache is wiped and refilled.
+/// Sized for the workspace's scenarios (tens of devices × a few flows
+/// each); wiping on overflow keeps the policy trivially correct.
+const DECISION_CACHE_CAP: usize = 1024;
 
 /// Forwarding decision produced by a switch for one packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SwitchDecision {
     /// Send out these ports (normal forwarding may flood several).
-    Output(Vec<PortNo>),
+    Output(PortList),
     /// Drop.
     Drop,
     /// Divert to the inline processor with this steer id; the network layer
     /// resumes forwarding with the processor's output packets.
     Steer(crate::flow::SteerId),
     /// Mirror to the capture/controller channel and also output normally.
-    MirrorAnd(Vec<PortNo>),
+    MirrorAnd(PortList),
+}
+
+/// The packet fields a forwarding decision can depend on. Everything the
+/// flow table can match and everything `Normal` forwarding reads (the
+/// Ethernet destination), but not the payload — so packets differing only
+/// in payload share a cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FlowKey {
+    eth_src: MacAddr,
+    eth_dst: MacAddr,
+    ip_src: crate::addr::Ipv4Addr,
+    ip_dst: crate::addr::Ipv4Addr,
+    ip_proto: u8,
+    src_port: u16,
+    dst_port: u16,
+}
+
+impl FlowKey {
+    fn of(packet: &Packet) -> FlowKey {
+        FlowKey {
+            eth_src: packet.eth.src,
+            eth_dst: packet.eth.dst,
+            ip_src: packet.ip.src,
+            ip_dst: packet.ip.dst,
+            ip_proto: packet.ip.protocol,
+            src_port: packet.transport.src_port(),
+            dst_port: packet.transport.dst_port(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CachedDecision {
+    /// The matched rule's index (`None` = table miss), replayed into the
+    /// table's hit/miss counters on every cache hit.
+    rule: Option<usize>,
+    decision: SwitchDecision,
 }
 
 /// An SDN switch.
@@ -35,10 +93,17 @@ pub struct Switch {
     /// The controller-programmed flow table.
     pub table: FlowTable,
     mac_table: HashMap<MacAddr, PortNo>,
+    cache: HashMap<(PortNo, FlowKey), CachedDecision>,
+    /// Flow-table epoch the cache was filled against.
+    cache_epoch: u64,
     /// Packets processed.
     pub rx_packets: u64,
     /// Packets dropped by policy.
     pub policy_drops: u64,
+    /// Decision-cache lookups (one per processed packet).
+    pub cache_lookups: u64,
+    /// Decision-cache hits (table scan skipped).
+    pub cache_hits: u64,
 }
 
 impl Switch {
@@ -49,8 +114,12 @@ impl Switch {
             n_ports,
             table: FlowTable::new(),
             mac_table: HashMap::new(),
+            cache: HashMap::new(),
+            cache_epoch: 0,
             rx_packets: 0,
             policy_drops: 0,
+            cache_lookups: 0,
+            cache_hits: 0,
         }
     }
 
@@ -73,32 +142,57 @@ impl Switch {
     /// apply the flow table (falling back to `Normal` on a miss).
     pub fn process(&mut self, in_port: PortNo, packet: &Packet) -> SwitchDecision {
         self.rx_packets += 1;
-        if !packet.eth.src.is_multicast() {
-            self.mac_table.insert(packet.eth.src, in_port);
+        if !packet.eth.src.is_multicast()
+            && self.mac_table.insert(packet.eth.src, in_port) != Some(in_port)
+        {
+            // A new or moved station changes what `Normal` forwarding does.
+            self.cache.clear();
         }
-        let action =
-            self.table.lookup(in_port, packet).map(|r| r.action).unwrap_or(FlowAction::Normal);
-        match action {
+        // The table is public, so catch *any* mutation (controller installs,
+        // cookie removals, direct `table.clear()`) by epoch comparison.
+        if self.cache_epoch != self.table.epoch() {
+            self.cache_epoch = self.table.epoch();
+            self.cache.clear();
+        }
+        let key = (in_port, FlowKey::of(packet));
+        self.cache_lookups += 1;
+        if let Some(cached) = self.cache.get(&key) {
+            self.cache_hits += 1;
+            self.table.record(cached.rule);
+            if cached.decision == SwitchDecision::Drop {
+                self.policy_drops += 1;
+            }
+            return cached.decision.clone();
+        }
+        let rule = self.table.lookup_index(in_port, packet);
+        self.table.record(rule);
+        let action = rule.map(|i| self.table.rule(i).action).unwrap_or(FlowAction::Normal);
+        let decision = match action {
             FlowAction::Drop => {
                 self.policy_drops += 1;
                 SwitchDecision::Drop
             }
-            FlowAction::Output(p) => SwitchDecision::Output(vec![p]),
+            FlowAction::Output(p) => SwitchDecision::Output(PortList::from_slice(&[p])),
             FlowAction::Steer(id) => SwitchDecision::Steer(id),
             FlowAction::Mirror => SwitchDecision::MirrorAnd(self.normal_ports(in_port, packet)),
             FlowAction::Normal => SwitchDecision::Output(self.normal_ports(in_port, packet)),
+        };
+        if self.cache.len() >= DECISION_CACHE_CAP {
+            self.cache.clear();
         }
+        self.cache.insert(key, CachedDecision { rule, decision: decision.clone() });
+        decision
     }
 
     /// Normal (learning L2) forwarding: known unicast goes out its learned
     /// port; unknown unicast and broadcast flood all ports except ingress.
-    pub fn normal_ports(&self, in_port: PortNo, packet: &Packet) -> Vec<PortNo> {
+    pub fn normal_ports(&self, in_port: PortNo, packet: &Packet) -> PortList {
         if !packet.eth.dst.is_multicast() {
             if let Some(&p) = self.mac_table.get(&packet.eth.dst) {
                 if p == in_port {
-                    return Vec::new(); // already on the right segment
+                    return PortList::new(); // already on the right segment
                 }
-                return vec![p];
+                return PortList::from_slice(&[p]);
             }
         }
         (0..self.n_ports).map(PortNo).filter(|p| *p != in_port).collect()
@@ -112,6 +206,10 @@ mod tests {
     use crate::flow::{FlowMatch, SteerId};
     use crate::packet::TransportHeader;
     use bytes::Bytes;
+
+    fn ports(ps: &[PortNo]) -> PortList {
+        PortList::from_slice(ps)
+    }
 
     fn pkt(src_mac: MacAddr, dst_mac: MacAddr) -> Packet {
         Packet::new(
@@ -131,13 +229,13 @@ mod tests {
         let b = MacAddr::from_index(2);
         // Unknown destination floods.
         let d = sw.process(PortNo(0), &pkt(a, b));
-        assert_eq!(d, SwitchDecision::Output(vec![PortNo(1), PortNo(2), PortNo(3)]));
+        assert_eq!(d, SwitchDecision::Output(ports(&[PortNo(1), PortNo(2), PortNo(3)])));
         // b replies from port 2; now a is known on port 0.
         let d = sw.process(PortNo(2), &pkt(b, a));
-        assert_eq!(d, SwitchDecision::Output(vec![PortNo(0)]));
+        assert_eq!(d, SwitchDecision::Output(ports(&[PortNo(0)])));
         // And b is now known on port 2.
         let d = sw.process(PortNo(0), &pkt(a, b));
-        assert_eq!(d, SwitchDecision::Output(vec![PortNo(2)]));
+        assert_eq!(d, SwitchDecision::Output(ports(&[PortNo(2)])));
         assert_eq!(sw.learned_port(a), Some(PortNo(0)));
     }
 
@@ -148,14 +246,14 @@ mod tests {
         let b = MacAddr::from_index(2);
         sw.process(PortNo(1), &pkt(b, a)); // learn b on port 1
         let d = sw.process(PortNo(1), &pkt(a, b)); // b is back out the ingress port
-        assert_eq!(d, SwitchDecision::Output(vec![]));
+        assert_eq!(d, SwitchDecision::Output(ports(&[])));
     }
 
     #[test]
     fn broadcast_floods() {
         let mut sw = Switch::new(SwitchId(0), 3);
         let d = sw.process(PortNo(1), &pkt(MacAddr::from_index(1), MacAddr::BROADCAST));
-        assert_eq!(d, SwitchDecision::Output(vec![PortNo(0), PortNo(2)]));
+        assert_eq!(d, SwitchDecision::Output(ports(&[PortNo(0), PortNo(2)])));
     }
 
     #[test]
@@ -179,5 +277,60 @@ mod tests {
             SwitchDecision::MirrorAnd(ports) => assert!(!ports.is_empty()),
             other => panic!("expected mirror, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn decision_cache_hits_repeat_flows_and_keeps_counters_exact() {
+        let mut sw = Switch::new(SwitchId(0), 4);
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        let p = pkt(a, b);
+        sw.process(PortNo(0), &p); // cold: learns a, caches the flood
+        assert_eq!(sw.cache_hits, 0);
+        let d = sw.process(PortNo(0), &p); // warm
+        assert_eq!(sw.cache_hits, 1);
+        assert_eq!(d, SwitchDecision::Output(ports(&[PortNo(1), PortNo(2), PortNo(3)])));
+        // Counters advance on cache hits exactly as on table scans.
+        assert_eq!(sw.table.misses, 2);
+    }
+
+    #[test]
+    fn decision_cache_invalidated_by_table_change() {
+        let mut sw = Switch::new(SwitchId(0), 2);
+        let p = pkt(MacAddr::from_index(1), MacAddr::from_index(2));
+        sw.process(PortNo(0), &p);
+        sw.process(PortNo(0), &p);
+        assert_eq!(sw.cache_hits, 1);
+        sw.install(FlowRule::new(10, FlowMatch::any(), FlowAction::Drop));
+        // The cached Output decision must not survive the install.
+        assert_eq!(sw.process(PortNo(0), &p), SwitchDecision::Drop);
+        assert_eq!(sw.policy_drops, 1);
+    }
+
+    #[test]
+    fn decision_cache_invalidated_by_mac_learning() {
+        let mut sw = Switch::new(SwitchId(0), 4);
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        // a → b floods (b unknown) and is cached.
+        sw.process(PortNo(0), &pkt(a, b));
+        // b appears on port 2: learning must invalidate the cached flood.
+        sw.process(PortNo(2), &pkt(b, a));
+        let d = sw.process(PortNo(0), &pkt(a, b));
+        assert_eq!(d, SwitchDecision::Output(ports(&[PortNo(2)])));
+    }
+
+    #[test]
+    fn hit_counters_replayed_on_cached_drops() {
+        let mut sw = Switch::new(SwitchId(0), 2);
+        sw.install(FlowRule::new(10, FlowMatch::any(), FlowAction::Drop));
+        let p = pkt(MacAddr::from_index(1), MacAddr::from_index(2));
+        for _ in 0..5 {
+            assert_eq!(sw.process(PortNo(0), &p), SwitchDecision::Drop);
+        }
+        assert_eq!(sw.policy_drops, 5);
+        assert_eq!(sw.cache_hits, 4);
+        // The drop rule's hit counter saw all five packets.
+        assert_eq!(sw.table.iter().next().unwrap().1, 5);
     }
 }

@@ -98,8 +98,9 @@ pub struct ChainConfig {
     pub required_creds: AdminCreds,
     /// Sources pre-cleared through login challenges (the owner's app).
     pub cleared_sources: Vec<Ipv4Addr>,
-    /// The active signature ruleset for this device's SKU.
-    pub signatures: Vec<AttackSignature>,
+    /// The active signature ruleset for this device's SKU, interned so
+    /// every chain protecting the same SKU shares one allocation.
+    pub signatures: std::rc::Rc<[AttackSignature]>,
     /// The controller's environment view (context gates read this).
     pub view: ViewHandle,
     /// Where the chain reports security events.
@@ -169,7 +170,10 @@ impl UmboxChain {
     /// Hot-swap the IDS ruleset (if the chain has an IDS); returns the
     /// new generation, or `None` if no IDS is present. No packets are
     /// dropped by the swap — the paper's availability requirement.
-    pub fn update_signatures(&mut self, signatures: Vec<AttackSignature>) -> Option<u16> {
+    pub fn update_signatures(
+        &mut self,
+        signatures: impl Into<std::rc::Rc<[AttackSignature]>>,
+    ) -> Option<u16> {
         for slot in &mut self.slots {
             if let Slot::Ids(ids) = slot {
                 ids.update_signatures(signatures);
@@ -271,6 +275,7 @@ pub fn build_chain(posture: &Posture, config: &ChainConfig) -> UmboxChain {
     }
     for module in posture.modules() {
         if let SecurityModule::Ids { .. } = module {
+            // `Rc::clone` — a refcount bump, not a ruleset copy.
             chain.push(Slot::Ids(SigIds::new(config.device, config.signatures.clone())));
         }
     }
@@ -313,7 +318,7 @@ mod tests {
             device: DeviceId(0),
             required_creds: AdminCreds::new("owner", "Str0ng!"),
             cleared_sources: vec![Ipv4Addr::new(10, 0, 0, 2)],
-            signatures: Vec::new(),
+            signatures: Vec::new().into(),
             view: ViewHandle::new(),
             events: EventSink::new(),
             failure_mode: FailureMode::FailOpen,

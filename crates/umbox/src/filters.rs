@@ -168,11 +168,13 @@ impl Element for RateLimiter {
 }
 
 /// A mirror tap: keeps (bounded) copies for forensics and passes the
-/// packet on.
+/// packet on. The retention buffer is a ring (`VecDeque`), so evicting
+/// the oldest copy is O(1) rather than shifting the whole buffer on
+/// every packet once full.
 #[derive(Debug)]
 pub struct MirrorTap {
     /// Retained copies, oldest first.
-    pub taps: Vec<Packet>,
+    pub taps: std::collections::VecDeque<Packet>,
     capacity: usize,
     /// Total packets seen.
     pub seen: u64,
@@ -181,7 +183,7 @@ pub struct MirrorTap {
 impl MirrorTap {
     /// A tap retaining up to `capacity` packets.
     pub fn new(capacity: usize) -> MirrorTap {
-        MirrorTap { taps: Vec::new(), capacity, seen: 0 }
+        MirrorTap { taps: std::collections::VecDeque::new(), capacity, seen: 0 }
     }
 }
 
@@ -189,9 +191,9 @@ impl Element for MirrorTap {
     fn process(&mut self, _now: SimTime, packet: Packet) -> ElementOutcome {
         self.seen += 1;
         if self.taps.len() == self.capacity {
-            self.taps.remove(0);
+            self.taps.pop_front();
         }
-        self.taps.push(packet.clone());
+        self.taps.push_back(packet.clone());
         ElementOutcome::pass(packet, costs::MIRROR)
     }
 

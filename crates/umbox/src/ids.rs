@@ -14,14 +14,17 @@ use iotdev::proto::{ports, AppMessage};
 use iotlearn::signature::AttackSignature;
 use iotnet::packet::Packet;
 use iotnet::time::{SimDuration, SimTime};
+use std::rc::Rc;
 
 /// The signature IDS element.
 #[derive(Debug)]
 pub struct SigIds {
     /// Protected device.
     pub device: DeviceId,
-    /// Active ruleset.
-    signatures: Vec<AttackSignature>,
+    /// Active ruleset, shared (`Rc`) with every other IDS protecting the
+    /// same SKU — the controller interns one ruleset per SKU instead of
+    /// cloning signature vectors per chain.
+    signatures: Rc<[AttackSignature]>,
     /// Ruleset generation (bumped on every swap).
     pub generation: u16,
     /// Matches so far.
@@ -31,15 +34,15 @@ pub struct SigIds {
 }
 
 impl SigIds {
-    /// An IDS with an initial ruleset.
-    pub fn new(device: DeviceId, signatures: Vec<AttackSignature>) -> SigIds {
-        SigIds { device, signatures, generation: 1, matches: 0, inspected: 0 }
+    /// An IDS with an initial ruleset (a `Vec` or an interned `Rc` slice).
+    pub fn new(device: DeviceId, signatures: impl Into<Rc<[AttackSignature]>>) -> SigIds {
+        SigIds { device, signatures: signatures.into(), generation: 1, matches: 0, inspected: 0 }
     }
 
     /// Hot-swap the ruleset (no packets dropped; the next packet sees
     /// the new rules).
-    pub fn update_signatures(&mut self, signatures: Vec<AttackSignature>) {
-        self.signatures = signatures;
+    pub fn update_signatures(&mut self, signatures: impl Into<Rc<[AttackSignature]>>) {
+        self.signatures = signatures.into();
         self.generation += 1;
     }
 
@@ -57,7 +60,7 @@ impl Element for SigIds {
     fn process(&mut self, now: SimTime, packet: Packet) -> ElementOutcome {
         self.inspected += 1;
         let cost = self.per_packet_cost();
-        for sig in &self.signatures {
+        for sig in self.signatures.iter() {
             if sig.matcher.matches(&packet) {
                 self.matches += 1;
                 return ElementOutcome::drop(cost).with_event(

@@ -43,7 +43,7 @@ fn config() -> ChainConfig {
         device: DeviceId(0),
         required_creds: AdminCreds::owner_default(),
         cleared_sources: vec![Ipv4Addr::new(10, 0, 200, 1)],
-        signatures: vec![],
+        signatures: Vec::new().into(),
         view: ViewHandle::new(),
         events: EventSink::new(),
         failure_mode: umbox::chain::FailureMode::FailOpen,

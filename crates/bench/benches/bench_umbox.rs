@@ -45,6 +45,7 @@ fn cfg(sigs: usize) -> ChainConfig {
         view: ViewHandle::new(),
         events: EventSink::new(),
         failure_mode: umbox::chain::FailureMode::FailOpen,
+        tracer: trace::Tracer::disabled(),
     }
 }
 

@@ -6,6 +6,7 @@
 //! cargo run --release -p iotsec-bench --bin experiments table1     # one
 //! cargo run --release -p iotsec-bench --bin experiments e16 --threads 4
 //! cargo run --release -p iotsec-bench --bin experiments all --json # + BENCH_E16.json
+//! cargo run --release -p iotsec-bench --bin experiments --trace    # E17 trace harness
 //! ```
 //!
 //! `--threads N` sets the worker count for the E16 parallel sweep;
@@ -16,7 +17,7 @@
 
 use iotsec_bench::{
     exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_models, exp_perf, exp_pipeline, exp_policy,
-    exp_umbox, exp_world,
+    exp_trace, exp_umbox, exp_world,
 };
 use std::time::Instant;
 
@@ -81,6 +82,21 @@ fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
             println!();
             return Some((report.events_processed, report.cache_hit_rate, report.deterministic));
         }
+        "trace" | "e17" => {
+            let report = exp_trace::trace(SEED, threads);
+            report.table.print();
+            println!("{}", report.summary);
+            for d in &report.divergences {
+                println!("{d}");
+            }
+            println!(
+                "E17 summary: {} trace events, heap-vs-wheel identical: {}, \
+                 parallel-vs-serial identical: {}",
+                report.events, report.queue_identical, report.threads_identical,
+            );
+            println!();
+            return Some((report.events, 0.0, report.deterministic()));
+        }
         _ => return None,
     }
     Some((0, 0.0, true))
@@ -109,6 +125,7 @@ const ALL: &[&str] = &[
     "fingerprinting",
     "chaos",
     "perf",
+    "trace",
 ];
 
 fn render_json(seed: u64, threads: usize, records: &[Record]) -> String {
@@ -143,6 +160,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--trace" => ids.push("trace".to_string()),
             "--threads" => {
                 let v = args.next().unwrap_or_default();
                 threads = v.parse().unwrap_or_else(|_| {

@@ -83,6 +83,7 @@ fn chain_cfg(signatures: usize) -> ChainConfig {
         view: ViewHandle::new(),
         events: EventSink::new(),
         failure_mode: umbox::chain::FailureMode::FailOpen,
+        tracer: trace::Tracer::disabled(),
     }
 }
 

@@ -20,6 +20,7 @@
 //! | E13, E14 | [`exp_pipeline`] |
 //! | E15 | [`exp_chaos`] |
 //! | E16 | [`exp_perf`] (on the [`sweep`] engine) |
+//! | E17 | [`exp_trace`] (the golden-trace differential harness) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +33,7 @@ pub mod exp_models;
 pub mod exp_perf;
 pub mod exp_pipeline;
 pub mod exp_policy;
+pub mod exp_trace;
 pub mod exp_umbox;
 pub mod exp_world;
 pub mod sweep;

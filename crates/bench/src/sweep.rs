@@ -14,11 +14,13 @@
 use crate::exp_world::exploit_landed;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use iotctl::concurrent::SweepLedger;
+use iotnet::engine::QueueKind;
 use iotnet::time::SimDuration;
 use iotsec::defense::Defense;
 use iotsec::scenario;
 use iotsec::world::World;
 use std::sync::Mutex;
+use trace::{TraceConfig, Tracer};
 
 /// Which canned scenario a sweep job instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,8 +114,27 @@ impl WorldOutcome {
 /// Build and run one world job to completion (entirely on the calling
 /// thread — `World` never crosses a thread boundary).
 pub fn run_world_job(job: &WorldJob) -> WorldOutcome {
-    let (d, _) = scenario::scaled_home(job.scenario.defense(), job.seed, job.population);
-    let mut w = World::new(&d);
+    run_world_job_with(job, QueueKind::default(), Tracer::disabled())
+}
+
+/// Run one world job with trace emission, returning the outcome and the
+/// canonical JSONL trace. `Tracer` is deliberately `!Send`, so each
+/// sweep worker constructs its own from the (`Copy`) `config` — the
+/// trace string, unlike the tracer, crosses threads fine.
+pub fn run_world_job_traced(
+    job: &WorldJob,
+    queue: QueueKind,
+    config: TraceConfig,
+) -> (WorldOutcome, String) {
+    let tracer = Tracer::new(config);
+    let outcome = run_world_job_with(job, queue, tracer.clone());
+    (outcome, tracer.to_jsonl())
+}
+
+fn run_world_job_with(job: &WorldJob, queue: QueueKind, tracer: Tracer) -> WorldOutcome {
+    let (mut d, _) = scenario::scaled_home(job.scenario.defense(), job.seed, job.population);
+    d.queue = queue;
+    let mut w = World::new_traced(&d, tracer);
     w.env.occupied = true;
     w.run_until_attack_done(SimDuration::from_secs(300));
     let m = w.report();
@@ -218,6 +239,19 @@ pub fn sweep_worlds(jobs: &[WorldJob], threads: usize, ledger: &SweepLedger) -> 
         ledger.record(out.events_processed, out.cache_lookups, out.cache_hits);
         out
     })
+}
+
+/// The traced sweep: every job runs with its own tracer and the results
+/// come back in job order, so the merged `(outcome, trace)` list is a
+/// pure function of the job list — `--threads 1` and `--threads N` must
+/// produce byte-identical traces (the differential harness pins this).
+pub fn sweep_worlds_traced(
+    jobs: &[WorldJob],
+    threads: usize,
+    queue: QueueKind,
+    config: TraceConfig,
+) -> Vec<(WorldOutcome, String)> {
+    run_sweep(jobs.to_vec(), threads, move |_, job| run_world_job_traced(job, queue, config))
 }
 
 #[cfg(test)]

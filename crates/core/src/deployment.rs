@@ -13,6 +13,7 @@ use iotdev::env::EnvVar;
 use iotdev::proto::{ControlAction, MgmtCommand};
 use iotdev::registry::Sku;
 use iotdev::vuln::Vulnerability;
+use iotnet::engine::QueueKind;
 use iotnet::time::SimDuration;
 use iotpolicy::recipe::Recipe;
 
@@ -179,6 +180,9 @@ pub struct Deployment {
     /// Fault schedule, if this is a chaos run. `None` keeps the legacy
     /// fault-free semantics bit-for-bit.
     pub chaos: Option<ChaosConfig>,
+    /// Packet-plane event queue backend. Both backends must produce
+    /// identical runs; the golden-trace harness holds them to it.
+    pub queue: QueueKind,
 }
 
 impl Default for Deployment {
@@ -198,6 +202,7 @@ impl Default for Deployment {
             seed: 42,
             tick: SimDuration::from_millis(100),
             chaos: None,
+            queue: QueueKind::default(),
         }
     }
 }

@@ -188,6 +188,25 @@ pub fn smart_home(defense: Defense, seed: u64) -> (Deployment, Vec<DeviceId>) {
     (d, vulnerable)
 }
 
+/// The enterprise site (§2.2's second deployment): a core switch, four
+/// edge switches, and a dozen Table 1 cameras spread round-robin across
+/// them; the attacker cracks two cameras on different edges. Returns the
+/// deployment and the camera ids in index order.
+pub fn enterprise(defense: Defense, seed: u64) -> (Deployment, Vec<DeviceId>) {
+    let mut d = Deployment::new();
+    d.seed = seed;
+    d.site = crate::deployment::Site::Enterprise { edges: 4 };
+    let cams: Vec<DeviceId> = (0..12).map(|_| d.device(DeviceSetup::table1_row(1))).collect();
+    d.campaign(vec![
+        StepSpec::DictionaryLogin(cams[5]),
+        StepSpec::Mgmt(cams[5], MgmtCommand::GetImage),
+        StepSpec::DictionaryLogin(cams[10]),
+        StepSpec::Mgmt(cams[10], MgmtCommand::GetImage),
+    ]);
+    d.defend_with(defense);
+    (d, cams)
+}
+
 /// The population axis for perf sweeps (E16): the full [`smart_home`]
 /// plus `extra` clean background devices cycling through sensor and
 /// actuator classes. The extras widen the switch (more ports, more MAC

@@ -39,6 +39,7 @@ use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
+use trace::{MetricsRegistry, TraceEvent, Tracer};
 use umbox::chain::{build_chain, ChainConfig, FailureMode, UmboxChain};
 use umbox::element::{EventSink, ViewHandle};
 use umbox::lifecycle::{LifecycleManager, UmboxId};
@@ -208,11 +209,24 @@ pub struct World {
     blocked_reaction: BTreeSet<DeviceId>,
     retired_fail_open: u64,
     retired_fail_closed: u64,
+    /// Structured trace emission (disabled by default; zero-cost then).
+    tracer: Tracer,
+    /// Failover count at the last tick, for edge-triggered trace events.
+    last_failovers: u64,
 }
 
 impl World {
     /// Build a world from a deployment description.
     pub fn new(deployment: &Deployment) -> World {
+        World::new_traced(deployment, Tracer::disabled())
+    }
+
+    /// Build a world that emits structured trace events into `tracer`.
+    ///
+    /// The caller keeps its own clone of the handle (clones share one
+    /// buffer) and serializes it after the run. With a disabled tracer
+    /// this is exactly [`World::new`].
+    pub fn new_traced(deployment: &Deployment, tracer: Tracer) -> World {
         // --- topology -----------------------------------------------------
         let mut b = TopologyBuilder::new();
         let (core, edge_switches): (SwitchId, Vec<SwitchId>) = match deployment.site {
@@ -250,7 +264,8 @@ impl World {
         let victim_ep = deployment.needs_victim().then(|| {
             b.attach_endpoint_with(core, LinkParams::wan(), Ipv4Addr::new(203, 0, 113, 50))
         });
-        let mut net = Network::new(b.build(), deployment.seed);
+        let mut net = Network::with_queue(b.build(), deployment.seed, deployment.queue);
+        net.set_tracer(tracer.clone());
 
         // --- devices ------------------------------------------------------
         let mut devices = Vec::with_capacity(deployment.devices.len());
@@ -480,6 +495,8 @@ impl World {
             blocked_reaction: BTreeSet::new(),
             retired_fail_open: 0,
             retired_fail_closed: 0,
+            tracer,
+            last_failovers: 0,
         };
 
         if let Some(chaos) = &deployment.chaos {
@@ -492,6 +509,9 @@ impl World {
             let directives = control.reconcile(SimTime::ZERO);
             world.control = Some(control);
             for d in directives {
+                let (device, kind) = (d.device().0, directive_kind(&d));
+                world.tracer.emit(0, TraceEvent::DirectiveIssued { device, kind });
+                world.tracer.emit(0, TraceEvent::DirectiveDelivered { device, kind });
                 world.execute_directive(d, SimTime::ZERO);
             }
         }
@@ -550,6 +570,7 @@ impl World {
             )
         };
         let mut faults = FaultScheduler::new();
+        faults.set_tracer(self.tracer.clone());
         for (device, down_at, heal_at) in &chaos.flap_uplink {
             let (a, b) = uplink(*device);
             faults.flap_wire(a, b, *down_at, *heal_at);
@@ -589,7 +610,9 @@ impl World {
         self.faults = faults;
         self.crash_plan = crash_plan;
         self.outage_plan = outage_plan;
-        self.delivery = Some(DeliveryChannel::new(chaos.delivery));
+        let mut channel = DeliveryChannel::new(chaos.delivery);
+        channel.set_tracer(self.tracer.clone());
+        self.delivery = Some(channel);
     }
 
     /// Apply every fault whose time has come: network faults to the
@@ -605,6 +628,7 @@ impl World {
             if let Some(slot) = self.chains.get(&device) {
                 if let Some(lc) = &mut self.lifecycle {
                     lc.crash(slot.instance, now);
+                    self.tracer.emit(now.as_nanos(), TraceEvent::UmboxCrash { device: device.0 });
                 }
             }
         }
@@ -614,6 +638,10 @@ impl World {
             self.outage_idx += 1;
             if let Some(control) = &mut self.control {
                 control.inject_outage(from, duration);
+                self.tracer.emit(
+                    now.as_nanos(),
+                    TraceEvent::CtlOutage { duration_ns: duration.as_nanos() },
+                );
             }
         }
     }
@@ -721,6 +749,15 @@ impl World {
             }
             directives = control.step(now);
             reachable = !control.is_down(now);
+            for d in &directives {
+                let (device, kind) = (d.device().0, directive_kind(d));
+                self.tracer.emit(now.as_nanos(), TraceEvent::DirectiveIssued { device, kind });
+            }
+            let failovers = control.failovers();
+            if failovers > self.last_failovers {
+                self.last_failovers = failovers;
+                self.tracer.emit(now.as_nanos(), TraceEvent::Failover { count: failovers });
+            }
         }
         if self.control.is_some() {
             // Chaos runs route directives through the hardened delivery
@@ -733,11 +770,15 @@ impl World {
                 directives = channel.pump(now, reachable);
             }
             for d in directives {
+                let (device, kind) = (d.device().0, directive_kind(&d));
+                self.tracer.emit(now.as_nanos(), TraceEvent::DirectiveDelivered { device, kind });
                 self.execute_directive(d, now);
             }
         }
         if let Some(lc) = &mut self.lifecycle {
-            lc.advance(now);
+            for (device, _restart_at) in lc.advance(now) {
+                self.tracer.emit(now.as_nanos(), TraceEvent::UmboxRespawn { device: device.0 });
+            }
         }
 
         // 7. Chaos: degradation accounting for this tick.
@@ -781,6 +822,7 @@ impl World {
                         .with_cookie(cookie(device)),
                 );
                 self.chains.insert(device, UmboxSlot { steer, chain, instance });
+                self.tracer.emit(now.as_nanos(), TraceEvent::UmboxReady { device: device.0 });
             } else {
                 i += 1;
             }
@@ -801,6 +843,8 @@ impl World {
                     new_chain.fail_open_passed = old.fail_open_passed;
                     new_chain.fail_closed_dropped = old.fail_closed_dropped;
                     *old = new_chain;
+                    drop(old);
+                    self.tracer.emit(now.as_nanos(), TraceEvent::UmboxSwap { device: device.0 });
                 }
             } else {
                 i += 1;
@@ -824,10 +868,18 @@ impl World {
             view: self.gate_view.clone(),
             events: self.event_sink.clone(),
             failure_mode: self.failure_mode,
+            tracer: self.tracer.clone(),
         }
     }
 
     fn execute_directive(&mut self, directive: Directive, now: SimTime) {
+        self.tracer.emit(
+            now.as_nanos(),
+            TraceEvent::DirectiveInstalled {
+                device: directive.device().0,
+                kind: directive_kind(&directive),
+            },
+        );
         match directive {
             Directive::Launch { device, posture } => self.launch_umbox(device, &posture, now),
             Directive::Reconfigure { device, posture } => {
@@ -846,6 +898,7 @@ impl World {
             }
             Directive::Retire { device } => {
                 if let Some(slot) = self.chains.remove(&device) {
+                    self.tracer.emit(now.as_nanos(), TraceEvent::UmboxRetire { device: device.0 });
                     {
                         let chain = slot.chain.borrow();
                         self.retired_drops += chain.dropped;
@@ -879,6 +932,10 @@ impl World {
         }
         let Some(lc) = &mut self.lifecycle else { return };
         let (instance, ready_at) = lc.launch(device, cfg.vm_kind, now);
+        self.tracer.emit(
+            now.as_nanos(),
+            TraceEvent::UmboxLaunch { device: device.0, ready_ns: ready_at.as_nanos() },
+        );
         let chain = Rc::new(RefCell::new(build_chain(posture, &self.chain_config(device))));
         self.pending_steers.push((ready_at, device, chain, instance));
     }
@@ -1003,10 +1060,52 @@ impl World {
         let _ = self.recipes_fired_seed;
         metrics
     }
+
+    /// Export every counter the run accumulated — network, µmbox, control
+    /// plane, chaos, hub — into one [`MetricsRegistry`]. The snapshot is
+    /// sorted by name, so two identical runs render identical text.
+    pub fn export_metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        self.net.export_metrics(&mut reg);
+        let m = self.report();
+        reg.counter("world.compromised", m.compromised.len() as u64);
+        reg.counter("world.privacy_leaked", m.privacy_leaked.len() as u64);
+        reg.counter("world.ddos_bytes_at_victim", m.ddos_bytes_at_victim);
+        reg.counter("world.ddos_queries", m.ddos_queries);
+        reg.counter("world.recipes_fired", m.recipes_fired);
+        reg.counter("umbox.drops", m.umbox_drops);
+        reg.counter("umbox.intercepts", m.umbox_intercepts);
+        reg.counter("umbox.missed_blocks", m.missed_blocks);
+        reg.counter("umbox.fail_closed_drops", m.fail_closed_drops);
+        reg.counter("umbox.crashes", m.umbox_crashes);
+        reg.counter("umbox.respawns", m.umbox_respawns);
+        reg.counter("ctl.events_processed", m.controller_events);
+        reg.counter("ctl.failovers", m.controller_failovers);
+        reg.counter("ctl.delivery.submitted", m.delivery.submitted);
+        reg.counter("ctl.delivery.delivered", m.delivery.delivered);
+        reg.counter("ctl.delivery.deduped", m.delivery.deduped);
+        reg.counter("ctl.delivery.retries", m.delivery.retries);
+        reg.counter("ctl.delivery.shed", m.delivery.shed);
+        reg.counter("chaos.faults_injected", m.faults_injected);
+        reg.gauge("world.sim_secs", self.clock.as_secs_f64());
+        reg.gauge("world.fail_open_exposure_secs", m.fail_open_exposure.as_secs_f64());
+        reg.gauge("world.unprotected_secs", m.unprotected_total().as_secs_f64());
+        reg
+    }
 }
 
 fn cookie(device: DeviceId) -> u64 {
     0x1000 + device.0 as u64
+}
+
+/// The fixed trace label for a directive (stable across refactors; the
+/// golden traces pin these strings).
+fn directive_kind(d: &Directive) -> &'static str {
+    match d {
+        Directive::Launch { .. } => "launch",
+        Directive::Reconfigure { .. } => "reconfigure",
+        Directive::Retire { .. } => "retire",
+    }
 }
 
 /// Build one device's interned signature ruleset: repository

@@ -23,6 +23,7 @@ use iotdev::device::DeviceId;
 use iotnet::time::{SimDuration, SimTime};
 use serde::Serialize;
 use std::collections::{BTreeMap, VecDeque};
+use trace::{TraceEvent, Tracer};
 
 /// Delivery-channel tuning.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -95,6 +96,9 @@ pub struct DeliveryChannel {
     last_applied: BTreeMap<DeviceId, u64>,
     /// Counters.
     pub stats: DeliveryStats,
+    /// Control-class trace emission (shed/retry/dedup; disabled by
+    /// default).
+    tracer: Tracer,
 }
 
 impl DeliveryChannel {
@@ -105,7 +109,13 @@ impl DeliveryChannel {
             queue: VecDeque::new(),
             last_applied: BTreeMap::new(),
             stats: DeliveryStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer for channel-internal events (shed, retry, dedup).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Submit a directive for delivery. Returns `false` if the bounded
@@ -115,6 +125,8 @@ impl DeliveryChannel {
         self.stats.submitted += 1;
         if self.queue.len() >= self.cfg.capacity {
             self.stats.shed += 1;
+            self.tracer
+                .emit(now.as_nanos(), TraceEvent::DirectiveShed { device: directive.device().0 });
             return false;
         }
         let id = directive_id(&directive);
@@ -133,6 +145,13 @@ impl DeliveryChannel {
                 if env.next_attempt <= now {
                     env.attempts += 1;
                     self.stats.retries += 1;
+                    self.tracer.emit(
+                        now.as_nanos(),
+                        TraceEvent::DirectiveRetry {
+                            device: env.directive.device().0,
+                            attempt: env.attempts,
+                        },
+                    );
                     let exp = env.attempts.saturating_sub(1).min(16);
                     let backoff = (self.cfg.base_backoff * (1u64 << exp)).min(self.cfg.max_backoff);
                     env.next_attempt = now + backoff;
@@ -145,6 +164,7 @@ impl DeliveryChannel {
             let device = env.directive.device();
             if self.last_applied.get(&device) == Some(&env.id) {
                 self.stats.deduped += 1;
+                self.tracer.emit(now.as_nanos(), TraceEvent::DirectiveDeduped { device: device.0 });
                 continue;
             }
             self.last_applied.insert(device, env.id);

@@ -320,6 +320,8 @@ pub struct HeapEventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    /// Events popped over the queue's lifetime.
+    pub processed: u64,
 }
 
 impl<E> Default for HeapEventQueue<E> {
@@ -331,7 +333,7 @@ impl<E> Default for HeapEventQueue<E> {
 impl<E> HeapEventQueue<E> {
     /// An empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        HeapEventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        HeapEventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO, processed: 0 }
     }
 
     /// The current clock.
@@ -366,7 +368,146 @@ impl<E> HeapEventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
         self.now = entry.at;
+        self.processed += 1;
         Some((entry.at, entry.event))
+    }
+
+    /// Pop the next event only if it is due at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek()?.at <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Which [`AnyEventQueue`] backend a simulation runs on.
+///
+/// The two backends share one ordering contract (proptested in this
+/// module and in `tests/trace_diff_props.rs`); selecting `Heap` exists so
+/// the differential harness can run whole worlds against the reference
+/// queue and byte-compare the traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// The hierarchical timer wheel ([`EventQueue`]) — the default.
+    #[default]
+    Wheel,
+    /// The `BinaryHeap` reference ([`HeapEventQueue`]).
+    Heap,
+}
+
+/// An event queue whose backend is chosen at construction time.
+///
+/// Both arms expose identical semantics, so a `Network` built on either
+/// must produce byte-identical traces from the same seed — the
+/// wheel-vs-heap invariant the golden-trace harness enforces.
+pub enum AnyEventQueue<E> {
+    /// Timer-wheel backend.
+    Wheel(EventQueue<E>),
+    /// Binary-heap reference backend.
+    Heap(HeapEventQueue<E>),
+}
+
+impl<E> std::fmt::Debug for HeapEventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapEventQueue")
+            .field("len", &self.heap.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl<E> std::fmt::Debug for AnyEventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnyEventQueue::Wheel(q) => f.debug_tuple("Wheel").field(q).finish(),
+            AnyEventQueue::Heap(q) => f.debug_tuple("Heap").field(q).finish(),
+        }
+    }
+}
+
+impl<E> AnyEventQueue<E> {
+    /// An empty queue on the requested backend.
+    pub fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Wheel => AnyEventQueue::Wheel(EventQueue::new()),
+            QueueKind::Heap => AnyEventQueue::Heap(HeapEventQueue::new()),
+        }
+    }
+
+    /// The current clock.
+    pub fn now(&self) -> SimTime {
+        match self {
+            AnyEventQueue::Wheel(q) => q.now(),
+            AnyEventQueue::Heap(q) => q.now(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            AnyEventQueue::Wheel(q) => q.len(),
+            AnyEventQueue::Heap(q) => q.len(),
+        }
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` at absolute time `at` (clamped to `now`).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        match self {
+            AnyEventQueue::Wheel(q) => q.schedule(at, event),
+            AnyEventQueue::Heap(q) => q.schedule(at, event),
+        }
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            AnyEventQueue::Wheel(q) => q.peek_time(),
+            AnyEventQueue::Heap(q) => q.peek_time(),
+        }
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            AnyEventQueue::Wheel(q) => q.pop(),
+            AnyEventQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    /// Pop the next event only if it is due at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self {
+            AnyEventQueue::Wheel(q) => q.pop_until(deadline),
+            AnyEventQueue::Heap(q) => q.pop_until(deadline),
+        }
+    }
+
+    /// Events popped over the queue's lifetime.
+    pub fn processed(&self) -> u64 {
+        match self {
+            AnyEventQueue::Wheel(q) => q.processed,
+            AnyEventQueue::Heap(q) => q.processed,
+        }
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        match self {
+            AnyEventQueue::Wheel(q) => q.clear(),
+            AnyEventQueue::Heap(q) => q.clear(),
+        }
     }
 }
 
@@ -456,6 +597,42 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn heap_queue_matches_wheel_surface() {
+        // The reference queue grew `pop_until`/`clear`/`processed` so whole
+        // worlds can run on either backend; pin the shared semantics.
+        let mut q = HeapEventQueue::new();
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop_until(SimTime::from_millis(15)), Some((SimTime::from_millis(10), "a")));
+        assert_eq!(q.pop_until(SimTime::from_millis(15)), None);
+        assert_eq!(q.processed, 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn any_queue_backends_agree() {
+        let mut wheel = AnyEventQueue::new(QueueKind::Wheel);
+        let mut heap = AnyEventQueue::new(QueueKind::Heap);
+        for q in [&mut wheel, &mut heap] {
+            q.schedule(SimTime::from_millis(5), 1u32);
+            q.schedule(SimTime::from_millis(5), 2);
+            q.schedule(SimTime::from_micros(1), 0);
+        }
+        loop {
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(wheel.processed(), 3);
+        assert_eq!(heap.processed(), 3);
     }
 
     proptest! {

@@ -25,6 +25,7 @@ use crate::addr::NodeId;
 use crate::engine::EventQueue;
 use crate::time::SimTime;
 use crate::topology::Topology;
+use trace::{TraceEvent, Tracer};
 
 /// One scheduled fault action against the topology.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,12 +58,19 @@ pub struct FaultScheduler {
     queue: EventQueue<NetFault>,
     /// Total fault actions applied so far.
     pub applied: u64,
+    /// Control-class trace emission (fault fire/heal; disabled by default).
+    tracer: Tracer,
 }
 
 impl FaultScheduler {
     /// An empty schedule.
     pub fn new() -> FaultScheduler {
         FaultScheduler::default()
+    }
+
+    /// Attach a tracer for fault fire/heal events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Schedule a raw fault action at `at`.
@@ -132,20 +140,47 @@ impl FaultScheduler {
     /// in schedule order. Returns how many actions were applied.
     pub fn apply_due(&mut self, now: SimTime, topo: &mut Topology) -> usize {
         let mut n = 0;
-        while let Some((_, fault)) = self.queue.pop_until(now) {
+        while let Some((at, fault)) = self.queue.pop_until(now) {
+            // The trace key is the fault's *scheduled* instant, not the tick
+            // that drained it — schedules trace identically regardless of how
+            // coarsely the caller polls.
             match fault {
-                NetFault::WireDown(a, b) => topo.fail_wire(a, b),
-                NetFault::WireHeal(a, b) => topo.heal_wire(a, b),
-                NetFault::LossBurst(a, b, loss) => topo.set_wire_burst_loss(a, b, Some(loss)),
-                NetFault::LossClear(a, b) => topo.set_wire_burst_loss(a, b, None),
-                NetFault::CorruptBurst(a, b, rate) => topo.set_wire_corrupt_rate(a, b, rate),
-                NetFault::CorruptClear(a, b) => topo.set_wire_corrupt_rate(a, b, 0.0),
+                NetFault::WireDown(a, b) => {
+                    self.tracer.emit(at.as_nanos(), TraceEvent::FaultFired { kind: "wire-down" });
+                    topo.fail_wire(a, b);
+                }
+                NetFault::WireHeal(a, b) => {
+                    self.tracer.emit(at.as_nanos(), TraceEvent::FaultHealed { kind: "wire-heal" });
+                    topo.heal_wire(a, b);
+                }
+                NetFault::LossBurst(a, b, loss) => {
+                    self.tracer.emit(at.as_nanos(), TraceEvent::FaultFired { kind: "loss-burst" });
+                    topo.set_wire_burst_loss(a, b, Some(loss));
+                }
+                NetFault::LossClear(a, b) => {
+                    self.tracer.emit(at.as_nanos(), TraceEvent::FaultHealed { kind: "loss-clear" });
+                    topo.set_wire_burst_loss(a, b, None);
+                }
+                NetFault::CorruptBurst(a, b, rate) => {
+                    self.tracer
+                        .emit(at.as_nanos(), TraceEvent::FaultFired { kind: "corrupt-burst" });
+                    topo.set_wire_corrupt_rate(a, b, rate);
+                }
+                NetFault::CorruptClear(a, b) => {
+                    self.tracer
+                        .emit(at.as_nanos(), TraceEvent::FaultHealed { kind: "corrupt-clear" });
+                    topo.set_wire_corrupt_rate(a, b, 0.0);
+                }
                 NetFault::PartitionCut(cut) => {
+                    self.tracer
+                        .emit(at.as_nanos(), TraceEvent::FaultFired { kind: "partition-cut" });
                     for (a, b) in cut {
                         topo.fail_wire(a, b);
                     }
                 }
                 NetFault::PartitionHeal(cut) => {
+                    self.tracer
+                        .emit(at.as_nanos(), TraceEvent::FaultHealed { kind: "partition-heal" });
                     for (a, b) in cut {
                         topo.heal_wire(a, b);
                     }

@@ -20,7 +20,7 @@
 
 use crate::addr::{EndpointId, Ipv4Addr, MacAddr, NodeId, PortNo, SwitchId};
 use crate::capture::Capture;
-use crate::engine::EventQueue;
+use crate::engine::{AnyEventQueue, QueueKind};
 use crate::flow::{FlowRule, SteerId};
 use crate::packet::Packet;
 use crate::stats::NetStats;
@@ -29,6 +29,7 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::{PortTarget, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use trace::{MetricsRegistry, Tracer};
 
 /// A packet delivered to an endpoint.
 #[derive(Debug, Clone)]
@@ -123,7 +124,7 @@ enum NetEvent {
 pub struct Network {
     topo: Topology,
     switches: Vec<Switch>,
-    queue: EventQueue<NetEvent>,
+    queue: AnyEventQueue<NetEvent>,
     steer: std::collections::HashMap<SteerId, SteerHandle>,
     deliveries: Vec<Delivery>,
     /// Mirrored-packet capture buffer.
@@ -134,20 +135,35 @@ pub struct Network {
 }
 
 impl Network {
-    /// Build a network over `topo`, seeding the loss-process RNG.
+    /// Build a network over `topo`, seeding the loss-process RNG. Runs on
+    /// the default (timer-wheel) event queue.
     pub fn new(topo: Topology, seed: u64) -> Network {
+        Network::with_queue(topo, seed, QueueKind::default())
+    }
+
+    /// [`Network::new`] on an explicit event-queue backend — the hook the
+    /// wheel-vs-heap differential harness uses to run whole worlds against
+    /// the reference queue.
+    pub fn with_queue(topo: Topology, seed: u64, kind: QueueKind) -> Network {
         let switches = (0..topo.switch_count())
             .map(|i| Switch::new(SwitchId(i as u32), topo.ports_of(SwitchId(i as u32))))
             .collect();
         Network {
             topo,
             switches,
-            queue: EventQueue::new(),
+            queue: AnyEventQueue::new(kind),
             steer: std::collections::HashMap::new(),
             deliveries: Vec::new(),
             capture: Capture::new(65_536),
             rng: StdRng::seed_from_u64(seed ^ 0x006e_6574_776f_726b_u64),
             stats: NetStats::default(),
+        }
+    }
+
+    /// Attach a tracer to every switch (cache and policy-drop events).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for sw in &mut self.switches {
+            sw.set_tracer(tracer.clone());
         }
     }
 
@@ -273,7 +289,7 @@ impl Network {
 
     /// Total events popped by the event engine over the network's lifetime.
     pub fn events_processed(&self) -> u64 {
-        self.queue.processed
+        self.queue.processed()
     }
 
     /// Aggregate flow-decision-cache counters across every switch, as
@@ -282,13 +298,33 @@ impl Network {
         self.switches.iter().fold((0, 0), |(l, h), s| (l + s.cache_lookups, h + s.cache_hits))
     }
 
+    /// Fold the network's scattered counters into a metrics registry
+    /// under `net.*` names.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("net.sent", self.stats.sent);
+        reg.counter("net.delivered", self.stats.delivered);
+        reg.counter("net.dropped_policy", self.stats.dropped_policy);
+        reg.counter("net.dropped_loss", self.stats.dropped_loss);
+        reg.counter("net.dropped_inline", self.stats.dropped_inline);
+        reg.counter("net.steered", self.stats.steered);
+        reg.counter("net.mirrored", self.stats.mirrored);
+        reg.counter("net.nic_filtered", self.stats.nic_filtered);
+        reg.counter("net.events_processed", self.events_processed());
+        let (lookups, hits) = self.cache_stats();
+        reg.counter("net.cache_lookups", lookups);
+        reg.counter("net.cache_hits", hits);
+        for sw in &self.switches {
+            reg.counter("net.rx_packets", sw.rx_packets);
+        }
+    }
+
     /// Timestamp of the next queued event.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.queue.peek_time()
     }
 
     fn handle_at_switch(&mut self, at: SimTime, sw: SwitchId, in_port: PortNo, pkt: Packet) {
-        let decision = self.switches[sw.0 as usize].process(in_port, &pkt);
+        let decision = self.switches[sw.0 as usize].process_at(at, in_port, &pkt);
         match decision {
             SwitchDecision::Drop => {
                 self.stats.dropped_policy += 1;

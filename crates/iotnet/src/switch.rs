@@ -21,8 +21,10 @@
 use crate::addr::{MacAddr, PortNo, SwitchId};
 use crate::flow::{FlowAction, FlowRule, FlowTable};
 use crate::packet::Packet;
+use crate::time::SimTime;
 use smallvec::SmallVec;
 use std::collections::HashMap;
+use trace::{TraceEvent, Tracer};
 
 /// An output port list, inline (allocation-free) up to 8 ports.
 pub type PortList = SmallVec<PortNo, 8>;
@@ -104,6 +106,8 @@ pub struct Switch {
     pub cache_lookups: u64,
     /// Decision-cache hits (table scan skipped).
     pub cache_hits: u64,
+    /// Packet-class trace emission (disabled by default; see `crates/trace`).
+    tracer: Tracer,
 }
 
 impl Switch {
@@ -120,7 +124,13 @@ impl Switch {
             policy_drops: 0,
             cache_lookups: 0,
             cache_hits: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer for cache and policy-drop events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Install a flow rule.
@@ -140,7 +150,16 @@ impl Switch {
 
     /// Process a packet arriving on `in_port`: learn the source MAC, then
     /// apply the flow table (falling back to `Normal` on a miss).
+    ///
+    /// Trace-free convenience wrapper over [`Switch::process_at`] for
+    /// callers (mostly tests) that don't run under a simulation clock.
     pub fn process(&mut self, in_port: PortNo, packet: &Packet) -> SwitchDecision {
+        self.process_at(SimTime::ZERO, in_port, packet)
+    }
+
+    /// [`Switch::process`] with the simulated arrival instant, used as
+    /// the sim-time key for trace emission (cache hit/miss, policy drop).
+    pub fn process_at(&mut self, now: SimTime, in_port: PortNo, packet: &Packet) -> SwitchDecision {
         self.rx_packets += 1;
         if !packet.eth.src.is_multicast()
             && self.mac_table.insert(packet.eth.src, in_port) != Some(in_port)
@@ -158,18 +177,22 @@ impl Switch {
         self.cache_lookups += 1;
         if let Some(cached) = self.cache.get(&key) {
             self.cache_hits += 1;
+            self.tracer.emit(now.as_nanos(), TraceEvent::CacheHit { switch: self.id.0 });
             self.table.record(cached.rule);
             if cached.decision == SwitchDecision::Drop {
                 self.policy_drops += 1;
+                self.tracer.emit(now.as_nanos(), TraceEvent::PolicyDrop { switch: self.id.0 });
             }
             return cached.decision.clone();
         }
+        self.tracer.emit(now.as_nanos(), TraceEvent::CacheMiss { switch: self.id.0 });
         let rule = self.table.lookup_index(in_port, packet);
         self.table.record(rule);
         let action = rule.map(|i| self.table.rule(i).action).unwrap_or(FlowAction::Normal);
         let decision = match action {
             FlowAction::Drop => {
                 self.policy_drops += 1;
+                self.tracer.emit(now.as_nanos(), TraceEvent::PolicyDrop { switch: self.id.0 });
                 SwitchDecision::Drop
             }
             FlowAction::Output(p) => SwitchDecision::Output(PortList::from_slice(&[p])),

@@ -1,0 +1,121 @@
+//! First-divergence reporting for golden-trace tests.
+//!
+//! A golden-trace failure must point at the *first* line where the
+//! traces part ways — sim-time and event, with context — not dump two
+//! multi-kilobyte blobs and leave the reader to eyeball them.
+
+use std::fmt::Write as _;
+
+/// Where two JSONL traces first differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 1-based line number of the first differing line.
+    pub line: usize,
+    /// The expected (golden) line, if any — `None` when the actual
+    /// trace has extra trailing lines.
+    pub expected: Option<String>,
+    /// The actual line, if any — `None` when the actual trace ended
+    /// early.
+    pub actual: Option<String>,
+}
+
+/// Compare two JSONL traces line by line; `None` means identical.
+pub fn first_divergence(expected: &str, actual: &str) -> Option<Divergence> {
+    let mut exp = expected.lines();
+    let mut act = actual.lines();
+    let mut line = 0;
+    loop {
+        line += 1;
+        match (exp.next(), act.next()) {
+            (None, None) => return None,
+            (e, a) if e == a => {}
+            (e, a) => {
+                return Some(Divergence {
+                    line,
+                    expected: e.map(str::to_string),
+                    actual: a.map(str::to_string),
+                });
+            }
+        }
+    }
+}
+
+/// Render a divergence as a readable failure message, including the
+/// sim-time prefix of each line so the reader can locate the instant in
+/// the simulation.
+pub fn render_divergence(d: &Divergence) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "traces diverge at line {}:", d.line);
+    match &d.expected {
+        Some(l) => {
+            let _ = writeln!(out, "  expected ({}): {l}", sim_time_of(l));
+        }
+        None => {
+            let _ = writeln!(out, "  expected: <end of trace>");
+        }
+    }
+    match &d.actual {
+        Some(l) => {
+            let _ = writeln!(out, "  actual   ({}): {l}", sim_time_of(l));
+        }
+        None => {
+            let _ = writeln!(out, "  actual:   <end of trace>");
+        }
+    }
+    out
+}
+
+/// Extract the `"t"` value of a canonical trace line for display, e.g.
+/// `"t=1500000ns"`. Tolerates malformed lines (returns `"t=?"`).
+fn sim_time_of(line: &str) -> String {
+    line.strip_prefix("{\"t\":")
+        .and_then(|rest| rest.split(',').next())
+        .map_or_else(|| "t=?".to_string(), |t| format!("t={t}ns"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let t = "{\"t\":1,\"e\":\"failover\",\"count\":1}\n";
+        assert_eq!(first_divergence(t, t), None);
+        assert_eq!(first_divergence("", ""), None);
+    }
+
+    #[test]
+    fn points_at_the_first_differing_line() {
+        let a = "line1\nline2\nline3\n";
+        let b = "line1\nlineX\nline3\n";
+        let d = first_divergence(a, b).expect("must diverge");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.expected.as_deref(), Some("line2"));
+        assert_eq!(d.actual.as_deref(), Some("lineX"));
+    }
+
+    #[test]
+    fn detects_truncation_and_extension() {
+        let short = "a\n";
+        let long = "a\nb\n";
+        let d = first_divergence(long, short).expect("must diverge");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.expected.as_deref(), Some("b"));
+        assert_eq!(d.actual, None);
+
+        let d = first_divergence(short, long).expect("must diverge");
+        assert_eq!(d.expected, None);
+        assert_eq!(d.actual.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn render_includes_line_and_sim_time() {
+        let golden = "{\"t\":1000,\"e\":\"fault-fired\",\"kind\":\"wire-down\"}\n";
+        let actual = "{\"t\":2000,\"e\":\"fault-fired\",\"kind\":\"wire-down\"}\n";
+        let d = first_divergence(golden, actual).expect("must diverge");
+        let msg = render_divergence(&d);
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("t=1000ns"), "{msg}");
+        assert!(msg.contains("t=2000ns"), "{msg}");
+    }
+}

@@ -1,0 +1,314 @@
+//! The event vocabulary of the enforcement path, and its canonical
+//! serialization.
+//!
+//! Every variant carries only primitive fields (`u32` ids, `u64`
+//! nanosecond spans, `&'static str` labels) so this crate needs no
+//! dependency on the crates that emit — the ids are interpreted by the
+//! reader, exactly like a wire format. The JSONL rendering uses a fixed
+//! key order and integer-only values, which makes a byte compare of two
+//! traces a semantic compare (the golden-trace contract).
+
+/// Coarse event class, used by [`crate::tracer::TraceConfig`] to mask
+/// what a buffer records.
+///
+/// The split tracks volume: `Control` events are a handful per directive
+/// or fault (compact enough to check into git as golden traces), while
+/// `Packet` events fire per packet and are compared in memory by the
+/// differential property tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventClass {
+    /// Control-plane and lifecycle events: directive issue → delivery →
+    /// install, µmbox launch/ready/swap/retire, crash/respawn/failover,
+    /// fault fire/heal, controller outage.
+    Control,
+    /// Per-packet data-plane events: µmbox enter/exit, flow-decision
+    /// cache hit/miss, policy drops.
+    Packet,
+}
+
+/// One traced event on the enforcement path.
+///
+/// The timestamp is *not* part of the event — the buffer stores
+/// `(sim-time nanos, event)` pairs — so the same vocabulary serves both
+/// the live emitters and the aggregator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The control plane issued a directive for a device.
+    DirectiveIssued {
+        /// Target device id.
+        device: u32,
+        /// Directive kind: `"launch"`, `"reconfigure"` or `"retire"`.
+        kind: &'static str,
+    },
+    /// A directive reached the data plane (survived the delivery
+    /// channel, or took the direct path in non-chaos runs — the event is
+    /// emitted symmetrically so the two paths trace identically).
+    DirectiveDelivered {
+        /// Target device id.
+        device: u32,
+        /// Directive kind.
+        kind: &'static str,
+    },
+    /// A directive was executed (steer rules installed, chain built or
+    /// retired).
+    DirectiveInstalled {
+        /// Target device id.
+        device: u32,
+        /// Directive kind.
+        kind: &'static str,
+    },
+    /// The delivery channel suppressed an idempotent re-delivery.
+    DirectiveDeduped {
+        /// Target device id.
+        device: u32,
+    },
+    /// The delivery channel shed a directive (bounded queue full).
+    DirectiveShed {
+        /// Target device id.
+        device: u32,
+    },
+    /// The delivery channel retried while unreachable.
+    DirectiveRetry {
+        /// Target device id.
+        device: u32,
+        /// Attempt number (1-based).
+        attempt: u32,
+    },
+    /// A µmbox launch was requested; the instance serves from `ready_ns`.
+    UmboxLaunch {
+        /// Protected device id.
+        device: u32,
+        /// Sim-time (ns) at which the instance starts serving.
+        ready_ns: u64,
+    },
+    /// A booted µmbox's steer rule went live.
+    UmboxReady {
+        /// Protected device id.
+        device: u32,
+    },
+    /// An in-place chain reconfiguration was applied.
+    UmboxSwap {
+        /// Protected device id.
+        device: u32,
+    },
+    /// A µmbox chain was retired and its steer rule removed.
+    UmboxRetire {
+        /// Protected device id.
+        device: u32,
+    },
+    /// Fault injection crashed a µmbox instance.
+    UmboxCrash {
+        /// Protected device id.
+        device: u32,
+    },
+    /// The lifecycle watchdog respawned a crashed instance.
+    UmboxRespawn {
+        /// Protected device id.
+        device: u32,
+    },
+    /// The warm standby was promoted to primary.
+    Failover {
+        /// Cumulative failover count after this promotion.
+        count: u64,
+    },
+    /// A controller outage was injected.
+    CtlOutage {
+        /// Outage duration in nanoseconds.
+        duration_ns: u64,
+    },
+    /// A network fault fired (wire down, loss/corruption burst begins,
+    /// partition cut).
+    FaultFired {
+        /// Fault kind label, e.g. `"wire-down"`.
+        kind: &'static str,
+    },
+    /// A network fault healed (wire heal, burst clears, partition
+    /// heals).
+    FaultHealed {
+        /// Fault kind label, e.g. `"wire-heal"`.
+        kind: &'static str,
+    },
+    /// A switch's flow-decision cache answered a lookup.
+    CacheHit {
+        /// Switch id.
+        switch: u32,
+    },
+    /// A switch's flow-decision cache missed (full table scan).
+    CacheMiss {
+        /// Switch id.
+        switch: u32,
+    },
+    /// A switch dropped a packet by policy.
+    PolicyDrop {
+        /// Switch id.
+        switch: u32,
+    },
+    /// A packet entered a µmbox chain.
+    UmboxEnter {
+        /// Protected device id.
+        device: u32,
+    },
+    /// A packet left a µmbox chain with a verdict.
+    UmboxExit {
+        /// Protected device id.
+        device: u32,
+        /// Verdict: `"pass"`, `"drop"`, `"intercept"`, `"fail-open"` or
+        /// `"fail-closed"`.
+        verdict: &'static str,
+    },
+}
+
+impl TraceEvent {
+    /// The event's class (what [`crate::tracer::TraceConfig`] masks on).
+    pub fn class(&self) -> EventClass {
+        match self {
+            TraceEvent::CacheHit { .. }
+            | TraceEvent::CacheMiss { .. }
+            | TraceEvent::PolicyDrop { .. }
+            | TraceEvent::UmboxEnter { .. }
+            | TraceEvent::UmboxExit { .. } => EventClass::Packet,
+            _ => EventClass::Control,
+        }
+    }
+
+    /// Stable kind label (the `"e"` field of the JSONL rendering).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::DirectiveIssued { .. } => "directive-issued",
+            TraceEvent::DirectiveDelivered { .. } => "directive-delivered",
+            TraceEvent::DirectiveInstalled { .. } => "directive-installed",
+            TraceEvent::DirectiveDeduped { .. } => "directive-deduped",
+            TraceEvent::DirectiveShed { .. } => "directive-shed",
+            TraceEvent::DirectiveRetry { .. } => "directive-retry",
+            TraceEvent::UmboxLaunch { .. } => "umbox-launch",
+            TraceEvent::UmboxReady { .. } => "umbox-ready",
+            TraceEvent::UmboxSwap { .. } => "umbox-swap",
+            TraceEvent::UmboxRetire { .. } => "umbox-retire",
+            TraceEvent::UmboxCrash { .. } => "umbox-crash",
+            TraceEvent::UmboxRespawn { .. } => "umbox-respawn",
+            TraceEvent::Failover { .. } => "failover",
+            TraceEvent::CtlOutage { .. } => "ctl-outage",
+            TraceEvent::FaultFired { .. } => "fault-fired",
+            TraceEvent::FaultHealed { .. } => "fault-healed",
+            TraceEvent::CacheHit { .. } => "cache-hit",
+            TraceEvent::CacheMiss { .. } => "cache-miss",
+            TraceEvent::PolicyDrop { .. } => "policy-drop",
+            TraceEvent::UmboxEnter { .. } => "umbox-enter",
+            TraceEvent::UmboxExit { .. } => "umbox-exit",
+        }
+    }
+
+    /// The emitting component (for the aggregator's per-component
+    /// histograms).
+    pub fn component(&self) -> &'static str {
+        match self {
+            TraceEvent::DirectiveIssued { .. }
+            | TraceEvent::DirectiveDelivered { .. }
+            | TraceEvent::DirectiveInstalled { .. }
+            | TraceEvent::DirectiveDeduped { .. }
+            | TraceEvent::DirectiveShed { .. }
+            | TraceEvent::DirectiveRetry { .. }
+            | TraceEvent::Failover { .. }
+            | TraceEvent::CtlOutage { .. } => "iotctl",
+            TraceEvent::UmboxLaunch { .. }
+            | TraceEvent::UmboxReady { .. }
+            | TraceEvent::UmboxSwap { .. }
+            | TraceEvent::UmboxRetire { .. }
+            | TraceEvent::UmboxCrash { .. }
+            | TraceEvent::UmboxRespawn { .. }
+            | TraceEvent::UmboxEnter { .. }
+            | TraceEvent::UmboxExit { .. } => "umbox",
+            TraceEvent::FaultFired { .. }
+            | TraceEvent::FaultHealed { .. }
+            | TraceEvent::CacheHit { .. }
+            | TraceEvent::CacheMiss { .. }
+            | TraceEvent::PolicyDrop { .. } => "iotnet",
+        }
+    }
+
+    /// Append the canonical JSON line for this event at sim-time
+    /// `at_ns` to `out` (no trailing newline).
+    ///
+    /// Key order is fixed — `t`, `e`, then variant fields in declaration
+    /// order — and all values are integers or fixed label strings, so
+    /// identical event streams render to identical bytes.
+    pub fn write_json(&self, at_ns: u64, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(out, "{{\"t\":{},\"e\":\"{}\"", at_ns, self.kind());
+        match self {
+            TraceEvent::DirectiveIssued { device, kind }
+            | TraceEvent::DirectiveDelivered { device, kind }
+            | TraceEvent::DirectiveInstalled { device, kind } => {
+                let _ = write!(out, ",\"dev\":{device},\"kind\":\"{kind}\"");
+            }
+            TraceEvent::DirectiveDeduped { device } | TraceEvent::DirectiveShed { device } => {
+                let _ = write!(out, ",\"dev\":{device}");
+            }
+            TraceEvent::DirectiveRetry { device, attempt } => {
+                let _ = write!(out, ",\"dev\":{device},\"attempt\":{attempt}");
+            }
+            TraceEvent::UmboxLaunch { device, ready_ns } => {
+                let _ = write!(out, ",\"dev\":{device},\"ready\":{ready_ns}");
+            }
+            TraceEvent::UmboxReady { device }
+            | TraceEvent::UmboxSwap { device }
+            | TraceEvent::UmboxRetire { device }
+            | TraceEvent::UmboxCrash { device }
+            | TraceEvent::UmboxRespawn { device }
+            | TraceEvent::UmboxEnter { device } => {
+                let _ = write!(out, ",\"dev\":{device}");
+            }
+            TraceEvent::Failover { count } => {
+                let _ = write!(out, ",\"count\":{count}");
+            }
+            TraceEvent::CtlOutage { duration_ns } => {
+                let _ = write!(out, ",\"dur\":{duration_ns}");
+            }
+            TraceEvent::FaultFired { kind } | TraceEvent::FaultHealed { kind } => {
+                let _ = write!(out, ",\"kind\":\"{kind}\"");
+            }
+            TraceEvent::CacheHit { switch }
+            | TraceEvent::CacheMiss { switch }
+            | TraceEvent::PolicyDrop { switch } => {
+                let _ = write!(out, ",\"sw\":{switch}");
+            }
+            TraceEvent::UmboxExit { device, verdict } => {
+                let _ = write!(out, ",\"dev\":{device},\"verdict\":\"{verdict}\"");
+            }
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_is_canonical() {
+        let mut out = String::new();
+        TraceEvent::DirectiveIssued { device: 3, kind: "launch" }.write_json(100, &mut out);
+        assert_eq!(out, r#"{"t":100,"e":"directive-issued","dev":3,"kind":"launch"}"#);
+        out.clear();
+        TraceEvent::CacheHit { switch: 0 }.write_json(4096, &mut out);
+        assert_eq!(out, r#"{"t":4096,"e":"cache-hit","sw":0}"#);
+        out.clear();
+        TraceEvent::UmboxExit { device: 1, verdict: "drop" }.write_json(7, &mut out);
+        assert_eq!(out, r#"{"t":7,"e":"umbox-exit","dev":1,"verdict":"drop"}"#);
+    }
+
+    #[test]
+    fn classes_split_control_from_packet() {
+        assert_eq!(TraceEvent::FaultFired { kind: "wire-down" }.class(), EventClass::Control);
+        assert_eq!(TraceEvent::Failover { count: 1 }.class(), EventClass::Control);
+        assert_eq!(TraceEvent::CacheMiss { switch: 2 }.class(), EventClass::Packet);
+        assert_eq!(TraceEvent::UmboxEnter { device: 0 }.class(), EventClass::Packet);
+    }
+
+    #[test]
+    fn components_cover_the_enforcement_path() {
+        assert_eq!(TraceEvent::DirectiveShed { device: 0 }.component(), "iotctl");
+        assert_eq!(TraceEvent::UmboxCrash { device: 0 }.component(), "umbox");
+        assert_eq!(TraceEvent::PolicyDrop { switch: 0 }.component(), "iotnet");
+    }
+}

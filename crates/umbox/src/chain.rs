@@ -18,6 +18,7 @@ use iotnet::packet::Packet;
 use iotnet::time::{SimDuration, SimTime};
 use iotpolicy::posture::{Posture, SecurityModule};
 use serde::Serialize;
+use trace::{TraceEvent, Tracer};
 
 /// One slot in a chain. A closed enum (rather than trait objects all the
 /// way down) so rulesets can be hot-swapped without downcasting; the
@@ -107,6 +108,8 @@ pub struct ChainConfig {
     pub events: EventSink,
     /// What the chain does with traffic while its instance is down.
     pub failure_mode: FailureMode,
+    /// Packet-class trace emission (µmbox enter/exit; disabled by default).
+    pub tracer: Tracer,
 }
 
 /// A compiled chain attached (or attachable) to a steer point.
@@ -132,6 +135,8 @@ pub struct UmboxChain {
     pub fail_open_passed: u64,
     /// Packets dropped because the chain was down fail-closed.
     pub fail_closed_dropped: u64,
+    /// Packet-class trace emission (disabled by default).
+    tracer: Tracer,
 }
 
 impl UmboxChain {
@@ -149,6 +154,7 @@ impl UmboxChain {
             down: false,
             fail_open_passed: 0,
             fail_closed_dropped: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -189,14 +195,17 @@ impl UmboxChain {
     /// elements: it is passed unfiltered (`FailOpen`) or dropped
     /// (`FailClosed`) at zero processing cost.
     pub fn run(&mut self, now: SimTime, packet: Packet) -> InlineVerdict {
+        self.tracer.emit(now.as_nanos(), TraceEvent::UmboxEnter { device: self.device.0 });
         if self.down {
             return match self.failure_mode {
                 FailureMode::FailOpen => {
                     self.fail_open_passed += 1;
+                    self.exit_trace(now, "fail-open");
                     InlineVerdict::pass(packet, SimDuration::ZERO)
                 }
                 FailureMode::FailClosed => {
                     self.fail_closed_dropped += 1;
+                    self.exit_trace(now, "fail-closed");
                     InlineVerdict::drop(SimDuration::ZERO)
                 }
             };
@@ -213,6 +222,7 @@ impl UmboxChain {
                 // The element answered on the device's behalf.
                 self.intercepted += 1;
                 self.busy += cost;
+                self.exit_trace(now, "intercept");
                 return InlineVerdict { forward: replies, latency: cost };
             }
             match packet {
@@ -220,12 +230,19 @@ impl UmboxChain {
                 None => {
                     self.dropped += 1;
                     self.busy += cost;
+                    self.exit_trace(now, "drop");
                     return InlineVerdict::drop(cost);
                 }
             }
         }
         self.busy += cost;
+        self.exit_trace(now, "pass");
         InlineVerdict::pass(current, cost)
+    }
+
+    /// Emit the chain-exit trace event with the packet's verdict.
+    fn exit_trace(&self, now: SimTime, verdict: &'static str) {
+        self.tracer.emit(now.as_nanos(), TraceEvent::UmboxExit { device: self.device.0, verdict });
     }
 }
 
@@ -246,6 +263,7 @@ impl InlineProcessor for UmboxChain {
 pub fn build_chain(posture: &Posture, config: &ChainConfig) -> UmboxChain {
     let mut chain = UmboxChain::empty(config.device, config.events.clone());
     chain.failure_mode = config.failure_mode;
+    chain.tracer = config.tracer.clone();
     use iotpolicy::posture::BlockClass;
 
     for module in posture.modules() {
@@ -322,6 +340,7 @@ mod tests {
             view: ViewHandle::new(),
             events: EventSink::new(),
             failure_mode: FailureMode::FailOpen,
+            tracer: Tracer::disabled(),
         }
     }
 

@@ -246,7 +246,11 @@ impl LifecycleManager {
     /// Mark booting/reconfiguring instances whose deadline passed as
     /// running, and respawn crashed instances whose watchdog fired
     /// (called from the simulation loop).
-    pub fn advance(&mut self, now: SimTime) {
+    ///
+    /// Returns the respawned instances as `(device, restart time)` in
+    /// instance-id order — deterministic, so the caller can emit respawn
+    /// trace events in a stable order.
+    pub fn advance(&mut self, now: SimTime) -> Vec<(DeviceId, SimTime)> {
         // Watchdog pass: respawn due crashed instances in id order so the
         // pool is consumed deterministically.
         let due: Vec<(UmboxId, SimTime)> = self
@@ -257,6 +261,7 @@ impl LifecycleManager {
                 _ => None,
             })
             .collect();
+        let mut respawned = Vec::with_capacity(due.len());
         for (id, restart_at) in due {
             let kind = self.instances[&id].kind;
             let effective = if kind == VmKind::UnikernelPooled {
@@ -276,6 +281,7 @@ impl LifecycleManager {
             inst.state = UmboxState::Booting { ready_at: restart_at + latency };
             inst.boots += 1;
             self.respawns += 1;
+            respawned.push((inst.device, restart_at));
         }
         for inst in self.instances.values_mut() {
             match inst.state {
@@ -288,6 +294,7 @@ impl LifecycleManager {
                 _ => {}
             }
         }
+        respawned
     }
 
     /// Retire an instance; pooled/unikernel slots return to the pool.
@@ -411,9 +418,10 @@ mod tests {
         mgr.advance(crash_at + SimDuration::from_secs(1));
         assert!(!mgr.get(id).unwrap().is_serving(crash_at + SimDuration::from_secs(1)));
 
-        // Watchdog fires: respawn attaches a fresh pooled unikernel.
+        // Watchdog fires: respawn attaches a fresh pooled unikernel and
+        // reports the respawned device keyed by the watchdog-fire instant.
         let restart = crash_at + mgr.watchdog_delay;
-        mgr.advance(restart);
+        assert_eq!(mgr.advance(restart), vec![(DeviceId(0), restart)]);
         let back = restart + VmKind::UnikernelPooled.boot_latency();
         assert!(mgr.get(id).unwrap().is_serving(back));
         assert_eq!(mgr.respawns, 1);

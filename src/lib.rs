@@ -11,4 +11,5 @@ pub use iotlearn;
 pub use iotnet;
 pub use iotpolicy;
 pub use iotsec;
+pub use trace;
 pub use umbox;

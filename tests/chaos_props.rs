@@ -8,6 +8,7 @@ use iotsec_repro::iotsec::chaos::ChaosConfig;
 use iotsec_repro::iotsec::defense::Defense;
 use iotsec_repro::iotsec::deployment::{Deployment, DeviceSetup, StepSpec};
 use iotsec_repro::iotsec::world::World;
+use iotsec_repro::trace::{first_divergence, render_divergence, TraceConfig, Tracer};
 use proptest::prelude::*;
 
 fn chaos_run(chaos_seed: u64, flaps: u32, bursts: u32, crashes: u32, outages: u32) -> String {
@@ -66,4 +67,93 @@ fn chaos_schedule_is_seed_dependent() {
         (2..10).any(|seed| chaos_run(seed, 3, 2, 2, 1) != base),
         "every seed produced identical metrics — fault injection is inert"
     );
+}
+
+// --- trace coverage of the chaos path ---------------------------------
+
+/// The base deployment the trace tests share: a camera under attack, an
+/// IoTSec defense, and (optionally) a chaos schedule.
+fn traced_deployment() -> (Deployment, iotsec_repro::iotdev::device::DeviceId) {
+    let mut d = Deployment::new();
+    let cam = d.device(DeviceSetup::table1_row(1));
+    d.campaign(vec![
+        StepSpec::Wait(SimDuration::from_secs(3)),
+        StepSpec::DictionaryLogin(cam),
+        StepSpec::Mgmt(cam, MgmtCommand::GetImage),
+    ]);
+    d.defend_with(Defense::iotsec());
+    (d, cam)
+}
+
+fn run_traced(d: &Deployment, secs: u64) -> String {
+    let tracer = Tracer::new(TraceConfig::full());
+    let mut w = World::new_traced(d, tracer.clone());
+    w.run(SimDuration::from_secs(secs));
+    tracer.to_jsonl()
+}
+
+fn event_count(trace: &str, kind: &str) -> usize {
+    let needle = format!("\"e\":\"{kind}\"");
+    trace.lines().filter(|l| l.contains(&needle)).count()
+}
+
+fn sim_times(trace: &str) -> Vec<u64> {
+    trace
+        .lines()
+        .map(|l| {
+            l.strip_prefix("{\"t\":")
+                .and_then(|r| r.split(&[',', '}'][..]).next())
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("malformed trace line: {l}"))
+        })
+        .collect()
+}
+
+/// Fault fire/heal, µmbox crash/respawn, outage and failover events all
+/// land in the trace, in deterministic order, with nondecreasing
+/// sim-time keys — twice over, byte-identically.
+#[test]
+fn chaos_events_are_traced_in_deterministic_order() {
+    let build = || {
+        let (mut d, cam) = traced_deployment();
+        d.chaos(
+            ChaosConfig {
+                link_flaps: 2,
+                horizon: SimDuration::from_secs(20),
+                flap_downtime: SimDuration::from_secs(2),
+                ..ChaosConfig::default()
+            }
+            .with_seed(7)
+            .with_standby()
+            .with_watchdog(SimDuration::from_secs(5))
+            .crash(SimTime::from_secs(4), cam)
+            .outage(SimTime::from_secs(6), SimDuration::from_secs(30)),
+        );
+        d
+    };
+    let trace = run_traced(&build(), 40);
+    assert_eq!(trace, run_traced(&build(), 40), "chaos traces must reproduce byte-identically");
+    for kind in
+        ["fault-fired", "fault-healed", "umbox-crash", "umbox-respawn", "ctl-outage", "failover"]
+    {
+        assert!(event_count(&trace, kind) > 0, "no '{kind}' event in trace:\n{trace}");
+    }
+    let times = sim_times(&trace);
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "sim-time keys must be nondecreasing");
+}
+
+/// A chaos config with nothing scheduled is *observably* chaos disabled:
+/// the hardened delivery channel and the degradation accounting must not
+/// leave a fingerprint in the trace.
+#[test]
+fn zero_fault_chaos_traces_identically_to_chaos_disabled() {
+    let (plain, _) = traced_deployment();
+    let (mut quiet, _) = traced_deployment();
+    quiet.chaos(ChaosConfig::new());
+    let without = run_traced(&plain, 30);
+    let with = run_traced(&quiet, 30);
+    if let Some(d) = first_divergence(&without, &with) {
+        panic!("zero-fault chaos left a trace fingerprint:\n{}", render_divergence(&d));
+    }
+    assert!(!without.is_empty());
 }

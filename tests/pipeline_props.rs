@@ -47,6 +47,7 @@ fn config() -> ChainConfig {
         view: ViewHandle::new(),
         events: EventSink::new(),
         failure_mode: umbox::chain::FailureMode::FailOpen,
+        tracer: trace::Tracer::disabled(),
     }
 }
 

@@ -1,0 +1,67 @@
+//! Scratch test (review only — deleted before any commit).
+
+use iotsec_repro::iotdev::proto::MgmtCommand;
+use iotsec_repro::iotnet::time::SimDuration;
+use iotsec_repro::iotsec::chaos::ChaosConfig;
+use iotsec_repro::iotsec::defense::Defense;
+use iotsec_repro::iotsec::deployment::{Deployment, DeviceSetup, StepSpec};
+use iotsec_repro::iotsec::world::World;
+use iotsec_repro::trace::{TraceConfig, Tracer};
+
+fn sim_times(trace: &str) -> Vec<(u64, String)> {
+    trace
+        .lines()
+        .map(|l| {
+            let t = l
+                .strip_prefix("{\"t\":")
+                .and_then(|r| r.split(&[',', '}'][..]).next())
+                .and_then(|n| n.parse().ok())
+                .unwrap();
+            (t, l.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn probe_monotonicity_under_heavy_chaos() {
+    let mut violations = 0;
+    for seed in 0..20u64 {
+        let mut d = Deployment::new();
+        d.seed = seed;
+        let cam = d.device(DeviceSetup::table1_row(1));
+        let plug = d.device(DeviceSetup::table1_row(6));
+        d.campaign(vec![
+            StepSpec::Wait(SimDuration::from_secs(2)),
+            StepSpec::DictionaryLogin(cam),
+            StepSpec::Mgmt(cam, MgmtCommand::GetImage),
+            StepSpec::DnsReflect { reflector: plug, queries: 20 },
+        ]);
+        d.defend_with(Defense::iotsec());
+        d.chaos(
+            ChaosConfig {
+                link_flaps: 8,
+                loss_bursts: 4,
+                horizon: SimDuration::from_secs(30),
+                flap_downtime: SimDuration::from_secs(1),
+                ..ChaosConfig::default()
+            }
+            .with_seed(seed.wrapping_mul(7).wrapping_add(1)),
+        );
+        let tracer = Tracer::new(TraceConfig::full());
+        let mut w = World::new_traced(&d, tracer.clone());
+        w.env.occupied = true;
+        w.run(SimDuration::from_secs(35));
+        let trace = tracer.to_jsonl();
+        let times = sim_times(&trace);
+        for pair in times.windows(2) {
+            if pair[0].0 > pair[1].0 {
+                violations += 1;
+                if violations <= 3 {
+                    eprintln!("seed {seed}: OUT OF ORDER:\n  {}\n  {}", pair[0].1, pair[1].1);
+                }
+            }
+        }
+    }
+    eprintln!("total out-of-order adjacent pairs: {violations}");
+    assert_eq!(violations, 0, "trace not nondecreasing");
+}

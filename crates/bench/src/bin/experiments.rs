@@ -13,11 +13,14 @@
 //! `--json` writes `BENCH_E16.json` with one record per experiment run
 //! (wall-clock for each, plus engine/cache counters for E16). If E16's
 //! parallel digests diverge from the serial reference the process exits
-//! non-zero — the CI perf-smoke job depends on that.
+//! non-zero — the CI perf-smoke job depends on that. The `e18` arm
+//! always writes `BENCH_E18.json` (sim-time metrics only, so the file
+//! is byte-stable) and exits non-zero on any safety-gate failure — the
+//! CI safety-gate job depends on *that*.
 
 use iotsec_bench::{
     exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_models, exp_perf, exp_pipeline, exp_policy,
-    exp_trace, exp_umbox, exp_world,
+    exp_safety, exp_trace, exp_umbox, exp_world,
 };
 use std::time::Instant;
 
@@ -97,6 +100,19 @@ fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
             println!();
             return Some((report.events, 0.0, report.deterministic()));
         }
+        "safety" | "e18" => {
+            let report = exp_safety::safety(SEED);
+            report.table.print();
+            println!("{}", report.summary);
+            println!();
+            let path = "BENCH_E18.json";
+            std::fs::write(path, report.render_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path}");
+            return Some((report.violations_baseline, 0.0, report.deterministic()));
+        }
         _ => return None,
     }
     Some((0, 0.0, true))
@@ -126,6 +142,7 @@ const ALL: &[&str] = &[
     "chaos",
     "perf",
     "trace",
+    "safety",
 ];
 
 fn render_json(seed: u64, threads: usize, records: &[Record]) -> String {

@@ -21,6 +21,7 @@
 //! | E15 | [`exp_chaos`] |
 //! | E16 | [`exp_perf`] (on the [`sweep`] engine) |
 //! | E17 | [`exp_trace`] (the golden-trace differential harness) |
+//! | E18 | [`exp_safety`] (the runtime safety sweep and CI gate) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +34,7 @@ pub mod exp_models;
 pub mod exp_perf;
 pub mod exp_pipeline;
 pub mod exp_policy;
+pub mod exp_safety;
 pub mod exp_trace;
 pub mod exp_umbox;
 pub mod exp_world;

@@ -183,6 +183,10 @@ pub struct Deployment {
     /// Packet-plane event queue backend. Both backends must produce
     /// identical runs; the golden-trace harness holds them to it.
     pub queue: QueueKind,
+    /// Runtime safety layer: monitor, circuit breakers and admission
+    /// control. `None` keeps the world byte-identical to one built
+    /// before the layer existed.
+    pub safety: Option<iotctl::safety::SafetyConfig>,
 }
 
 impl Default for Deployment {
@@ -203,6 +207,7 @@ impl Default for Deployment {
             tick: SimDuration::from_millis(100),
             chaos: None,
             queue: QueueKind::default(),
+            safety: None,
         }
     }
 }
@@ -253,6 +258,13 @@ impl Deployment {
     /// Attach a fault schedule (makes this a chaos run).
     pub fn chaos(&mut self, chaos: ChaosConfig) -> &mut Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Enable the runtime safety layer (monitor, breakers, admission
+    /// control).
+    pub fn safety(&mut self, safety: iotctl::safety::SafetyConfig) -> &mut Self {
+        self.safety = Some(safety);
         self
     }
 

@@ -6,6 +6,7 @@
 //! experiment outputs.
 
 use iotctl::delivery::DeliveryStats;
+use iotctl::safety::SafetyStats;
 use iotdev::attacker::AttackOutcome;
 use iotdev::device::DeviceId;
 use iotnet::time::{SimDuration, SimTime};
@@ -64,6 +65,12 @@ pub struct Metrics {
     pub faults_injected: u64,
     /// Directive-delivery channel counters (chaos runs only).
     pub delivery: DeliveryStats,
+    /// Safety-monitor counters (safety-enabled runs only).
+    pub safety: SafetyStats,
+    /// Directives the admission controller refused under backlog.
+    pub admission_shed: u64,
+    /// Circuit-breaker trips across all devices.
+    pub breaker_trips: u64,
 }
 
 impl Metrics {

@@ -16,6 +16,7 @@ use iotctl::delivery::DeliveryChannel;
 use iotctl::directive::Directive;
 use iotctl::failover::ReplicatedController;
 use iotctl::hier::{HierarchicalController, Partitioning};
+use iotctl::safety::{self, DeviceFacts, SafetyMonitor};
 use iotdev::attacker::{AttackPlan, AttackStep, Attacker, AttackerEmit};
 use iotdev::classes::DeviceLogic;
 use iotdev::device::{AdminCreds, DeviceId, DeviceOutput, IoTDevice, OutMessage};
@@ -39,7 +40,9 @@ use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
+use trace::tracer::TraceConfig;
 use trace::{MetricsRegistry, TraceEvent, Tracer};
+use umbox::breaker::{BreakerBank, BreakerEvent};
 use umbox::chain::{build_chain, ChainConfig, FailureMode, UmboxChain};
 use umbox::element::{EventSink, ViewHandle};
 use umbox::lifecycle::{LifecycleManager, UmboxId};
@@ -141,6 +144,18 @@ impl ControlPlane {
             _ => 0,
         }
     }
+
+    /// Installed-posture fingerprint of the (active) controller, for
+    /// the safety monitor's FSM-continuity invariant. The hierarchical
+    /// plane has no single installed vector — and no single failover to
+    /// survive — so it reports a constant.
+    fn installed_fingerprint(&self) -> u64 {
+        match self {
+            ControlPlane::Flat(c) => c.installed_fingerprint(),
+            ControlPlane::Replicated(r) => r.installed_fingerprint(),
+            ControlPlane::Hier(_) => 0,
+        }
+    }
 }
 
 struct UmboxSlot {
@@ -213,6 +228,13 @@ pub struct World {
     tracer: Tracer,
     /// Failover count at the last tick, for edge-triggered trace events.
     last_failovers: u64,
+    // --- safety layer (all inert unless `deployment.safety` is set) -----
+    /// The runtime safety monitor, subscribed to `tracer`.
+    safety: Option<SafetyMonitor>,
+    /// Per-µmbox circuit breakers (only when the breaker is enabled).
+    breakers: Option<BreakerBank>,
+    /// Whole-class recomputes refused by the admission controller.
+    admission_shed: u64,
 }
 
 impl World {
@@ -227,6 +249,18 @@ impl World {
     /// buffer) and serializes it after the run. With a disabled tracer
     /// this is exactly [`World::new`].
     pub fn new_traced(deployment: &Deployment, tracer: Tracer) -> World {
+        // The safety monitor subscribes to the deterministic trace
+        // stream rather than a parallel instrumentation channel. When
+        // the caller did not ask for a trace, give the world an
+        // internal Control-class tracer so the monitor still sees the
+        // same event stream — safety behavior is mask-independent, and
+        // worlds without a safety layer keep the disabled (zero-cost)
+        // tracer exactly as before.
+        let tracer = if deployment.safety.is_some() && !tracer.is_enabled() {
+            Tracer::new(TraceConfig::control_only())
+        } else {
+            tracer
+        };
         // --- topology -----------------------------------------------------
         let mut b = TopologyBuilder::new();
         let (core, edge_switches): (SwitchId, Vec<SwitchId>) = match deployment.site {
@@ -497,10 +531,17 @@ impl World {
             retired_fail_closed: 0,
             tracer,
             last_failovers: 0,
+            safety: None,
+            breakers: None,
+            admission_shed: 0,
         };
 
         if let Some(chaos) = &deployment.chaos {
             world.install_chaos(chaos);
+        }
+        if let Some(scfg) = &deployment.safety {
+            world.safety = Some(SafetyMonitor::new(*scfg, world.tracer.clone()));
+            world.breakers = scfg.breaker.enabled.then(|| BreakerBank::new(scfg.breaker));
         }
 
         // Initial reconciliation installs standing mitigations before any
@@ -629,6 +670,19 @@ impl World {
                 if let Some(lc) = &mut self.lifecycle {
                     lc.crash(slot.instance, now);
                     self.tracer.emit(now.as_nanos(), TraceEvent::UmboxCrash { device: device.0 });
+                    // Feed the circuit breaker: a trip holds the
+                    // watchdog respawn until the cooldown elapses, so
+                    // the chain rides its FailureMode fallback instead
+                    // of a crash/respawn/crash loop.
+                    if let Some(bank) = &mut self.breakers {
+                        if bank.on_crash(device, now) == Some(BreakerEvent::Tripped) {
+                            self.tracer
+                                .emit(now.as_nanos(), TraceEvent::BreakerTrip { device: device.0 });
+                            if let Some(until) = bank.open_until(device) {
+                                lc.hold_respawn(slot.instance, until);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -765,6 +819,21 @@ impl World {
             // legacy runs keep the direct path bit-for-bit.
             if let Some(channel) = &mut self.delivery {
                 for d in directives.drain(..) {
+                    // Admission control (safety layer): when the
+                    // backlog exceeds its budget, whole-class
+                    // recomputes below `Revoke` wait — the queue's
+                    // remaining capacity is kept for directives that
+                    // tighten postures.
+                    if let Some(monitor) = &self.safety {
+                        if !safety::admit(monitor.config(), channel.depth(), d.criticality()) {
+                            self.admission_shed += 1;
+                            self.tracer.emit(
+                                now.as_nanos(),
+                                TraceEvent::AdmissionShed { device: d.device().0 },
+                            );
+                            continue;
+                        }
+                    }
                     channel.submit(now, d);
                 }
                 directives = channel.pump(now, reachable);
@@ -781,9 +850,98 @@ impl World {
             }
         }
 
+        // Circuit-breaker state machine: open breakers half-open once
+        // the cooldown elapses (the respawned instance gets a trial),
+        // and re-close after a clean trial window.
+        if let (Some(bank), Some(lc)) = (&mut self.breakers, &self.lifecycle) {
+            let mut devices: Vec<DeviceId> = self.chains.keys().copied().collect();
+            devices.sort_unstable();
+            for device in devices {
+                let slot = &self.chains[&device];
+                let serving = lc.get(slot.instance).is_some_and(|i| i.is_serving(now));
+                match bank.tick(device, now, serving) {
+                    Some(BreakerEvent::HalfOpened) => self
+                        .tracer
+                        .emit(now.as_nanos(), TraceEvent::BreakerHalfOpen { device: device.0 }),
+                    Some(BreakerEvent::Reclosed) => self
+                        .tracer
+                        .emit(now.as_nanos(), TraceEvent::BreakerClose { device: device.0 }),
+                    _ => {}
+                }
+            }
+        }
+
         // 7. Chaos: degradation accounting for this tick.
         if self.chaos_enabled {
             self.account_degradation(now);
+        }
+
+        // 8. Safety monitor: evaluate every invariant against this
+        //    tick's trace events and data-plane facts; realize any
+        //    escalations as quarantine flow rules at the edge.
+        if self.safety.is_some() {
+            self.safety_tick(now);
+        }
+    }
+
+    /// Gather per-device facts, run the safety monitor, and install the
+    /// quarantine posture for any device it escalates.
+    fn safety_tick(&mut self, now: SimTime) {
+        let facts: Vec<DeviceFacts> = (0..self.devices.len())
+            .map(|i| {
+                let device = DeviceId(i as u32);
+                let (protected, chain_down, fail_open, passed) = match self.chains.get(&device) {
+                    Some(slot) => {
+                        let chain = slot.chain.borrow();
+                        (
+                            true,
+                            chain.down,
+                            chain.failure_mode == FailureMode::FailOpen,
+                            chain.fail_open_passed,
+                        )
+                    }
+                    None => (false, false, false, 0),
+                };
+                DeviceFacts {
+                    device,
+                    class: self.devices[i].class,
+                    protected,
+                    chain_down,
+                    fail_open,
+                    fail_open_passed: passed,
+                }
+            })
+            .collect();
+        let ctl_down = self.control.as_ref().is_some_and(|c| c.is_down(now));
+        let fingerprint = self.control.as_ref().map_or(0, |c| c.installed_fingerprint());
+        let newly =
+            self.safety.as_mut().expect("caller checked").tick(now, ctl_down, fingerprint, &facts);
+        for device in newly {
+            self.install_quarantine(device);
+        }
+    }
+
+    /// Install the IDIoT-style quarantine posture for `device`: its
+    /// class's minimal allow-list as flow rules at the edge switch,
+    /// outranking the steer rule — non-essential traffic dies at the
+    /// switch instead of traversing a broken chain.
+    fn install_quarantine(&mut self, device: DeviceId) {
+        let dev = &self.devices[device.0 as usize];
+        let allow: Vec<(bool, u16)> = iotpolicy::posture::quarantine_allowlist(dev.class)
+            .iter()
+            .map(|s| (s.tcp, s.port))
+            .collect();
+        let port = self.net.topology().endpoint(self.device_endpoints[device.0 as usize]).port;
+        let rules = iotnet::flow::quarantine_rules(
+            dev.ip,
+            port,
+            &allow,
+            QUARANTINE_PRIORITY,
+            quarantine_cookie(device),
+        );
+        let sw = self.device_switch[device.0 as usize];
+        for rule in rules {
+            self.net.install_rule(sw, rule);
         }
     }
 
@@ -1054,6 +1212,13 @@ impl World {
         if let Some(channel) = &self.delivery {
             metrics.delivery = channel.stats.clone();
         }
+        if let Some(monitor) = &self.safety {
+            metrics.safety = monitor.stats().clone();
+        }
+        metrics.admission_shed = self.admission_shed;
+        if let Some(bank) = &self.breakers {
+            metrics.breaker_trips = bank.trips();
+        }
         if let Some((hub, _)) = &self.hub {
             metrics.recipes_fired = hub.fired;
         }
@@ -1087,6 +1252,22 @@ impl World {
         reg.counter("ctl.delivery.retries", m.delivery.retries);
         reg.counter("ctl.delivery.shed", m.delivery.shed);
         reg.counter("chaos.faults_injected", m.faults_injected);
+        // Safety-layer names only exist when the layer does, so runs
+        // without it render byte-identical registries to older builds.
+        if self.safety.is_some() {
+            reg.counter("safety.violations", m.safety.violations);
+            reg.counter("safety.coverage_violations", m.safety.coverage_violations);
+            reg.counter("safety.staleness_violations", m.safety.staleness_violations);
+            reg.counter("safety.monotonicity_violations", m.safety.monotonicity_violations);
+            reg.counter("safety.continuity_violations", m.safety.continuity_violations);
+            reg.counter("safety.quarantines", m.safety.quarantines);
+            reg.counter("safety.admission_shed", m.admission_shed);
+            reg.counter("safety.breaker_trips", m.breaker_trips);
+            reg.gauge(
+                "safety.quarantine_secs",
+                SimDuration::from_nanos(m.safety.quarantine_time_ns).as_secs_f64(),
+            );
+        }
         reg.gauge("world.sim_secs", self.clock.as_secs_f64());
         reg.gauge("world.fail_open_exposure_secs", m.fail_open_exposure.as_secs_f64());
         reg.gauge("world.unprotected_secs", m.unprotected_total().as_secs_f64());
@@ -1096,6 +1277,16 @@ impl World {
 
 fn cookie(device: DeviceId) -> u64 {
     0x1000 + device.0 as u64
+}
+
+/// Quarantine rules outrank the steer rule (priority 300): drops and
+/// allow-list exceptions both decide at the switch before any steering.
+const QUARANTINE_PRIORITY: u16 = 400;
+
+/// Cookie range for quarantine rules, disjoint from steer cookies
+/// (`0x1000 + device`).
+fn quarantine_cookie(device: DeviceId) -> u64 {
+    0x2000 + device.0 as u64
 }
 
 /// The fixed trace label for a directive (stable across refactors; the
@@ -1343,6 +1534,48 @@ mod tests {
             paired.unprotected_total(),
             single.unprotected_total()
         );
+    }
+
+    #[test]
+    fn repeated_crashes_trip_the_breaker_and_quarantine_the_device() {
+        let mut d = Deployment::new();
+        let cam = d.device(DeviceSetup::table1_row(1));
+        d.campaign(vec![
+            StepSpec::Wait(SimDuration::from_secs(8)),
+            StepSpec::DictionaryLogin(cam),
+            StepSpec::Mgmt(cam, MgmtCommand::GetImage),
+        ]);
+        d.defend_with(Defense::iotsec());
+        d.chaos(
+            ChaosConfig::new()
+                .crash(SimTime::from_secs(2), cam)
+                .crash(SimTime::from_secs(4), cam)
+                .with_watchdog(SimDuration::from_secs(1)),
+        );
+        d.safety(iotctl::safety::SafetyConfig::default());
+        let mut w = World::new(&d);
+        w.run_until_attack_done(SimDuration::from_secs(60));
+        let m = w.report();
+        assert!(m.breaker_trips >= 1, "second crash inside the window must trip");
+        assert_eq!(m.safety.quarantines, 1, "the trip escalates to quarantine");
+        // The quarantine allow-list admits telemetry only: the mgmt-port
+        // attack dies at the switch, not in the (down) chain.
+        assert!(m.policy_drops > 0);
+        assert!(!m.campaign_succeeded(), "{:?}", m.attack_outcomes);
+        assert!(m.safety.quarantine_time_ns > 0);
+    }
+
+    #[test]
+    fn safety_layer_sees_no_violations_without_faults() {
+        let mut d = camera_deployment(Defense::iotsec());
+        d.safety(iotctl::safety::SafetyConfig::default());
+        let mut w = World::new(&d);
+        w.run_until_attack_done(SimDuration::from_secs(120));
+        let m = w.report();
+        assert_eq!(m.safety.violations, 0);
+        assert_eq!(m.safety.quarantines, 0);
+        assert_eq!(m.breaker_trips, 0);
+        assert_eq!(m.admission_shed, 0);
     }
 
     #[test]

@@ -213,6 +213,18 @@ impl Controller {
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
     }
+
+    /// Semantic fingerprint of the posture vector this controller
+    /// believes is installed in the data plane.
+    ///
+    /// The safety monitor's FSM-continuity invariant compares this
+    /// across a failover: once the promoted replica has re-synced and
+    /// reconciled, its fingerprint must return to the pre-failover
+    /// value — a silently reset policy FSM shows up as a fingerprint
+    /// that never recovers.
+    pub fn installed_fingerprint(&self) -> u64 {
+        self.installed.fingerprint()
+    }
 }
 
 #[cfg(test)]

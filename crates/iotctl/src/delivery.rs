@@ -10,15 +10,19 @@
 //!   re-delivery of the directive a device already has (e.g. the full
 //!   posture a freshly promoted standby re-emits) is suppressed instead
 //!   of re-executed, so failover never bounces healthy chains.
-//! * **Bounded queue.** At most `capacity` envelopes wait. When the
-//!   queue is full the *newest* directive is shed and the device simply
-//!   keeps its last-known-safe posture — shedding never removes an
-//!   older directive that is closer to delivery.
+//! * **Bounded queue with prioritized shedding.** At most `capacity`
+//!   envelopes wait. When the queue is full the *lowest-criticality,
+//!   newest* directive is shed ([`Criticality`]: quarantine > revoke >
+//!   patch-proxy > telemetry; within the losing tier the newest entry
+//!   loses, so an older directive that is closer to delivery survives
+//!   its peers). A quarantine directive is therefore only ever shed if
+//!   the entire queue is already quarantine-criticality — the
+//!   no-critical-shed guarantee E18 pins.
 //! * **Retry with backoff.** While the channel is unreachable, due
 //!   envelopes re-arm with exponentially growing delays (capped), and
 //!   every attempt is counted.
 
-use crate::directive::Directive;
+use crate::directive::{Criticality, Directive};
 use iotdev::device::DeviceId;
 use iotnet::time::{SimDuration, SimTime};
 use serde::Serialize;
@@ -59,6 +63,10 @@ pub struct DeliveryStats {
     pub retries: u64,
     /// Directives shed because the queue was full.
     pub shed: u64,
+    /// Quarantine-criticality directives shed. Structurally this can
+    /// only happen when the whole queue is quarantine-tier; the E18
+    /// safety gate requires it to stay zero in every cell.
+    pub shed_critical: u64,
 }
 
 /// A directive in flight.
@@ -68,6 +76,9 @@ pub struct DirectiveEnvelope {
     pub id: u64,
     /// The directive itself.
     pub directive: Directive,
+    /// Shedding tier, computed from the directive at submit time (not
+    /// stored in the directive — see [`Directive::criticality`]).
+    pub criticality: Criticality,
     /// Delivery attempts so far.
     pub attempts: u32,
     /// Earliest next attempt.
@@ -118,20 +129,49 @@ impl DeliveryChannel {
         self.tracer = tracer;
     }
 
-    /// Submit a directive for delivery. Returns `false` if the bounded
-    /// queue is full and the directive was shed (the device keeps its
-    /// last-known-safe posture).
+    /// Submit a directive for delivery. Under queue pressure the
+    /// lowest-criticality, newest entry is shed: if the incoming
+    /// directive itself sits at (or below) the queue's lowest tier it
+    /// is refused — it is the newest of that tier — and `false` is
+    /// returned; otherwise the newest entry of the lowest tier is
+    /// evicted to make room and the submission succeeds.
     pub fn submit(&mut self, now: SimTime, directive: Directive) -> bool {
         self.stats.submitted += 1;
+        let criticality = directive.criticality();
         if self.queue.len() >= self.cfg.capacity {
-            self.stats.shed += 1;
-            self.tracer
-                .emit(now.as_nanos(), TraceEvent::DirectiveShed { device: directive.device().0 });
-            return false;
+            let min_crit = self.queue.iter().map(|e| e.criticality).min().unwrap_or(criticality);
+            if criticality <= min_crit {
+                self.shed(now, directive.device(), criticality);
+                return false;
+            }
+            let victim = self
+                .queue
+                .iter()
+                .rposition(|e| e.criticality == min_crit)
+                .expect("full queue has a lowest-criticality entry");
+            let evicted = self.queue.remove(victim).expect("victim index in range");
+            self.shed(now, evicted.directive.device(), evicted.criticality);
         }
         let id = directive_id(&directive);
-        self.queue.push_back(DirectiveEnvelope { id, directive, attempts: 0, next_attempt: now });
+        self.queue.push_back(DirectiveEnvelope {
+            id,
+            directive,
+            criticality,
+            attempts: 0,
+            next_attempt: now,
+        });
         true
+    }
+
+    fn shed(&mut self, now: SimTime, device: DeviceId, criticality: Criticality) {
+        self.stats.shed += 1;
+        if criticality == Criticality::Quarantine {
+            self.stats.shed_critical += 1;
+        }
+        self.tracer.emit(
+            now.as_nanos(),
+            TraceEvent::DirectiveShed { device: device.0, criticality: criticality.label() },
+        );
     }
 
     /// Advance the channel to `now`. When `reachable`, every queued
@@ -219,16 +259,51 @@ mod tests {
     }
 
     #[test]
-    fn bounded_queue_sheds_newest_when_full() {
+    fn bounded_queue_sheds_lowest_criticality_newest_first() {
+        // Uniform criticality: the incoming directive is the newest of
+        // the lowest tier, so it is the one refused (the pre-Criticality
+        // behavior, preserved byte-for-byte for uniform queues).
         let mut ch = DeliveryChannel::new(DeliveryConfig { capacity: 2, ..Default::default() });
         assert!(ch.submit(SimTime::ZERO, launch(1)));
         assert!(ch.submit(SimTime::ZERO, launch(2)));
         assert!(!ch.submit(SimTime::ZERO, launch(3))); // shed
         assert_eq!(ch.stats.shed, 1);
+        assert_eq!(ch.stats.shed_critical, 0);
         // The older envelopes are still intact and deliverable.
         let out = ch.pump(SimTime::ZERO, true);
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|d| d.device() != DeviceId(3)));
+    }
+
+    #[test]
+    fn quarantine_evicts_the_newest_of_the_lowest_tier() {
+        let mut ch = DeliveryChannel::new(DeliveryConfig { capacity: 2, ..Default::default() });
+        // Two telemetry-tier entries; device 2's is the newer.
+        assert!(ch.submit(SimTime::ZERO, Directive::Retire { device: DeviceId(1) }));
+        assert!(ch.submit(SimTime::ZERO, Directive::Retire { device: DeviceId(2) }));
+        // A quarantine install outranks both: device 2 (newest of the
+        // lowest tier) is evicted, device 1 keeps its delivery slot.
+        let q = Directive::Launch { device: DeviceId(3), posture: Posture::quarantine() };
+        assert!(ch.submit(SimTime::ZERO, q));
+        assert_eq!(ch.stats.shed, 1);
+        assert_eq!(ch.stats.shed_critical, 0);
+        let out = ch.pump(SimTime::ZERO, true);
+        let devs: Vec<DeviceId> = out.iter().map(|d| d.device()).collect();
+        assert_eq!(devs, vec![DeviceId(1), DeviceId(3)]);
+    }
+
+    #[test]
+    fn quarantine_is_only_shed_against_quarantine() {
+        let mut ch = DeliveryChannel::new(DeliveryConfig { capacity: 1, ..Default::default() });
+        let q =
+            |dev: u32| Directive::Launch { device: DeviceId(dev), posture: Posture::quarantine() };
+        assert!(ch.submit(SimTime::ZERO, q(1)));
+        // The queue is all quarantine-tier; the incoming quarantine is
+        // the newest of that tier and loses. This is the only path that
+        // can increment shed_critical.
+        assert!(!ch.submit(SimTime::ZERO, q(2)));
+        assert_eq!(ch.stats.shed_critical, 1);
+        assert_eq!(ch.depth(), 1);
     }
 
     #[test]

@@ -181,6 +181,15 @@ impl ReplicatedController {
         &self.active
     }
 
+    /// Installed-posture fingerprint of the active replica (see
+    /// [`Controller::installed_fingerprint`]). Right after a promotion
+    /// this reflects the standby's empty installed vector; the
+    /// FSM-continuity invariant requires it to converge back to the
+    /// pre-failover value once re-sync and reconcile complete.
+    pub fn installed_fingerprint(&self) -> u64 {
+        self.active.installed_fingerprint()
+    }
+
     /// Whether a warm standby is still available.
     pub fn has_standby(&self) -> bool {
         self.standby.is_some()

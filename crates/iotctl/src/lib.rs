@@ -30,6 +30,10 @@
 //! [`delivery`] carries directives over a channel with idempotent IDs,
 //! a bounded queue that sheds to the last-known-safe posture, and retry
 //! with exponential backoff while the controller is unreachable.
+//! [`safety`] closes the loop: a runtime monitor subscribed to the
+//! deterministic trace stream checks fail-closed coverage, posture
+//! monotonicity, bounded staleness and FSM continuity every tick, and
+//! escalates repeat offenders into a per-class quarantine posture.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,11 +44,13 @@ pub mod delivery;
 pub mod directive;
 pub mod failover;
 pub mod hier;
+pub mod safety;
 pub mod view;
 
 pub use controller::{Controller, ControllerConfig, ControllerStats};
 pub use delivery::{DeliveryChannel, DeliveryConfig, DeliveryStats};
-pub use directive::Directive;
+pub use directive::{Criticality, Directive};
 pub use failover::{FailoverConfig, ReplicatedController};
 pub use hier::{HierarchicalController, Partitioning};
+pub use safety::{DeviceFacts, SafetyConfig, SafetyMonitor, SafetyStats};
 pub use view::GlobalView;

@@ -185,6 +185,50 @@ impl FlowRule {
     }
 }
 
+/// The quarantine rule set for a host (IDIoT-style minimal
+/// allow-list). Every `(tcp, port)` service in `allow` stays reachable
+/// — and the host may still *send* toward those service ports, so
+/// telemetry to the hub keeps flowing — while everything else to or
+/// from the host is dropped.
+///
+/// Allow rules sit 10 above `base_priority`, the two drop rules at
+/// `base_priority`; the caller picks a base above its steer priority so
+/// the quarantine drop outranks the chain steer, and stamps `cookie`
+/// so the whole set lifts with a single cookie removal.
+pub fn quarantine_rules(
+    host_ip: Ipv4Addr,
+    host_port: PortNo,
+    allow: &[(bool, u16)],
+    base_priority: u16,
+    cookie: u64,
+) -> Vec<FlowRule> {
+    let mut rules = Vec::with_capacity(allow.len() * 2 + 2);
+    for &(tcp, port) in allow {
+        let (to, proto) = if tcp {
+            (FlowMatch::to_tcp_service(host_ip, port), ip_proto::TCP)
+        } else {
+            (FlowMatch::to_udp_service(host_ip, port), ip_proto::UDP)
+        };
+        rules.push(FlowRule::new(base_priority + 10, to, FlowAction::Normal).with_cookie(cookie));
+        let from = FlowMatch {
+            in_port: Some(host_port),
+            ip_proto: Some(proto),
+            dst_port: Some(port),
+            ..FlowMatch::default()
+        };
+        rules.push(FlowRule::new(base_priority + 10, from, FlowAction::Normal).with_cookie(cookie));
+    }
+    rules.push(
+        FlowRule::new(base_priority, FlowMatch::to_host(host_ip), FlowAction::Drop)
+            .with_cookie(cookie),
+    );
+    rules.push(
+        FlowRule::new(base_priority, FlowMatch::any().with_in_port(host_port), FlowAction::Drop)
+            .with_cookie(cookie),
+    );
+    rules
+}
+
 /// A priority-ordered flow table with per-rule hit counters.
 #[derive(Debug, Default)]
 pub struct FlowTable {
@@ -398,6 +442,34 @@ mod tests {
         t.clear();
         assert!(t.lookup(PortNo(0), &p).is_none());
         assert_eq!(t.misses, 1);
+    }
+
+    #[test]
+    fn quarantine_rules_allow_only_the_listed_services() {
+        let dev = Ipv4Addr::new(10, 0, 0, 5);
+        let hub = Ipv4Addr::new(10, 0, 0, 1);
+        let dev_port = PortNo(2);
+        let mut t = FlowTable::new();
+        // Steer rule at 300, as the world installs it.
+        t.install(FlowRule::new(300, FlowMatch::to_host(dev), FlowAction::Steer(SteerId(0))));
+        for r in quarantine_rules(dev, dev_port, &[(false, 5683)], 400, 0x2005) {
+            t.install(r);
+        }
+        // Telemetry inbound to the device survives.
+        let telem_in = pkt(hub, dev, TransportHeader::udp(9, 5683));
+        assert_eq!(t.lookup(PortNo(0), &telem_in).unwrap().action, FlowAction::Normal);
+        // Telemetry outbound from the device survives.
+        let telem_out = pkt(dev, hub, TransportHeader::udp(5683, 5683));
+        assert_eq!(t.lookup(dev_port, &telem_out).unwrap().action, FlowAction::Normal);
+        // Management inbound outranks the steer: dropped, not steered.
+        let mgmt = pkt(hub, dev, TransportHeader::tcp(5555, 8080, 0, Default::default()));
+        assert_eq!(t.lookup(PortNo(0), &mgmt).unwrap().action, FlowAction::Drop);
+        // Anything else outbound from the device is dropped.
+        let exfil = pkt(dev, hub, TransportHeader::udp(40000, 53));
+        assert_eq!(t.lookup(dev_port, &exfil).unwrap().action, FlowAction::Drop);
+        // Lifting the quarantine restores the steer.
+        assert_eq!(t.remove_by_cookie(0x2005), 4);
+        assert!(matches!(t.lookup(PortNo(0), &mgmt).unwrap().action, FlowAction::Steer(_)));
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub use compile::PolicyCompiler;
 pub use conflict::{Conflict, ConflictKind};
 pub use context::SecurityContext;
 pub use policy::{FsmPolicy, PolicyRule, StatePattern};
-pub use posture::{Posture, PostureVector, SecurityModule};
+pub use posture::{
+    class_allowlist, quarantine_allowlist, Posture, PostureVector, SecurityModule, ServiceAllow,
+};
 pub use recipe::{Recipe, RecipeAction, Trigger};
 pub use state_space::{StateSchema, SystemState};

@@ -6,8 +6,9 @@
 //! micro-middlebox; the controller diffs posture vectors between states
 //! to decide what to (re)deploy.
 
-use iotdev::device::DeviceId;
+use iotdev::device::{DeviceClass, DeviceId};
 use iotdev::env::EnvVar;
+use iotdev::proto::ports;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -148,6 +149,74 @@ impl Posture {
     }
 }
 
+/// One allowed service (protocol plane, destination port) on a device
+/// — an entry in a per-class allow-list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct ServiceAllow {
+    /// True for TCP, false for UDP.
+    pub tcp: bool,
+    /// Destination port.
+    pub port: u16,
+}
+
+impl ServiceAllow {
+    /// A TCP service.
+    pub fn tcp(port: u16) -> ServiceAllow {
+        ServiceAllow { tcp: true, port }
+    }
+
+    /// A UDP service.
+    pub fn udp(port: u16) -> ServiceAllow {
+        ServiceAllow { tcp: false, port }
+    }
+}
+
+/// The protocol planes a device class legitimately speaks — its normal
+/// service surface, IDIoT-style: a least-privilege profile derived from
+/// what the class *is*, not from observed traffic. Sorted and deduped.
+pub fn class_allowlist(class: DeviceClass) -> Vec<ServiceAllow> {
+    let mut list = vec![ServiceAllow::tcp(ports::MGMT), ServiceAllow::udp(ports::TELEMETRY)];
+    let actuated = matches!(
+        class,
+        DeviceClass::SmartPlug
+            | DeviceClass::WindowActuator
+            | DeviceClass::LightBulb
+            | DeviceClass::SmartLock
+            | DeviceClass::Oven
+            | DeviceClass::Thermostat
+            | DeviceClass::TrafficLight
+    );
+    if actuated {
+        list.push(ServiceAllow::udp(ports::CONTROL));
+    }
+    let cloud = matches!(
+        class,
+        DeviceClass::Camera
+            | DeviceClass::SmartPlug
+            | DeviceClass::SetTopBox
+            | DeviceClass::Refrigerator
+    );
+    if cloud {
+        list.push(ServiceAllow::tcp(ports::CLOUD));
+    }
+    if matches!(class, DeviceClass::SmartPlug | DeviceClass::SetTopBox | DeviceClass::Refrigerator)
+    {
+        list.push(ServiceAllow::udp(ports::DNS));
+    }
+    list.sort();
+    list.dedup();
+    list
+}
+
+/// The minimal service subset a quarantined device keeps: telemetry to
+/// the hub only, so monitoring and forensics continue while every
+/// management, actuation, cloud and DNS plane is cut. By construction a
+/// subset of [`class_allowlist`] for every class (pinned by a property
+/// test) — quarantine never *grants* a plane the normal posture denies.
+pub fn quarantine_allowlist(_class: DeviceClass) -> Vec<ServiceAllow> {
+    vec![ServiceAllow::udp(ports::TELEMETRY)]
+}
+
 /// The postures of every device in one state.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
 pub struct PostureVector {
@@ -169,6 +238,25 @@ impl PostureVector {
     /// Merge a posture into a device's entry.
     pub fn merge_into(&mut self, id: DeviceId, posture: &Posture) {
         self.by_device.entry(id).or_default().merge(posture);
+    }
+
+    /// A stable 64-bit fingerprint of the whole vector — the FSM
+    /// continuity token. The safety monitor records it before a
+    /// controller failover and compares once the promoted standby has
+    /// resynced: a standby that silently reset active FSM postures
+    /// (lost checkpoint, drained replay log) produces a different
+    /// fingerprint, which is the `fsm-continuity` invariant violation.
+    ///
+    /// FNV-1a over the `Debug` rendering: the map is a `BTreeMap` and
+    /// module sets are sorted, so the rendering — and the hash — is a
+    /// pure function of the semantic content.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{:?}", self.by_device).bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 
     /// Devices whose posture differs between `self` (old) and `new` —
@@ -239,5 +327,45 @@ mod tests {
     fn unset_device_is_allow() {
         let v = PostureVector::new();
         assert!(v.posture(DeviceId(9)).is_allow());
+    }
+
+    #[test]
+    fn fingerprint_tracks_semantic_content() {
+        let mut a = PostureVector::new();
+        a.merge_into(DeviceId(0), &Posture::of(SecurityModule::PasswordProxy));
+        let mut b = PostureVector::new();
+        b.merge_into(DeviceId(0), &Posture::of(SecurityModule::PasswordProxy));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.merge_into(DeviceId(1), &Posture::quarantine());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(PostureVector::new().fingerprint(), PostureVector::new().fingerprint());
+    }
+
+    #[test]
+    fn quarantine_allowlist_is_a_subset_for_every_class() {
+        for class in DeviceClass::ALL {
+            let normal = class_allowlist(class);
+            for svc in quarantine_allowlist(class) {
+                assert!(
+                    normal.contains(&svc),
+                    "{class:?}: quarantine grants {svc:?} outside the normal allow-list"
+                );
+            }
+            assert!(
+                quarantine_allowlist(class).len() < normal.len(),
+                "{class:?}: quarantine must be strictly narrower"
+            );
+        }
+    }
+
+    #[test]
+    fn allowlists_follow_device_planes() {
+        let lock = class_allowlist(DeviceClass::SmartLock);
+        assert!(lock.contains(&ServiceAllow::udp(ports::CONTROL)), "locks are actuated");
+        assert!(!lock.contains(&ServiceAllow::udp(ports::DNS)), "locks don't resolve names");
+        let plug = class_allowlist(DeviceClass::SmartPlug);
+        assert!(plug.contains(&ServiceAllow::udp(ports::DNS)), "the plug is the open resolver");
+        let sensor = class_allowlist(DeviceClass::MotionSensor);
+        assert!(!sensor.contains(&ServiceAllow::udp(ports::CONTROL)), "sensors aren't actuated");
     }
 }

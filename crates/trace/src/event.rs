@@ -62,9 +62,20 @@ pub enum TraceEvent {
         /// Target device id.
         device: u32,
     },
-    /// The delivery channel shed a directive (bounded queue full).
+    /// The delivery channel shed a directive under queue pressure. The
+    /// victim is the lowest-criticality, newest entry (see
+    /// `iotctl::delivery`), so the payload names the tier that lost.
     DirectiveShed {
         /// Target device id.
+        device: u32,
+        /// Criticality label of the shed directive: `"telemetry"`,
+        /// `"patch-proxy"`, `"revoke"` or `"quarantine"`.
+        criticality: &'static str,
+    },
+    /// The admission controller refused a low-criticality recompute
+    /// because the directive backlog exceeded its budget.
+    AdmissionShed {
+        /// Target device id of the refused directive.
         device: u32,
     },
     /// The delivery channel retried while unreachable.
@@ -143,6 +154,39 @@ pub enum TraceEvent {
         /// Switch id.
         switch: u32,
     },
+    /// The safety monitor observed an invariant violation.
+    SafetyViolation {
+        /// Affected device id (`0` for deployment-wide invariants).
+        device: u32,
+        /// Invariant label: `"fail-closed-coverage"`,
+        /// `"posture-monotonicity"`, `"bounded-staleness"` or
+        /// `"fsm-continuity"`.
+        invariant: &'static str,
+    },
+    /// A µmbox circuit breaker tripped (closed/half-open → open) after
+    /// repeated crashes; the chain now serves its failure-mode fallback
+    /// and the watchdog respawn is held until the cooldown expires.
+    BreakerTrip {
+        /// Protected device id.
+        device: u32,
+    },
+    /// A circuit breaker's cooldown expired (open → half-open): the
+    /// next respawned instance serves a trial window.
+    BreakerHalfOpen {
+        /// Protected device id.
+        device: u32,
+    },
+    /// A circuit breaker observed a clean trial window and re-closed.
+    BreakerClose {
+        /// Protected device id.
+        device: u32,
+    },
+    /// The safety monitor escalated a device to the quarantine posture:
+    /// a per-class minimal allow-list installed into its edge switch.
+    QuarantineInstalled {
+        /// Quarantined device id.
+        device: u32,
+    },
     /// A packet entered a µmbox chain.
     UmboxEnter {
         /// Protected device id.
@@ -179,6 +223,7 @@ impl TraceEvent {
             TraceEvent::DirectiveInstalled { .. } => "directive-installed",
             TraceEvent::DirectiveDeduped { .. } => "directive-deduped",
             TraceEvent::DirectiveShed { .. } => "directive-shed",
+            TraceEvent::AdmissionShed { .. } => "admission-shed",
             TraceEvent::DirectiveRetry { .. } => "directive-retry",
             TraceEvent::UmboxLaunch { .. } => "umbox-launch",
             TraceEvent::UmboxReady { .. } => "umbox-ready",
@@ -190,6 +235,11 @@ impl TraceEvent {
             TraceEvent::CtlOutage { .. } => "ctl-outage",
             TraceEvent::FaultFired { .. } => "fault-fired",
             TraceEvent::FaultHealed { .. } => "fault-healed",
+            TraceEvent::SafetyViolation { .. } => "safety-violation",
+            TraceEvent::BreakerTrip { .. } => "breaker-trip",
+            TraceEvent::BreakerHalfOpen { .. } => "breaker-half-open",
+            TraceEvent::BreakerClose { .. } => "breaker-close",
+            TraceEvent::QuarantineInstalled { .. } => "quarantine-install",
             TraceEvent::CacheHit { .. } => "cache-hit",
             TraceEvent::CacheMiss { .. } => "cache-miss",
             TraceEvent::PolicyDrop { .. } => "policy-drop",
@@ -207,10 +257,16 @@ impl TraceEvent {
             | TraceEvent::DirectiveInstalled { .. }
             | TraceEvent::DirectiveDeduped { .. }
             | TraceEvent::DirectiveShed { .. }
+            | TraceEvent::AdmissionShed { .. }
             | TraceEvent::DirectiveRetry { .. }
             | TraceEvent::Failover { .. }
-            | TraceEvent::CtlOutage { .. } => "iotctl",
-            TraceEvent::UmboxLaunch { .. }
+            | TraceEvent::CtlOutage { .. }
+            | TraceEvent::SafetyViolation { .. }
+            | TraceEvent::QuarantineInstalled { .. } => "iotctl",
+            TraceEvent::BreakerTrip { .. }
+            | TraceEvent::BreakerHalfOpen { .. }
+            | TraceEvent::BreakerClose { .. }
+            | TraceEvent::UmboxLaunch { .. }
             | TraceEvent::UmboxReady { .. }
             | TraceEvent::UmboxSwap { .. }
             | TraceEvent::UmboxRetire { .. }
@@ -241,8 +297,11 @@ impl TraceEvent {
             | TraceEvent::DirectiveInstalled { device, kind } => {
                 let _ = write!(out, ",\"dev\":{device},\"kind\":\"{kind}\"");
             }
-            TraceEvent::DirectiveDeduped { device } | TraceEvent::DirectiveShed { device } => {
+            TraceEvent::DirectiveDeduped { device } | TraceEvent::AdmissionShed { device } => {
                 let _ = write!(out, ",\"dev\":{device}");
+            }
+            TraceEvent::DirectiveShed { device, criticality } => {
+                let _ = write!(out, ",\"dev\":{device},\"crit\":\"{criticality}\"");
             }
             TraceEvent::DirectiveRetry { device, attempt } => {
                 let _ = write!(out, ",\"dev\":{device},\"attempt\":{attempt}");
@@ -266,6 +325,15 @@ impl TraceEvent {
             }
             TraceEvent::FaultFired { kind } | TraceEvent::FaultHealed { kind } => {
                 let _ = write!(out, ",\"kind\":\"{kind}\"");
+            }
+            TraceEvent::SafetyViolation { device, invariant } => {
+                let _ = write!(out, ",\"dev\":{device},\"inv\":\"{invariant}\"");
+            }
+            TraceEvent::BreakerTrip { device }
+            | TraceEvent::BreakerHalfOpen { device }
+            | TraceEvent::BreakerClose { device }
+            | TraceEvent::QuarantineInstalled { device } => {
+                let _ = write!(out, ",\"dev\":{device}");
             }
             TraceEvent::CacheHit { switch }
             | TraceEvent::CacheMiss { switch }
@@ -295,6 +363,19 @@ mod tests {
         out.clear();
         TraceEvent::UmboxExit { device: 1, verdict: "drop" }.write_json(7, &mut out);
         assert_eq!(out, r#"{"t":7,"e":"umbox-exit","dev":1,"verdict":"drop"}"#);
+        out.clear();
+        TraceEvent::DirectiveShed { device: 2, criticality: "telemetry" }.write_json(9, &mut out);
+        assert_eq!(out, r#"{"t":9,"e":"directive-shed","dev":2,"crit":"telemetry"}"#);
+        out.clear();
+        TraceEvent::SafetyViolation { device: 4, invariant: "fail-closed-coverage" }
+            .write_json(11, &mut out);
+        assert_eq!(out, r#"{"t":11,"e":"safety-violation","dev":4,"inv":"fail-closed-coverage"}"#);
+        out.clear();
+        TraceEvent::BreakerTrip { device: 5 }.write_json(13, &mut out);
+        assert_eq!(out, r#"{"t":13,"e":"breaker-trip","dev":5}"#);
+        out.clear();
+        TraceEvent::QuarantineInstalled { device: 5 }.write_json(15, &mut out);
+        assert_eq!(out, r#"{"t":15,"e":"quarantine-install","dev":5}"#);
     }
 
     #[test]
@@ -307,8 +388,32 @@ mod tests {
 
     #[test]
     fn components_cover_the_enforcement_path() {
-        assert_eq!(TraceEvent::DirectiveShed { device: 0 }.component(), "iotctl");
+        let shed = TraceEvent::DirectiveShed { device: 0, criticality: "telemetry" };
+        assert_eq!(shed.component(), "iotctl");
         assert_eq!(TraceEvent::UmboxCrash { device: 0 }.component(), "umbox");
         assert_eq!(TraceEvent::PolicyDrop { switch: 0 }.component(), "iotnet");
+        assert_eq!(TraceEvent::SafetyViolation { device: 0, invariant: "x" }.component(), "iotctl");
+        assert_eq!(TraceEvent::QuarantineInstalled { device: 0 }.component(), "iotctl");
+        assert_eq!(TraceEvent::AdmissionShed { device: 0 }.component(), "iotctl");
+        assert_eq!(TraceEvent::BreakerTrip { device: 0 }.component(), "umbox");
+        assert_eq!(TraceEvent::BreakerHalfOpen { device: 0 }.component(), "umbox");
+        assert_eq!(TraceEvent::BreakerClose { device: 0 }.component(), "umbox");
+    }
+
+    #[test]
+    fn safety_events_are_control_class() {
+        // The safety monitor reads the control mask; if any of these
+        // slipped into the packet class a control-only golden would miss
+        // them and the monitor would go blind under control_only runs.
+        for ev in [
+            TraceEvent::SafetyViolation { device: 0, invariant: "bounded-staleness" },
+            TraceEvent::BreakerTrip { device: 0 },
+            TraceEvent::BreakerHalfOpen { device: 0 },
+            TraceEvent::BreakerClose { device: 0 },
+            TraceEvent::QuarantineInstalled { device: 0 },
+            TraceEvent::AdmissionShed { device: 0 },
+        ] {
+            assert_eq!(ev.class(), EventClass::Control, "{}", ev.kind());
+        }
     }
 }

@@ -103,6 +103,17 @@ impl Tracer {
         self.0.as_ref().map_or_else(Vec::new, |b| b.borrow().events.clone())
     }
 
+    /// Snapshot of the events recorded at index `from` onward. This is
+    /// the subscription primitive: a consumer keeps a cursor ([`Tracer::len`]
+    /// after each read) and pulls only the tail, so per-tick polling
+    /// stays linear in events emitted, not events retained.
+    pub fn events_since(&self, from: usize) -> Vec<(u64, TraceEvent)> {
+        self.0.as_ref().map_or_else(Vec::new, |b| {
+            let buf = b.borrow();
+            buf.events.get(from..).unwrap_or(&[]).to_vec()
+        })
+    }
+
     /// Render the buffer as canonical JSONL — one event per line, each
     /// line terminated by `\n`. Empty string when disabled or empty.
     pub fn to_jsonl(&self) -> String {
@@ -153,6 +164,21 @@ mod tests {
         let evs = t.events();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].1.kind(), "fault-fired");
+    }
+
+    #[test]
+    fn events_since_reads_only_the_tail() {
+        let t = Tracer::new(TraceConfig::full());
+        t.emit(1, TraceEvent::CacheHit { switch: 0 });
+        t.emit(2, TraceEvent::CacheMiss { switch: 0 });
+        let cursor = t.len();
+        t.emit(3, TraceEvent::PolicyDrop { switch: 1 });
+        let tail = t.events_since(cursor);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].0, 3);
+        assert!(t.events_since(t.len()).is_empty());
+        assert!(t.events_since(999).is_empty());
+        assert!(Tracer::disabled().events_since(0).is_empty());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`chain`] — posture → chain compilation and the
 //!   [`iotnet::InlineProcessor`] adapter that attaches a chain to a
 //!   switch steer point.
+//! * [`breaker`] — per-µmbox circuit breakers (closed → open →
+//!   half-open, deterministic sim-time cooldowns) that route a
+//!   crash-looping chain to its failure-mode fallback instead of
+//!   hammering the watchdog respawn loop.
 //! * [`lifecycle`] — the micro-VM lifecycle (pooled unikernels vs cold
 //!   boots vs monolithic appliances) with boot/reconfigure latency
 //!   models calibrated to the ClickOS/Jitsu numbers the paper cites
@@ -26,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod chain;
 pub mod element;
 pub mod filters;
@@ -35,6 +40,7 @@ pub mod lifecycle;
 pub mod proxy;
 pub mod resource;
 
+pub use breaker::{BreakerBank, BreakerConfig, BreakerEvent, BreakerState, CircuitBreaker};
 pub use chain::{build_chain, ChainConfig, FailureMode, UmboxChain};
 pub use element::{Element, ElementOutcome, EventSink, ViewHandle};
 pub use lifecycle::{LifecycleManager, UmboxInstance, UmboxState, VmKind};

@@ -224,6 +224,22 @@ impl LifecycleManager {
         }
     }
 
+    /// Push a crashed instance's watchdog restart out to at least
+    /// `until`. This is the circuit-breaker hold: while a device's
+    /// breaker is open there is no point burning pool slots on respawns
+    /// that will crash again, so the watchdog is deferred to the end of
+    /// the cooldown. No-op unless the instance is currently crashed or
+    /// the deadline already lies past `until`.
+    pub fn hold_respawn(&mut self, id: UmboxId, until: SimTime) {
+        if let Some(inst) = self.instances.get_mut(&id) {
+            if let UmboxState::Crashed { restart_at } = inst.state {
+                if until > restart_at {
+                    inst.state = UmboxState::Crashed { restart_at: until };
+                }
+            }
+        }
+    }
+
     /// Reconfigure an instance at `now`; returns when the new
     /// configuration is active. Panics on unknown/dead handles (caller
     /// bug).
@@ -427,6 +443,26 @@ mod tests {
         assert_eq!(mgr.respawns, 1);
         assert_eq!(mgr.get(id).unwrap().boots, 2);
         assert_eq!(mgr.pool_available, 0);
+    }
+
+    #[test]
+    fn hold_respawn_defers_the_watchdog() {
+        let mut mgr = LifecycleManager::new(2);
+        let (id, ready) = mgr.launch(DeviceId(0), VmKind::UnikernelPooled, SimTime::ZERO);
+        mgr.advance(ready);
+        mgr.crash(id, SimTime::from_secs(10));
+        let normal_restart = SimTime::from_secs(10) + mgr.watchdog_delay;
+        let hold_until = SimTime::from_secs(40);
+        mgr.hold_respawn(id, hold_until);
+        // The watchdog instant passes without a respawn.
+        assert!(mgr.advance(normal_restart).is_empty());
+        // An earlier hold never pulls the deadline back in.
+        mgr.hold_respawn(id, SimTime::from_secs(20));
+        assert!(mgr.advance(SimTime::from_secs(25)).is_empty());
+        assert_eq!(mgr.advance(hold_until), vec![(DeviceId(0), hold_until)]);
+        // Holding a running instance is a no-op.
+        mgr.hold_respawn(id, SimTime::from_secs(99));
+        assert!(matches!(mgr.get(id).unwrap().state, UmboxState::Booting { .. }));
     }
 
     #[test]

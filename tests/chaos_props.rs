@@ -142,6 +142,75 @@ fn chaos_events_are_traced_in_deterministic_order() {
     assert!(times.windows(2).all(|w| w[0] <= w[1]), "sim-time keys must be nondecreasing");
 }
 
+/// Trace-time monotonicity under heavy chaos, across many seeds.
+///
+/// Fault events carry the *scheduled* fire time but are applied at the
+/// next tick boundary, so a full-mask trace may step backwards where a
+/// fault interleaves with that tick's packet events — by less than one
+/// tick, never more. Control-class events (everything the goldens pin)
+/// are stamped at tick boundaries and must be strictly nondecreasing.
+#[test]
+fn probe_monotonicity_under_heavy_chaos() {
+    let tick_ns = SimDuration::from_millis(100).as_nanos();
+    // The Packet class per `TraceEvent::class` — these carry intra-tick
+    // packet times; everything else is stamped at tick boundaries.
+    let packet_kinds = [
+        "\"e\":\"cache-hit\"",
+        "\"e\":\"cache-miss\"",
+        "\"e\":\"policy-drop\"",
+        "\"e\":\"umbox-enter\"",
+        "\"e\":\"umbox-exit\"",
+    ];
+    for seed in 0..20u64 {
+        let mut d = Deployment::new();
+        d.seed = seed;
+        let cam = d.device(DeviceSetup::table1_row(1));
+        let plug = d.device(DeviceSetup::table1_row(6));
+        d.campaign(vec![
+            StepSpec::Wait(SimDuration::from_secs(2)),
+            StepSpec::DictionaryLogin(cam),
+            StepSpec::Mgmt(cam, MgmtCommand::GetImage),
+            StepSpec::DnsReflect { reflector: plug, queries: 20 },
+        ]);
+        d.defend_with(Defense::iotsec());
+        d.chaos(
+            ChaosConfig {
+                link_flaps: 8,
+                loss_bursts: 4,
+                horizon: SimDuration::from_secs(30),
+                flap_downtime: SimDuration::from_secs(1),
+                ..ChaosConfig::default()
+            }
+            .with_seed(seed.wrapping_mul(7).wrapping_add(1)),
+        );
+        let tracer = Tracer::new(TraceConfig::full());
+        let mut w = World::new_traced(&d, tracer.clone());
+        w.env.occupied = true;
+        w.run(SimDuration::from_secs(35));
+        let trace = tracer.to_jsonl();
+        let times = sim_times(&trace);
+        for (i, pair) in times.windows(2).enumerate() {
+            assert!(
+                pair[0] <= pair[1] + tick_ns,
+                "seed {seed}: trace stepped back more than one tick at line {i}: \
+                 {} then {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        let control_times: Vec<u64> = trace
+            .lines()
+            .zip(&times)
+            .filter(|(l, _)| !packet_kinds.iter().any(|k| l.contains(k)))
+            .map(|(_, t)| *t)
+            .collect();
+        assert!(
+            control_times.windows(2).all(|w| w[0] <= w[1]),
+            "seed {seed}: control-class events out of order"
+        );
+    }
+}
+
 /// A chaos config with nothing scheduled is *observably* chaos disabled:
 /// the hardened delivery channel and the degradation accounting must not
 /// leave a fingerprint in the trace.

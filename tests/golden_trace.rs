@@ -68,6 +68,54 @@ fn enterprise_trace_matches_golden() {
     check_golden("enterprise", &run_traced(&d));
 }
 
+/// The chaos-on golden: the smart home with a scripted double crash on
+/// the open-resolver plug and the safety layer armed. Its trace must
+/// contain the full safety narrative — violations, a breaker trip, and
+/// a quarantine install — and reproduce byte-for-byte like the quiet
+/// goldens do.
+fn chaos_smart_home() -> Deployment {
+    use iotsec_repro::iotctl::safety::SafetyConfig;
+    use iotsec_repro::iotdev::proto::MgmtCommand;
+    use iotsec_repro::iotnet::time::SimTime;
+    use iotsec_repro::iotsec::chaos::ChaosConfig;
+    use iotsec_repro::iotsec::deployment::StepSpec;
+    let (mut d, v) = scenario::smart_home(Defense::iotsec(), GOLDEN_SEED);
+    let plug = v[5];
+    let cam = v[0];
+    // A reflection burst lands between the two crashes: the downed
+    // fail-open chain leaks it (a recorded coverage violation) before
+    // the second crash trips the breaker and quarantines the plug.
+    d.campaign(vec![
+        StepSpec::Wait(SimDuration::from_millis(3500)),
+        StepSpec::DnsReflect { reflector: plug, queries: 10 },
+        StepSpec::Wait(SimDuration::from_secs(2)),
+        StepSpec::DictionaryLogin(cam),
+        StepSpec::Mgmt(cam, MgmtCommand::GetImage),
+        StepSpec::DnsReflect { reflector: plug, queries: 20 },
+    ]);
+    d.chaos(
+        ChaosConfig::new()
+            .with_seed(GOLDEN_SEED)
+            .with_watchdog(SimDuration::from_secs(15))
+            .crash(SimTime::from_secs(3), plug)
+            .crash(SimTime::from_secs(5), plug),
+    );
+    d.safety(SafetyConfig::default());
+    d
+}
+
+#[test]
+fn chaos_smart_home_trace_matches_golden() {
+    let trace = run_traced(&chaos_smart_home());
+    for kind in ["safety-violation", "breaker-trip", "quarantine-install"] {
+        assert!(
+            trace.lines().any(|l| l.contains(&format!("\"e\":\"{kind}\""))),
+            "chaos golden must contain a '{kind}' event:\n{trace}"
+        );
+    }
+    check_golden("smart_home_chaos", &trace);
+}
+
 #[test]
 fn golden_runs_are_reproducible_in_process() {
     // The golden contract rests on run-to-run determinism; pin it

@@ -16,11 +16,15 @@
 //! non-zero — the CI perf-smoke job depends on that. The `e18` arm
 //! always writes `BENCH_E18.json` (sim-time metrics only, so the file
 //! is byte-stable) and exits non-zero on any safety-gate failure — the
-//! CI safety-gate job depends on *that*.
+//! CI safety-gate job depends on *that*. The `e19` arm always writes
+//! `BENCH_E19.json` (stable digests plus a `wall_ms`-marked volatile
+//! timing section) and exits non-zero if any state-space engine
+//! diverges from the serial packed reference — the CI state-space-gate
+//! job depends on that.
 
 use iotsec_bench::{
     exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_models, exp_perf, exp_pipeline, exp_policy,
-    exp_safety, exp_trace, exp_umbox, exp_world,
+    exp_safety, exp_space, exp_trace, exp_umbox, exp_world, metrics,
 };
 use std::time::Instant;
 
@@ -113,6 +117,19 @@ fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
             println!("wrote {path}");
             return Some((report.violations_baseline, 0.0, report.deterministic()));
         }
+        "space" | "e19" => {
+            let report = exp_space::space();
+            report.table.print();
+            println!("{}", report.summary);
+            println!();
+            let path = "BENCH_E19.json";
+            std::fs::write(path, report.render_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path}");
+            return Some((report.states_total(), report.memo_hit_rate(), report.deterministic));
+        }
         _ => return None,
     }
     Some((0, 0.0, true))
@@ -143,6 +160,7 @@ const ALL: &[&str] = &[
     "perf",
     "trace",
     "safety",
+    "space",
 ];
 
 fn render_json(seed: u64, threads: usize, records: &[Record]) -> String {
@@ -198,15 +216,23 @@ fn main() {
     let mut records = Vec::new();
     let mut diverged = false;
     for id in &to_run {
+        metrics::reset();
         let start = Instant::now();
         let Some((events, hit_rate, deterministic)) = run(id, threads) else {
             eprintln!("unknown experiment '{id}'. available: all {}", ALL.join(" "));
             std::process::exit(2);
         };
+        let wall_ms = start.elapsed().as_millis();
+        // Experiments that run worlds on this thread accumulate their
+        // engine counters in the thread-local registry; prefer those
+        // over the (often zero) values the arm returned directly.
+        let (reg_events, reg_rate) = metrics::take();
+        let (events, hit_rate) =
+            if reg_events > 0 { (reg_events, reg_rate) } else { (events, hit_rate) };
         diverged |= !deterministic;
         records.push(Record {
             experiment: id.to_string(),
-            wall_ms: start.elapsed().as_millis(),
+            wall_ms,
             events_processed: events,
             cache_hit_rate: hit_rate,
             threads,
@@ -222,7 +248,10 @@ fn main() {
         println!("wrote {path} ({} records)", records.len());
     }
     if diverged {
-        eprintln!("E16 determinism check FAILED: parallel sweep diverged from serial reference");
+        eprintln!(
+            "determinism check FAILED: a parallel or packed engine diverged from its \
+             serial reference"
+        );
         std::process::exit(1);
     }
 }

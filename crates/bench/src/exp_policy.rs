@@ -51,7 +51,11 @@ pub fn table2(seed: u64) -> Table {
     t
 }
 
-fn policy_for(n_devices: u32, coupled_pairs: u32) -> iotpolicy::policy::FsmPolicy {
+/// The E1/E19 population-scaling policy: `n_devices` cameras (every
+/// third carrying a default-credential vuln, which widens its context
+/// domain), `coupled_pairs` cross-device protection rules, and one
+/// tracked environment variable.
+pub fn policy_for(n_devices: u32, coupled_pairs: u32) -> iotpolicy::policy::FsmPolicy {
     let mut c = PolicyCompiler::new();
     for i in 0..n_devices {
         let vulns = if i % 3 == 0 { vec![Vulnerability::default_admin_admin()] } else { vec![] };
@@ -84,8 +88,11 @@ pub fn state_space() -> Table {
         let policy = policy_for(n, pairs);
         let f = factor(&policy);
         let raw = policy.schema.size();
+        // The packed memoized engine (E19) raised the feasible-enumeration
+        // ceiling from 1 << 20 to 1 << 23 states: the n = 12 row, "-"
+        // before, now fills in well under a second.
         let classes =
-            collapse_count(&policy, 1 << 20).map(|c| c.to_string()).unwrap_or_else(|| "-".into());
+            collapse_count(&policy, 1 << 23).map(|c| c.to_string()).unwrap_or_else(|| "-".into());
         t.rowd(&[
             n.to_string(),
             pairs.to_string(),

@@ -180,6 +180,7 @@ fn run_cell(intensity: Intensity, full: bool, seed: u64) -> Cell {
     d.safety(safety_for(full, intensity));
     let mut w = World::new(&d);
     w.run(SimDuration::from_secs(40));
+    crate::metrics::record_world(&w);
     Cell { intensity, full, metrics: w.report() }
 }
 

@@ -22,6 +22,10 @@
 //! | E16 | [`exp_perf`] (on the [`sweep`] engine) |
 //! | E17 | [`exp_trace`] (the golden-trace differential harness) |
 //! | E18 | [`exp_safety`] (the runtime safety sweep and CI gate) |
+//! | E19 | [`exp_space`] (the packed-state state-space engine) |
+//!
+//! [`metrics`] holds the runner's thread-local engine-counter registry,
+//! drained into each experiment's `BENCH_E16.json` record.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,9 +39,11 @@ pub mod exp_perf;
 pub mod exp_pipeline;
 pub mod exp_policy;
 pub mod exp_safety;
+pub mod exp_space;
 pub mod exp_trace;
 pub mod exp_umbox;
 pub mod exp_world;
+pub mod metrics;
 pub mod sweep;
 pub mod table;
 

@@ -1,0 +1,92 @@
+//! Per-experiment engine counters, threaded into every JSON record.
+//!
+//! `BENCH_E16.json` used to report `events_processed: 0` and
+//! `cache_hit_rate: 0.0` for every experiment except E16 itself — the
+//! runner had no way to see the engine work done inside `table1`,
+//! `fig3`–`fig5`, `endtoend`, `chaos` or `safety`. This module gives the
+//! runner that visibility without touching any experiment signature: a
+//! thread-local [`MetricsRegistry`] that each world-running experiment
+//! feeds ([`record_world`]) as it finishes a world, and the runner
+//! drains ([`take`]) after each experiment to populate that row's
+//! record.
+//!
+//! Thread-local is the right scope: worlds in the non-perf experiments
+//! run serially on the runner's thread. The parallel sweeps (E16/E17)
+//! run worlds on worker threads, but those experiments already report
+//! their counters through their own ledgers — the registry is their
+//! fallback, not their source.
+
+use std::cell::RefCell;
+use trace::registry::{MetricValue, MetricsRegistry};
+
+thread_local! {
+    static REGISTRY: RefCell<MetricsRegistry> = RefCell::new(MetricsRegistry::new());
+}
+
+/// Clear the calling thread's experiment registry.
+pub fn reset() {
+    REGISTRY.with(|r| *r.borrow_mut() = MetricsRegistry::new());
+}
+
+/// Add one engine-work observation: simulation events processed plus
+/// flow-decision-cache lookups and hits.
+pub fn add_work(events: u64, cache_lookups: u64, cache_hits: u64) {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        reg.counter("engine.events_processed", events);
+        reg.counter("net.cache_lookups", cache_lookups);
+        reg.counter("net.cache_hits", cache_hits);
+    });
+}
+
+/// Record a finished world's engine counters.
+pub fn record_world(w: &iotsec::world::World) {
+    let (lookups, hits) = w.net.cache_stats();
+    add_work(w.net.events_processed(), lookups, hits);
+}
+
+fn counter(reg: &MetricsRegistry, name: &str) -> u64 {
+    match reg.get(name) {
+        Some(MetricValue::Counter(c)) => c,
+        _ => 0,
+    }
+}
+
+/// Drain the registry: `(events_processed, cache_hit_rate)` accumulated
+/// since the last [`reset`]/[`take`], leaving the registry empty.
+pub fn take() -> (u64, f64) {
+    REGISTRY.with(|r| {
+        let reg = std::mem::take(&mut *r.borrow_mut());
+        let events = counter(&reg, "engine.events_processed");
+        let lookups = counter(&reg, "net.cache_lookups");
+        let hits = counter(&reg, "net.cache_hits");
+        let rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+        (events, rate)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_drains_accumulated_work() {
+        reset();
+        add_work(100, 10, 4);
+        add_work(50, 10, 6);
+        let (events, rate) = take();
+        assert_eq!(events, 150);
+        assert!((rate - 0.5).abs() < 1e-9);
+        // Drained: the next take sees nothing.
+        assert_eq!(take(), (0, 0.0));
+    }
+
+    #[test]
+    fn zero_lookups_is_zero_rate_not_nan() {
+        reset();
+        add_work(7, 0, 0);
+        let (events, rate) = take();
+        assert_eq!(events, 7);
+        assert_eq!(rate, 0.0);
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::policy::FsmPolicy;
 use crate::recipe::Recipe;
+use iotdev::device::DeviceId;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::Serialize;
@@ -86,6 +87,97 @@ pub fn find_rule_conflicts(policy: &FsmPolicy) -> Vec<Conflict> {
         }
     }
     out
+}
+
+/// Equal-priority rule pairs assigning contradictory postures to a
+/// shared device — conflict candidates whose reachability is still
+/// unchecked. `(i, j, device)` triples in `(i, j, device)` order, the
+/// emission order of every reachable-conflict engine.
+fn contradiction_candidates(policy: &FsmPolicy) -> Vec<(usize, usize, DeviceId)> {
+    let mut out = Vec::new();
+    for (i, ra) in policy.rules.iter().enumerate() {
+        for (j, rb) in policy.rules.iter().enumerate().skip(i + 1) {
+            if ra.priority != rb.priority {
+                continue;
+            }
+            for (dev, pa) in &ra.postures {
+                if let Some(pb) = rb.postures.get(dev) {
+                    if pa.contradicts(pb) {
+                        out.push((i, j, *dev));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn reachable_conflict(policy: &FsmPolicy, i: usize, j: usize, dev: DeviceId) -> Conflict {
+    Conflict {
+        a: i as u32,
+        b: j as u32,
+        kind: ConflictKind::ContradictoryRules,
+        description: format!(
+            "rules '{}' and '{}' contradict on {dev} in a reachable state",
+            policy.rules[i].origin, policy.rules[j].origin
+        ),
+    }
+}
+
+/// Find equal-priority rule contradictions whose patterns co-activate in
+/// some *actual* state of the schema's product space.
+///
+/// [`find_rule_conflicts`] uses [`crate::policy::StatePattern::overlaps`],
+/// which over-approximates: two patterns that agree on their shared pins
+/// "overlap" even when one of them pins a context outside the device's
+/// domain and can never fire. This function decides co-activation
+/// exactly. On packable schemas that decision is analytic on the
+/// compiled masks ([`crate::packed::PackedPattern::overlaps`]): both
+/// patterns feasible and agreeing wherever their masks intersect —
+/// equivalent to a full state scan because patterns are conjunctions of
+/// slot pins over a product space. Unpackable schemas fall back to the
+/// over-approximation (and keep its description text via
+/// [`find_rule_conflicts`]).
+pub fn find_reachable_rule_conflicts(policy: &FsmPolicy) -> Vec<Conflict> {
+    let Some(layout) = crate::packed::PackedLayout::of(&policy.schema) else {
+        return find_rule_conflicts(policy);
+    };
+    let packed: Vec<crate::packed::PackedPattern> = policy
+        .rules
+        .iter()
+        .map(|r| crate::packed::PackedPattern::compile(&layout, &policy.schema, &r.pattern))
+        .collect();
+    contradiction_candidates(policy)
+        .into_iter()
+        .filter(|(i, j, _)| packed[*i].overlaps(&packed[*j]))
+        .map(|(i, j, dev)| reachable_conflict(policy, i, j, dev))
+        .collect()
+}
+
+/// The reference for [`find_reachable_rule_conflicts`]: decide each
+/// candidate's co-activation by scanning the state space for a witness
+/// (early exit on the first). `None` when the space exceeds `limit`
+/// states. Differentially tested equal to the packed engine.
+pub fn find_reachable_rule_conflicts_naive(
+    policy: &FsmPolicy,
+    limit: u128,
+) -> Option<Vec<Conflict>> {
+    if policy.schema.size() > limit {
+        return None;
+    }
+    Some(
+        contradiction_candidates(policy)
+            .into_iter()
+            .filter(|(i, j, _)| {
+                let (pa, pb) = (&policy.rules[*i].pattern, &policy.rules[*j].pattern);
+                policy
+                    .schema
+                    .iter_states()
+                    .any(|s| pa.matches(&policy.schema, &s) && pb.matches(&policy.schema, &s))
+            })
+            .map(|(i, j, dev)| reachable_conflict(policy, i, j, dev))
+            .collect(),
+    )
 }
 
 /// Plant `n` known contradictions into a recipe corpus (ground truth for
@@ -218,6 +310,54 @@ mod tests {
         // Different priorities: resolved, not a conflict.
         policy.rules[1].priority = 20;
         assert!(find_rule_conflicts(&policy).is_empty());
+    }
+
+    #[test]
+    fn reachable_conflicts_match_witness_search() {
+        use crate::context::SecurityContext;
+        let mut schema = StateSchema::new();
+        schema
+            .add_device(DeviceId(0), DeviceClass::Camera)
+            .add_device(DeviceId(1), DeviceClass::SmartPlug)
+            .add_env(EnvVar::Smoke);
+        let mut policy = FsmPolicy::new(schema);
+        policy.add_rule(
+            PolicyRule::new(10, StatePattern::any(), DeviceId(0), Posture::allow())
+                .with_origin("allow-all"),
+        );
+        policy.add_rule(
+            PolicyRule::new(
+                10,
+                StatePattern::any().env(EnvVar::Smoke, "yes"),
+                DeviceId(0),
+                Posture::quarantine(),
+            )
+            .with_origin("quarantine-on-smoke"),
+        );
+        // Contradiction whose second pattern pins a context outside the
+        // camera's two-valued domain: overlaps() over-approximates it as
+        // a conflict, but no state makes it fire.
+        policy.add_rule(
+            PolicyRule::new(10, StatePattern::any(), DeviceId(1), Posture::allow())
+                .with_origin("plug-allow"),
+        );
+        policy.add_rule(
+            PolicyRule::new(
+                10,
+                StatePattern::any().context(DeviceId(1), SecurityContext::Compromised),
+                DeviceId(1),
+                Posture::quarantine(),
+            )
+            .with_origin("plug-quarantine-unreachable"),
+        );
+        let legacy = find_rule_conflicts(&policy);
+        let packed = find_reachable_rule_conflicts(&policy);
+        let naive = find_reachable_rule_conflicts_naive(&policy, 1 << 16).unwrap();
+        assert_eq!(packed, naive);
+        assert_eq!(packed.len(), 1, "only the smoke contradiction is reachable");
+        assert_eq!((packed[0].a, packed[0].b), (0, 1));
+        assert_eq!(legacy.len(), 2, "the legacy over-approximation keeps both");
+        assert!(find_reachable_rule_conflicts_naive(&policy, 2).is_none());
     }
 
     #[test]

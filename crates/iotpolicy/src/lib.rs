@@ -26,6 +26,12 @@
 //!   smoke-alarm vs Sighthound example).
 //! * [`prune`] — taming state explosion: independence factoring and
 //!   posture-equivalence collapsing, with soundness guarantees.
+//! * [`packed`] — the state space packed into `u128` words: per-slot
+//!   bitfields, compiled rule masks and memoized policy evaluation
+//!   (the E19 engine).
+//! * [`explore`] — exhaustive sweeps and frontier BFS over the packed
+//!   space, serial and work-stealing parallel, differentially equal to
+//!   the naive engines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +39,8 @@
 pub mod compile;
 pub mod conflict;
 pub mod context;
+pub mod explore;
+pub mod packed;
 pub mod policy;
 pub mod posture;
 pub mod prune;
@@ -42,6 +50,8 @@ pub mod state_space;
 pub use compile::PolicyCompiler;
 pub use conflict::{Conflict, ConflictKind};
 pub use context::SecurityContext;
+pub use explore::{BfsStats, SpaceStats};
+pub use packed::{MemoPolicy, PackedLayout, PackedState};
 pub use policy::{FsmPolicy, PolicyRule, StatePattern};
 pub use posture::{
     class_allowlist, quarantine_allowlist, Posture, PostureVector, SecurityModule, ServiceAllow,

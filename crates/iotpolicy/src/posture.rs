@@ -10,6 +10,7 @@ use iotdev::device::{DeviceClass, DeviceId};
 use iotdev::env::EnvVar;
 use iotdev::proto::ports;
 use serde::Serialize;
+use smallvec::SmallVec;
 use std::collections::BTreeMap;
 
 /// Classes of messages a posture can block.
@@ -72,10 +73,24 @@ impl SecurityModule {
     }
 }
 
+/// Filler value for [`Posture`]'s inline module buffer (`SmallVec`
+/// requires `Default`); never observable — slots past the length are
+/// not part of the set.
+impl Default for SecurityModule {
+    fn default() -> Self {
+        SecurityModule::PasswordProxy
+    }
+}
+
 /// The posture of one device in one state: an ordered set of modules.
+///
+/// Postures are almost always one or two modules (a gate, a proxy, or
+/// the two-module quarantine), so the set lives inline — the packed
+/// state-space engine interns hundreds of thousands of them and the
+/// inline representation keeps that cold path allocation-free.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
 pub struct Posture {
-    modules: Vec<SecurityModule>,
+    modules: SmallVec<SecurityModule, 2>,
 }
 
 impl Posture {
@@ -124,6 +139,46 @@ impl Posture {
     /// The modules, sorted.
     pub fn modules(&self) -> &[SecurityModule] {
         &self.modules
+    }
+
+    /// Feed the tagged fingerprint words of this posture, keyed as
+    /// device `dev`, into an FNV-style eater — one map entry's worth of
+    /// [`PostureVector::fingerprint`]'s stream. Exposed so the packed
+    /// engine can fingerprint a class from its interned per-slot
+    /// postures without materializing the full vector; the word
+    /// encoding here *is* the fingerprint definition, shared by both.
+    pub fn fingerprint_words(&self, dev: DeviceId, eat: &mut impl FnMut(u64)) {
+        // Tag device and module words differently so the flattened
+        // stream cannot alias across map entries.
+        eat(1 << 56 | dev.0 as u64);
+        for m in self.modules() {
+            let word: u64 = match m {
+                SecurityModule::PasswordProxy => 1,
+                SecurityModule::Ids { ruleset } => 2 | (*ruleset as u64) << 8,
+                SecurityModule::RateLimit { pps } => 3 | (*pps as u64) << 8,
+                SecurityModule::ProtocolWhitelist => 4,
+                SecurityModule::Block(class) => {
+                    let c = match class {
+                        BlockClass::All => 0u64,
+                        BlockClass::Actuation => 1,
+                        BlockClass::OpenVerbs => 2,
+                        BlockClass::OnVerbs => 3,
+                        BlockClass::Cloud => 4,
+                        BlockClass::DnsResponses => 5,
+                    };
+                    5 | c << 8
+                }
+                SecurityModule::ContextGate { var, value } => {
+                    for b in value.bytes() {
+                        eat(3 << 56 | b as u64);
+                    }
+                    6 | (*var as u64) << 8
+                }
+                SecurityModule::Mirror => 7,
+                SecurityModule::ChallengeLogins => 8,
+            };
+            eat(2 << 56 | word);
+        }
     }
 
     /// Whether no modules apply.
@@ -247,14 +302,19 @@ impl PostureVector {
     /// (lost checkpoint, drained replay log) produces a different
     /// fingerprint, which is the `fsm-continuity` invariant violation.
     ///
-    /// FNV-1a over the `Debug` rendering: the map is a `BTreeMap` and
-    /// module sets are sorted, so the rendering — and the hash — is a
-    /// pure function of the semantic content.
+    /// FNV-1a over a tagged word encoding of the semantic content: the
+    /// map is a `BTreeMap` and module sets are sorted, so the word
+    /// stream — and the hash — is a pure function of the postures. The
+    /// encoding is allocation-free on purpose: the packed state-space
+    /// engine fingerprints every distinct posture class it interns, so
+    /// this sits on the E19 cold path millions of sweeps deep.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in format!("{:?}", self.by_device).bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        for (dev, posture) in &self.by_device {
+            posture.fingerprint_words(*dev, &mut |v: u64| {
+                h ^= v;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            });
         }
         h
     }

@@ -192,9 +192,29 @@ pub fn project(schema: &StateSchema, state: &SystemState, component: &Component)
     s
 }
 
-/// Count posture-equivalence classes by full enumeration. Only for small
-/// schemas; `None` if the space exceeds `limit` states.
+/// Count posture-equivalence classes by full enumeration. `None` if the
+/// space exceeds `limit` states.
+///
+/// Runs on the packed memoized engine ([`crate::explore`]) when the
+/// schema packs into a `u128` word — each distinct rule-match set is
+/// evaluated once, each state costs a handful of word operations — and
+/// falls back to [`collapse_count_naive`] otherwise. The two engines are
+/// differentially tested equal over the same space.
 pub fn collapse_count(policy: &FsmPolicy, limit: u128) -> Option<usize> {
+    if policy.schema.size() > limit {
+        return None;
+    }
+    match crate::explore::explore_packed(policy, 1) {
+        Some(stats) => Some(stats.classes as usize),
+        None => collapse_count_naive(policy, limit),
+    }
+}
+
+/// The legacy class count: clone and evaluate every state through
+/// [`FsmPolicy::evaluate`], key classes by the canonical `Debug`
+/// rendering. Kept as the differential reference (and the fallback for
+/// unpackable schemas); E19 benchmarks it against the packed engines.
+pub fn collapse_count_naive(policy: &FsmPolicy, limit: u128) -> Option<usize> {
     if policy.schema.size() > limit {
         return None;
     }
@@ -302,6 +322,22 @@ mod tests {
     fn collapse_respects_limit() {
         let policy = figure3_policy(DeviceId(0), DeviceId(1));
         assert!(collapse_count(&policy, 4).is_none());
+        assert!(collapse_count_naive(&policy, 4).is_none());
+    }
+
+    #[test]
+    fn packed_and_naive_collapse_agree() {
+        let mut c = PolicyCompiler::new();
+        c.device(DeviceId(0), DeviceClass::FireAlarm, &[]);
+        c.device(DeviceId(1), DeviceClass::WindowActuator, &[Vulnerability::NoAuthControl]);
+        c.env(EnvVar::Smoke);
+        c.env(EnvVar::Temperature);
+        c.protect_on_suspicion(DeviceId(0), DeviceId(1));
+        let policy = c.build();
+        assert_eq!(
+            collapse_count(&policy, 1 << 20).unwrap(),
+            collapse_count_naive(&policy, 1 << 20).unwrap(),
+        );
     }
 
     #[test]

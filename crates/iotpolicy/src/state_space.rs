@@ -11,6 +11,7 @@ use crate::context::SecurityContext;
 use iotdev::device::{DeviceClass, DeviceId};
 use iotdev::env::{DiscreteEnv, EnvVar};
 use serde::Serialize;
+use std::collections::HashMap;
 
 /// One device's slot in the schema.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -30,6 +31,12 @@ pub struct StateSchema {
     pub devices: Vec<DeviceVar>,
     /// Tracked environment variables, in slot order.
     pub env_vars: Vec<EnvVar>,
+    /// Precomputed id → slot maps, maintained by the `add_*` methods.
+    /// Pattern compilation and rule factoring resolve slots per rule per
+    /// lookup; with hundreds of devices the former O(devices) scan
+    /// dominated policy compilation.
+    dev_index: HashMap<DeviceId, usize>,
+    env_index: HashMap<EnvVar, usize>,
 }
 
 impl StateSchema {
@@ -52,6 +59,8 @@ impl StateSchema {
         contexts: Vec<SecurityContext>,
     ) -> &mut Self {
         assert!(!contexts.is_empty(), "context domain must be non-empty");
+        // First occurrence wins, matching what the linear scan resolved.
+        self.dev_index.entry(id).or_insert(self.devices.len());
         self.devices.push(DeviceVar { id, class, contexts });
         self
     }
@@ -59,6 +68,7 @@ impl StateSchema {
     /// Track an environment variable.
     pub fn add_env(&mut self, var: EnvVar) -> &mut Self {
         if !self.env_vars.contains(&var) {
+            self.env_index.insert(var, self.env_vars.len());
             self.env_vars.push(var);
         }
         self
@@ -72,14 +82,15 @@ impl StateSchema {
         self
     }
 
-    /// Slot index of a device.
+    /// Slot index of a device — O(1) via the precomputed index.
     pub fn device_slot(&self, id: DeviceId) -> Option<usize> {
-        self.devices.iter().position(|d| d.id == id)
+        self.dev_index.get(&id).copied()
     }
 
-    /// Slot index of an environment variable.
+    /// Slot index of an environment variable — O(1) via the precomputed
+    /// index.
     pub fn env_slot(&self, var: EnvVar) -> Option<usize> {
-        self.env_vars.iter().position(|v| *v == var)
+        self.env_index.get(&var).copied()
     }
 
     /// Exact size of the state space: `Π|Cᵢ| × Π|Eⱼ|`.
@@ -259,6 +270,29 @@ mod tests {
         }
         s.add_all_env();
         assert!(s.size() > u64::MAX as u128 / 4);
+    }
+
+    #[test]
+    fn slot_indices_match_positions() {
+        let s = two_device_schema();
+        for (i, d) in s.devices.iter().enumerate() {
+            assert_eq!(s.device_slot(d.id), Some(i));
+        }
+        for (j, v) in s.env_vars.iter().enumerate() {
+            assert_eq!(s.env_slot(*v), Some(j));
+        }
+        assert_eq!(s.device_slot(DeviceId(99)), None);
+        assert_eq!(s.env_slot(EnvVar::Door), None);
+        // Duplicate device id: the first slot wins, as the old linear
+        // scan resolved it.
+        let mut dup = StateSchema::new();
+        dup.add_device(DeviceId(7), DeviceClass::Camera).add_device(DeviceId(7), DeviceClass::Oven);
+        assert_eq!(dup.device_slot(DeviceId(7)), Some(0));
+        // Re-adding a tracked env var keeps its slot.
+        let mut env = StateSchema::new();
+        env.add_env(EnvVar::Smoke).add_env(EnvVar::Window).add_env(EnvVar::Smoke);
+        assert_eq!(env.env_slot(EnvVar::Smoke), Some(0));
+        assert_eq!(env.env_slot(EnvVar::Window), Some(1));
     }
 
     #[test]

@@ -81,6 +81,27 @@ impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
         out
     }
 
+    /// Insert `value` at `index`, shifting later elements right.
+    pub fn insert(&mut self, index: usize, value: T) {
+        let len = self.len();
+        assert!(index <= len, "insertion index {index} out of bounds (len {len})");
+        if let Some(v) = &mut self.spill {
+            v.insert(index, value);
+            return;
+        }
+        if len < N {
+            self.inline.copy_within(index..len, index + 1);
+            self.inline[index] = value;
+            self.len += 1;
+        } else {
+            let mut v = Vec::with_capacity(N * 2);
+            v.extend_from_slice(&self.inline[..index]);
+            v.push(value);
+            v.extend_from_slice(&self.inline[index..len]);
+            self.spill = Some(v);
+        }
+    }
+
     /// The elements as a slice.
     pub fn as_slice(&self) -> &[T] {
         match &self.spill {

@@ -187,6 +187,17 @@ pub enum TraceEvent {
         /// Quarantined device id.
         device: u32,
     },
+    /// The state-space engine finished expanding one BFS depth: the
+    /// exploration-progress event of experiment E19. Emitted with
+    /// `at_ns = depth`, so a control-only golden trace of an exploration
+    /// is the frontier histogram itself.
+    SpaceFrontier {
+        /// BFS depth (number of single-slot moves from the initial
+        /// state).
+        depth: u32,
+        /// Number of states first reached at this depth.
+        frontier: u64,
+    },
     /// A packet entered a µmbox chain.
     UmboxEnter {
         /// Protected device id.
@@ -240,6 +251,7 @@ impl TraceEvent {
             TraceEvent::BreakerHalfOpen { .. } => "breaker-half-open",
             TraceEvent::BreakerClose { .. } => "breaker-close",
             TraceEvent::QuarantineInstalled { .. } => "quarantine-install",
+            TraceEvent::SpaceFrontier { .. } => "space-frontier",
             TraceEvent::CacheHit { .. } => "cache-hit",
             TraceEvent::CacheMiss { .. } => "cache-miss",
             TraceEvent::PolicyDrop { .. } => "policy-drop",
@@ -279,6 +291,7 @@ impl TraceEvent {
             | TraceEvent::CacheHit { .. }
             | TraceEvent::CacheMiss { .. }
             | TraceEvent::PolicyDrop { .. } => "iotnet",
+            TraceEvent::SpaceFrontier { .. } => "iotpolicy",
         }
     }
 
@@ -343,6 +356,9 @@ impl TraceEvent {
             TraceEvent::UmboxExit { device, verdict } => {
                 let _ = write!(out, ",\"dev\":{device},\"verdict\":\"{verdict}\"");
             }
+            TraceEvent::SpaceFrontier { depth, frontier } => {
+                let _ = write!(out, ",\"depth\":{depth},\"frontier\":{frontier}");
+            }
         }
         out.push('}');
     }
@@ -376,6 +392,9 @@ mod tests {
         out.clear();
         TraceEvent::QuarantineInstalled { device: 5 }.write_json(15, &mut out);
         assert_eq!(out, r#"{"t":15,"e":"quarantine-install","dev":5}"#);
+        out.clear();
+        TraceEvent::SpaceFrontier { depth: 2, frontier: 84 }.write_json(2, &mut out);
+        assert_eq!(out, r#"{"t":2,"e":"space-frontier","depth":2,"frontier":84}"#);
     }
 
     #[test]
@@ -384,6 +403,13 @@ mod tests {
         assert_eq!(TraceEvent::Failover { count: 1 }.class(), EventClass::Control);
         assert_eq!(TraceEvent::CacheMiss { switch: 2 }.class(), EventClass::Packet);
         assert_eq!(TraceEvent::UmboxEnter { device: 0 }.class(), EventClass::Packet);
+        // Exploration progress is control class: one event per BFS depth,
+        // compact enough for control-only goldens.
+        assert_eq!(
+            TraceEvent::SpaceFrontier { depth: 0, frontier: 1 }.class(),
+            EventClass::Control
+        );
+        assert_eq!(TraceEvent::SpaceFrontier { depth: 0, frontier: 1 }.component(), "iotpolicy");
     }
 
     #[test]

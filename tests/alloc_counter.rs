@@ -87,4 +87,31 @@ fn world_construction_allocation_profile() {
         big_count < first * 4,
         "scaled world ({big_count} allocs) must stay within 4x the base ({first})"
     );
+
+    // 4. The packed state-space inner loop (E19) is allocation-free
+    // once the memo tables are warm: odometer stepping is register
+    // arithmetic and every rule-match set resolves to an already
+    // interned posture class, so sweeping the whole space a second time
+    // must not touch the allocator at all.
+    use iotsec_repro::iotpolicy::packed::MemoPolicy;
+
+    let policy = iotsec_bench::exp_policy::policy_for(6, 1);
+    let mut memo = MemoPolicy::new(&policy).expect("E19 policy family packs");
+    // Warm sweep: intern every posture class the space can produce.
+    let mut cursor = Some(memo.layout().first());
+    while let Some(p) = cursor {
+        std::hint::black_box(memo.class_of(p));
+        cursor = memo.layout().next(p);
+    }
+    let sweep = min_allocs_over(3, || {
+        let mut quiet: u64 = 0;
+        let mut cursor = Some(memo.layout().first());
+        while let Some(p) = cursor {
+            let class = memo.class_of(p);
+            quiet += memo.is_quiet(class) as u64;
+            cursor = memo.layout().next(p);
+        }
+        std::hint::black_box(quiet)
+    });
+    assert_eq!(sweep, 0, "warm packed sweep must not allocate");
 }

@@ -20,11 +20,17 @@
 //! `BENCH_E19.json` (stable digests plus a `wall_ms`-marked volatile
 //! timing section) and exits non-zero if any state-space engine
 //! diverges from the serial packed reference — the CI state-space-gate
-//! job depends on that.
+//! job depends on that. The `e23` arm always writes `BENCH_E23.json`
+//! (stable campaign fingerprint and shrink statistics plus a `wall_ms`
+//! volatile line) and exits non-zero if the vet campaign finds a
+//! violation or a vacuous scenario, if the parallel sweep diverges from
+//! the serial reference, or if the weakened-defense arm fails to
+//! produce a shrinkable violation — the CI vet-gate job depends on
+//! that.
 
 use iotsec_bench::{
     exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_models, exp_perf, exp_pipeline, exp_policy,
-    exp_safety, exp_space, exp_trace, exp_umbox, exp_world, metrics,
+    exp_safety, exp_space, exp_trace, exp_umbox, exp_vet, exp_world, metrics,
 };
 use std::time::Instant;
 
@@ -130,6 +136,19 @@ fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
             println!("wrote {path}");
             return Some((report.states_total(), report.memo_hit_rate(), report.deterministic));
         }
+        "vet" | "e23" => {
+            let report = exp_vet::vet(SEED, threads);
+            report.table.print();
+            println!("{}", report.summary);
+            println!();
+            let path = "BENCH_E23.json";
+            std::fs::write(path, report.render_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path}");
+            return Some((report.scenarios as u64, 0.0, report.deterministic()));
+        }
         _ => return None,
     }
     Some((0, 0.0, true))
@@ -161,6 +180,7 @@ const ALL: &[&str] = &[
     "trace",
     "safety",
     "space",
+    "vet",
 ];
 
 fn render_json(seed: u64, threads: usize, records: &[Record]) -> String {

@@ -23,6 +23,7 @@
 //! | E17 | [`exp_trace`] (the golden-trace differential harness) |
 //! | E18 | [`exp_safety`] (the runtime safety sweep and CI gate) |
 //! | E19 | [`exp_space`] (the packed-state state-space engine) |
+//! | E23 | [`exp_vet`] (the adversarial vet campaign and CI gate) |
 //!
 //! [`metrics`] holds the runner's thread-local engine-counter registry,
 //! drained into each experiment's `BENCH_E16.json` record.
@@ -42,6 +43,7 @@ pub mod exp_safety;
 pub mod exp_space;
 pub mod exp_trace;
 pub mod exp_umbox;
+pub mod exp_vet;
 pub mod exp_world;
 pub mod metrics;
 pub mod sweep;

@@ -84,6 +84,18 @@ impl Metrics {
         self.attack_outcomes.iter().filter(|o| o.success).count()
     }
 
+    /// Whether the attack demonstrably reached its target: a device
+    /// accepted attacker control, sensitive data left the home, or
+    /// amplified traffic hit the DDoS victim. This is the vacuity
+    /// oracle for defense-off arms — a defended run only *proves*
+    /// anything if the same scenario lands undefended (see
+    /// `iotsec-fuzz`'s differential oracle and the E23 campaign).
+    pub fn attack_reached_target(&self) -> bool {
+        !self.compromised.is_empty()
+            || !self.privacy_leaked.is_empty()
+            || self.ddos_bytes_at_victim > 0
+    }
+
     /// Total unprotected time summed over every device.
     pub fn unprotected_total(&self) -> SimDuration {
         let mut total = SimDuration::ZERO;

@@ -1,0 +1,197 @@
+//! The defense-on / defense-off differential oracle.
+//!
+//! One [`ScenarioSpec`] is lowered twice (see [`Arm`]) and both worlds
+//! run to the spec's horizon:
+//!
+//! * **defense-on** must satisfy every E18 safety invariant plus the
+//!   vet-specific trace invariants ([`iotctl::safety::check_trace`]:
+//!   no post-quarantine edge-crossing, delivery quiescence, breaker FSM
+//!   order; fail-closed deployments additionally admit *zero* fail-open
+//!   verdicts), and must not let the attack reach its target;
+//! * **defense-off** must show the attack *does* reach its target when
+//!   nothing defends — otherwise the scenario proves nothing and the
+//!   run is [`Verdict::Vacuous`] rather than a pass.
+//!
+//! Everything is a pure function of the spec: verdicts, violations and
+//! the rendered divergence are byte-identical across reruns and thread
+//! counts.
+
+use crate::spec::{Arm, ScenarioSpec, Weakness};
+use iotctl::safety::{check_trace, check_trace_fail_closed, Violation};
+use iotsec::metrics::Metrics;
+use iotsec::world::World;
+use trace::{first_divergence, render_divergence, EventClass, TraceConfig, Tracer};
+
+/// Oracle outcome for one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Defense-on held every invariant and defense-off proved the
+    /// scenario non-vacuous.
+    Pass,
+    /// Defense-on held, but the attack never reached its target even
+    /// undefended — the scenario exercises nothing.
+    Vacuous,
+    /// Defense-on broke at least one invariant.
+    Violation,
+}
+
+impl Verdict {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Vacuous => "vacuous",
+            Verdict::Violation => "violation",
+        }
+    }
+}
+
+/// Full differential result for one scenario.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Defense-on invariant violations (empty unless `Violation`).
+    pub violations: Vec<Violation>,
+    /// Whether the defense-off arm reached the target (non-vacuity).
+    pub off_landed: bool,
+    /// Defense-on metrics one-liner.
+    pub on_summary: String,
+    /// Defense-off metrics one-liner.
+    pub off_summary: String,
+    /// First divergence between the arms' control traces (E17
+    /// rendering), present on violations: where enforcement should have
+    /// changed history, and didn't hold.
+    pub divergence: Option<String>,
+}
+
+fn run_world(spec: &ScenarioSpec, arm: Arm) -> (Metrics, Vec<(u64, trace::TraceEvent)>) {
+    let d = spec.deployment(arm);
+    // Full trace on the defended arm: the vet invariants need µmbox
+    // verdicts (Packet class). The bare arm only feeds the divergence
+    // rendering, so Control suffices.
+    let config = match arm {
+        Arm::DefenseOn => TraceConfig::full(),
+        Arm::DefenseOff => TraceConfig::control_only(),
+    };
+    let tracer = Tracer::new(config);
+    let mut w = World::new_traced(&d, tracer.clone());
+    w.run(spec.horizon());
+    (w.report(), tracer.events())
+}
+
+/// Render only the Control-class events of a trace as canonical JSONL
+/// (the golden-trace profile), so the two arms diverge on enforcement
+/// decisions rather than on packet volume.
+fn control_jsonl(events: &[(u64, trace::TraceEvent)]) -> String {
+    let mut out = String::new();
+    for (at, ev) in events {
+        if ev.class() == EventClass::Control {
+            ev.write_json(*at, &mut out);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Defense-on arm only: run it and collect every invariant violation.
+/// This is the shrinker's predicate — it skips the defense-off world.
+pub fn defense_on_violations(spec: &ScenarioSpec) -> Vec<Violation> {
+    let (metrics, events) = run_world(spec, Arm::DefenseOn);
+    let mut violations = match spec.weakness {
+        // The shipping arm is fail-closed: any fail-open verdict is
+        // itself a breach of the FailClosed contract.
+        Weakness::None => check_trace_fail_closed(&events),
+        _ => check_trace(&events),
+    };
+    if metrics.attack_reached_target() {
+        let device = metrics
+            .compromised
+            .iter()
+            .chain(metrics.privacy_leaked.iter())
+            .map(|d| d.0)
+            .next()
+            .unwrap_or(0);
+        violations.push(Violation {
+            at_ns: spec.horizon().as_nanos(),
+            device,
+            invariant: "defense-breach",
+        });
+    }
+    violations.sort();
+    violations
+}
+
+/// Run the full differential oracle on one scenario.
+pub fn run(spec: &ScenarioSpec) -> OracleReport {
+    let (on_metrics, on_events) = run_world(spec, Arm::DefenseOn);
+    let mut violations = match spec.weakness {
+        Weakness::None => check_trace_fail_closed(&on_events),
+        _ => check_trace(&on_events),
+    };
+    if on_metrics.attack_reached_target() {
+        let device = on_metrics
+            .compromised
+            .iter()
+            .chain(on_metrics.privacy_leaked.iter())
+            .map(|d| d.0)
+            .next()
+            .unwrap_or(0);
+        violations.push(Violation {
+            at_ns: spec.horizon().as_nanos(),
+            device,
+            invariant: "defense-breach",
+        });
+    }
+    violations.sort();
+    let (off_metrics, off_events) = run_world(spec, Arm::DefenseOff);
+    let off_landed = off_metrics.attack_reached_target();
+    let verdict = if !violations.is_empty() {
+        Verdict::Violation
+    } else if !off_landed {
+        Verdict::Vacuous
+    } else {
+        Verdict::Pass
+    };
+    let divergence = (verdict == Verdict::Violation)
+        .then(|| {
+            first_divergence(&control_jsonl(&on_events), &control_jsonl(&off_events))
+                .map(|d| render_divergence(&d))
+        })
+        .flatten();
+    OracleReport {
+        verdict,
+        violations,
+        off_landed,
+        on_summary: on_metrics.summary(),
+        off_summary: off_metrics.summary(),
+        divergence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn a_known_good_scenario_passes_non_vacuously() {
+        // Seed 0 of the default family: correct defense, real exploit.
+        let spec = generate(0, &GenConfig::default());
+        let report = run(&spec);
+        assert!(report.off_landed, "undefended attack must land: {}", report.off_summary);
+        assert_eq!(report.verdict, Verdict::Pass, "violations: {:?}", report.violations);
+        assert!(report.divergence.is_none());
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let spec = generate(3, &GenConfig::default());
+        let a = run(&spec);
+        let b = run(&spec);
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.on_summary, b.on_summary);
+        assert_eq!(a.off_summary, b.off_summary);
+    }
+}

@@ -1,0 +1,204 @@
+//! Delta-debugging shrinker: minimize a violating scenario.
+//!
+//! Greedy ddmin over the spec's axes, in fixed order — drop devices
+//! (remapping every dependent recipe, fault and attack step), drop
+//! recipes, drop faults, shorten the attack script, then halve the
+//! horizon — re-running the defense-on oracle after every candidate
+//! edit and keeping only edits that preserve *some* invariant
+//! violation. The loop repeats until a full pass changes nothing, so
+//! the result is 1-minimal per axis. Everything is a pure function of
+//! the input spec: the same violation shrinks to the same minimal
+//! repro on every seed order, thread count and rerun.
+
+use crate::artifact;
+use crate::oracle::defense_on_violations;
+use crate::spec::ScenarioSpec;
+use iotctl::safety::Violation;
+
+/// A minimized, replayable violation.
+#[derive(Debug, Clone)]
+pub struct MinimalRepro {
+    /// The 1-minimal scenario.
+    pub spec: ScenarioSpec,
+    /// The violations it still produces.
+    pub violations: Vec<Violation>,
+    /// Rendered artifact: the scenario file plus `# violation=` trailer
+    /// comments (ignored by the parser, kept for humans and reports).
+    pub artifact: String,
+    /// Defense-on oracle runs the shrink spent.
+    pub oracle_runs: u32,
+}
+
+/// Drop device `i` and remap every index-bearing clause. Clauses pinned
+/// to the dropped device are removed with it.
+fn drop_device(spec: &ScenarioSpec, i: usize) -> ScenarioSpec {
+    let remap = |d: usize| if d > i { d - 1 } else { d };
+    let mut s = spec.clone();
+    s.devices.remove(i);
+    s.recipes.retain(|r| r.target != i);
+    for r in &mut s.recipes {
+        r.target = remap(r.target);
+    }
+    s.faults.retain(|f| f.device() != Some(i));
+    for f in &mut s.faults {
+        match f {
+            crate::spec::FaultSpec::CrashUmbox { device, .. }
+            | crate::spec::FaultSpec::FlapUplink { device, .. } => *device = remap(*device),
+            crate::spec::FaultSpec::CtlOutage { .. } => {}
+        }
+    }
+    s.attack.retain(|a| a.device() != Some(i));
+    for a in &mut s.attack {
+        match a {
+            crate::spec::AttackStep::Probe(d) | crate::spec::AttackStep::Exploit(d) => {
+                *d = remap(*d)
+            }
+            crate::spec::AttackStep::Wait(_) => {}
+        }
+    }
+    s
+}
+
+/// Shrink `spec` to a 1-minimal violating scenario. Returns `None` when
+/// the input does not violate at all (nothing to minimize).
+pub fn shrink(spec: &ScenarioSpec) -> Option<MinimalRepro> {
+    let mut runs: u32 = 1;
+    if defense_on_violations(spec).is_empty() {
+        return None;
+    }
+    let mut cur = spec.clone();
+    loop {
+        let mut changed = false;
+
+        // Axis 1: devices (each drop also sheds dependent clauses).
+        let mut i = 0;
+        while i < cur.devices.len() {
+            if cur.devices.len() > 1 {
+                let cand = drop_device(&cur, i);
+                runs += 1;
+                if !defense_on_violations(&cand).is_empty() {
+                    cur = cand;
+                    changed = true;
+                    continue; // index i now names the next device
+                }
+            }
+            i += 1;
+        }
+
+        // Axis 2: recipes.
+        let mut i = 0;
+        while i < cur.recipes.len() {
+            let mut cand = cur.clone();
+            cand.recipes.remove(i);
+            runs += 1;
+            if !defense_on_violations(&cand).is_empty() {
+                cur = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Axis 3: faults.
+        let mut i = 0;
+        while i < cur.faults.len() {
+            let mut cand = cur.clone();
+            cand.faults.remove(i);
+            runs += 1;
+            if !defense_on_violations(&cand).is_empty() {
+                cur = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Axis 4: attack script.
+        let mut i = 0;
+        while i < cur.attack.len() {
+            let mut cand = cur.clone();
+            cand.attack.remove(i);
+            runs += 1;
+            if !defense_on_violations(&cand).is_empty() {
+                cur = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Axis 5: horizon (halve while the violation survives).
+        while cur.horizon_secs > 10 {
+            let mut cand = cur.clone();
+            cand.horizon_secs = (cur.horizon_secs / 2).max(10);
+            runs += 1;
+            if !defense_on_violations(&cand).is_empty() {
+                cur = cand;
+                changed = true;
+            } else {
+                break;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    let violations = defense_on_violations(&cur);
+    runs += 1;
+    debug_assert!(!violations.is_empty(), "shrink lost the violation");
+    let mut text = artifact::render(&cur);
+    for v in &violations {
+        text.push_str(&format!(
+            "# violation={} device={} at_ns={}\n",
+            v.invariant, v.device, v.at_ns
+        ));
+    }
+    Some(MinimalRepro { spec: cur, violations, artifact: text, oracle_runs: runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::spec::{AttackStep, DeviceSpec, FaultSpec, RecipeSpec, Weakness};
+    use iotdev::device::DeviceClass;
+    use iotdev::env::EnvVar;
+
+    #[test]
+    fn drop_device_remaps_every_clause() {
+        let spec = ScenarioSpec {
+            seed: 1,
+            edges: 0,
+            horizon_secs: 30,
+            weakness: Weakness::None,
+            devices: vec![
+                DeviceSpec::Row(1),
+                DeviceSpec::Clean(DeviceClass::LightBulb),
+                DeviceSpec::Row(6),
+            ],
+            recipes: vec![
+                RecipeSpec { var: EnvVar::Occupancy, value: "absent", target: 1 },
+                RecipeSpec { var: EnvVar::Occupancy, value: "absent", target: 2 },
+            ],
+            faults: vec![
+                FaultSpec::CrashUmbox { at_secs: 3, device: 1 },
+                FaultSpec::CrashUmbox { at_secs: 4, device: 2 },
+            ],
+            attack: vec![AttackStep::Exploit(0), AttackStep::Probe(1), AttackStep::Exploit(2)],
+        };
+        let s = drop_device(&spec, 1);
+        s.validate().expect("still valid");
+        assert_eq!(s.devices, vec![DeviceSpec::Row(1), DeviceSpec::Row(6)]);
+        assert_eq!(s.recipes.len(), 1);
+        assert_eq!(s.recipes[0].target, 1);
+        assert_eq!(s.faults, vec![FaultSpec::CrashUmbox { at_secs: 4, device: 1 }]);
+        assert_eq!(s.attack, vec![AttackStep::Exploit(0), AttackStep::Exploit(1)]);
+    }
+
+    #[test]
+    fn non_violating_scenarios_do_not_shrink() {
+        let spec = generate(0, &GenConfig::default());
+        assert!(shrink(&spec).is_none());
+    }
+}

@@ -418,6 +418,150 @@ impl SafetyMonitor {
     }
 }
 
+/// One invariant violation found in a trace, either recorded live by
+/// the [`SafetyMonitor`] or derived structurally by [`check_trace`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Sim-time of the violating event (ns).
+    pub at_ns: u64,
+    /// The device concerned (0 for world-level invariants).
+    pub device: u32,
+    /// Which invariant failed (stable label, see module docs).
+    pub invariant: &'static str,
+}
+
+/// Pure trace-level invariant check: everything the safety layer
+/// promises that is decidable from the deterministic event stream
+/// alone, callable outside the world loop (the E23 vet oracle runs it
+/// over finished traces; tests feed it synthetic streams).
+///
+/// Invariants checked, with their `invariant` labels:
+///
+/// * **monitor pass-through** — every [`TraceEvent::SafetyViolation`]
+///   the live monitor recorded is surfaced verbatim under its original
+///   label (`fail-closed-coverage`, `bounded-staleness`,
+///   `posture-monotonicity`, `fsm-continuity`).
+/// * **`trace-order`** — Control-class timestamps never decrease: the
+///   control plane's history is a valid sim-time order. (Packet-class
+///   events are stamped with network arrival times that legitimately
+///   lag the world clock, so they are exempt.)
+/// * **`quarantine-reinstall`** — quarantine is sticky for a run; a
+///   second [`TraceEvent::QuarantineInstalled`] for the same device
+///   means posture monotonicity broke inside the escalation path
+///   itself.
+/// * **`post-quarantine-leak`** — no compromised flow crosses the edge
+///   post-quarantine: once a device is quarantined, any
+///   [`TraceEvent::UmboxExit`] with a `fail-open` verdict for it is
+///   traffic that crossed the edge *unfiltered* past the allow-list.
+/// * **`breaker-fsm`** — breaker events respect the trip → half-open →
+///   (close | re-trip) state machine per device.
+/// * **`mixed-failure-mode`** — a chain's failure mode is fixed at
+///   deployment; one device emitting both `fail-open` and
+///   `fail-closed` verdicts in a single run is a config split-brain.
+/// * **`delivery-unquiesced`** — directive delivery eventually
+///   quiesces: by the end of the trace every issued directive has
+///   resolved (delivered, deduped, shed, or admission-shed).
+pub fn check_trace(events: &[(u64, TraceEvent)]) -> Vec<Violation> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Breaker {
+        Closed,
+        Open,
+        Half,
+    }
+    let mut out = Vec::new();
+    let mut last_at = 0u64;
+    let mut quarantined: BTreeSet<u32> = BTreeSet::new();
+    let mut breaker: BTreeMap<u32, Breaker> = BTreeMap::new();
+    // Per-device (issued, resolved) directive tallies.
+    let mut issued: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut resolved: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut verdict_mode: BTreeMap<u32, &'static str> = BTreeMap::new();
+    for &(at, ref event) in events {
+        // Packet-class events carry network arrival times that can lag
+        // the world clock; only the control plane promises order.
+        if event.class() == trace::EventClass::Control {
+            if at < last_at {
+                out.push(Violation { at_ns: at, device: 0, invariant: "trace-order" });
+            }
+            last_at = last_at.max(at);
+        }
+        match *event {
+            TraceEvent::SafetyViolation { device, invariant } => {
+                out.push(Violation { at_ns: at, device, invariant });
+            }
+            TraceEvent::QuarantineInstalled { device } if !quarantined.insert(device) => {
+                out.push(Violation { at_ns: at, device, invariant: "quarantine-reinstall" });
+            }
+            TraceEvent::QuarantineInstalled { .. } => {}
+            TraceEvent::UmboxExit { device, verdict } => {
+                if verdict == "fail-open" && quarantined.contains(&device) {
+                    out.push(Violation { at_ns: at, device, invariant: "post-quarantine-leak" });
+                }
+                if verdict == "fail-open" || verdict == "fail-closed" {
+                    let mode = verdict_mode.entry(device).or_insert(verdict);
+                    if *mode != verdict {
+                        out.push(Violation { at_ns: at, device, invariant: "mixed-failure-mode" });
+                    }
+                }
+            }
+            TraceEvent::BreakerTrip { device } => {
+                let state = breaker.entry(device).or_insert(Breaker::Closed);
+                if *state == Breaker::Open {
+                    out.push(Violation { at_ns: at, device, invariant: "breaker-fsm" });
+                }
+                *state = Breaker::Open;
+            }
+            TraceEvent::BreakerHalfOpen { device } => {
+                let state = breaker.entry(device).or_insert(Breaker::Closed);
+                if *state != Breaker::Open {
+                    out.push(Violation { at_ns: at, device, invariant: "breaker-fsm" });
+                }
+                *state = Breaker::Half;
+            }
+            TraceEvent::BreakerClose { device } => {
+                let state = breaker.entry(device).or_insert(Breaker::Closed);
+                if *state != Breaker::Half {
+                    out.push(Violation { at_ns: at, device, invariant: "breaker-fsm" });
+                }
+                *state = Breaker::Closed;
+            }
+            TraceEvent::DirectiveIssued { device, .. } => {
+                *issued.entry(device).or_insert(0) += 1;
+            }
+            TraceEvent::DirectiveDelivered { device, .. }
+            | TraceEvent::DirectiveDeduped { device }
+            | TraceEvent::DirectiveShed { device, .. }
+            | TraceEvent::AdmissionShed { device } => {
+                *resolved.entry(device).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    for (&device, &n) in &issued {
+        if n > resolved.get(&device).copied().unwrap_or(0) {
+            out.push(Violation { at_ns: last_at, device, invariant: "delivery-unquiesced" });
+        }
+    }
+    out.sort();
+    out
+}
+
+/// [`check_trace`] plus the fail-closed-deployment obligation: breaker
+/// trips (or anything else) must never fail a FailClosed chain *open* —
+/// a single `fail-open` µmbox verdict in the whole run is flagged as
+/// **`fail-open-in-fail-closed`**. Use on traces of deployments whose
+/// chaos config is fail-closed (the vet oracle's default arm).
+pub fn check_trace_fail_closed(events: &[(u64, TraceEvent)]) -> Vec<Violation> {
+    let mut out = check_trace(events);
+    for &(at, ref event) in events {
+        if let TraceEvent::UmboxExit { device, verdict: "fail-open" } = *event {
+            out.push(Violation { at_ns: at, device, invariant: "fail-open-in-fail-closed" });
+        }
+    }
+    out.sort();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +712,131 @@ mod tests {
         }
         assert!(m.stats().coverage_violations > 0, "still detects");
         assert_eq!(m.stats().quarantines, 0);
+    }
+
+    fn invariants(events: &[(u64, TraceEvent)]) -> Vec<&'static str> {
+        check_trace(events).into_iter().map(|v| v.invariant).collect()
+    }
+
+    #[test]
+    fn check_trace_passes_a_clean_stream() {
+        let events = vec![
+            (0, TraceEvent::DirectiveIssued { device: 1, kind: "launch" }),
+            (0, TraceEvent::DirectiveDelivered { device: 1, kind: "launch" }),
+            (5, TraceEvent::BreakerTrip { device: 1 }),
+            (9, TraceEvent::BreakerHalfOpen { device: 1 }),
+            (12, TraceEvent::BreakerClose { device: 1 }),
+            (15, TraceEvent::UmboxExit { device: 1, verdict: "pass" }),
+        ];
+        assert!(check_trace(&events).is_empty());
+    }
+
+    #[test]
+    fn check_trace_surfaces_monitor_violations_verbatim() {
+        let events =
+            vec![(3, TraceEvent::SafetyViolation { device: 4, invariant: "bounded-staleness" })];
+        let out = check_trace(&events);
+        assert_eq!(out, vec![Violation { at_ns: 3, device: 4, invariant: "bounded-staleness" }]);
+    }
+
+    #[test]
+    fn check_trace_rejects_time_travel() {
+        let events = vec![
+            (10, TraceEvent::UmboxRespawn { device: 1 }),
+            (5, TraceEvent::UmboxRespawn { device: 1 }),
+        ];
+        assert_eq!(invariants(&events), vec!["trace-order"]);
+    }
+
+    #[test]
+    fn check_trace_flags_quarantine_reinstall() {
+        let events = vec![
+            (1, TraceEvent::QuarantineInstalled { device: 2 }),
+            (2, TraceEvent::QuarantineInstalled { device: 2 }),
+        ];
+        assert_eq!(invariants(&events), vec!["quarantine-reinstall"]);
+    }
+
+    #[test]
+    fn check_trace_flags_post_quarantine_fail_open_flows() {
+        // Unfiltered traffic before quarantine is a coverage problem the
+        // monitor handles; *after* quarantine it is an edge-crossing
+        // leak the allow-list should have killed at the switch.
+        let events = vec![
+            (1, TraceEvent::UmboxExit { device: 3, verdict: "fail-open" }),
+            (2, TraceEvent::QuarantineInstalled { device: 3 }),
+            (3, TraceEvent::UmboxExit { device: 3, verdict: "fail-open" }),
+        ];
+        assert_eq!(
+            check_trace(&events),
+            vec![Violation { at_ns: 3, device: 3, invariant: "post-quarantine-leak" }]
+        );
+    }
+
+    #[test]
+    fn check_trace_enforces_the_breaker_state_machine() {
+        // Half-open without a preceding trip.
+        assert_eq!(
+            invariants(&[(1, TraceEvent::BreakerHalfOpen { device: 1 })]),
+            vec!["breaker-fsm"]
+        );
+        // Close without a half-open trial.
+        assert_eq!(
+            invariants(&[
+                (1, TraceEvent::BreakerTrip { device: 1 }),
+                (2, TraceEvent::BreakerClose { device: 1 }),
+            ]),
+            vec!["breaker-fsm"]
+        );
+        // Re-trip from half-open is legal.
+        assert!(check_trace(&[
+            (1, TraceEvent::BreakerTrip { device: 1 }),
+            (2, TraceEvent::BreakerHalfOpen { device: 1 }),
+            (3, TraceEvent::BreakerTrip { device: 1 }),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn check_trace_flags_mixed_failure_modes() {
+        let events = vec![
+            (1, TraceEvent::UmboxExit { device: 5, verdict: "fail-closed" }),
+            (2, TraceEvent::UmboxExit { device: 5, verdict: "fail-open" }),
+        ];
+        assert_eq!(invariants(&events), vec!["mixed-failure-mode"]);
+    }
+
+    #[test]
+    fn check_trace_requires_delivery_to_quiesce() {
+        let pending = vec![
+            (1, TraceEvent::DirectiveIssued { device: 1, kind: "launch" }),
+            (1, TraceEvent::DirectiveIssued { device: 2, kind: "launch" }),
+            (2, TraceEvent::DirectiveDelivered { device: 1, kind: "launch" }),
+        ];
+        assert_eq!(
+            check_trace(&pending),
+            vec![Violation { at_ns: 2, device: 2, invariant: "delivery-unquiesced" }]
+        );
+        // Shed, deduped and admission-shed all count as resolution.
+        let resolved = vec![
+            (1, TraceEvent::DirectiveIssued { device: 1, kind: "launch" }),
+            (1, TraceEvent::DirectiveIssued { device: 2, kind: "launch" }),
+            (1, TraceEvent::DirectiveIssued { device: 3, kind: "launch" }),
+            (2, TraceEvent::DirectiveShed { device: 1, criticality: "telemetry" }),
+            (2, TraceEvent::DirectiveDeduped { device: 2 }),
+            (2, TraceEvent::AdmissionShed { device: 3 }),
+        ];
+        assert!(check_trace(&resolved).is_empty());
+    }
+
+    #[test]
+    fn fail_closed_variant_rejects_any_fail_open_verdict() {
+        let events = vec![(4, TraceEvent::UmboxExit { device: 1, verdict: "fail-open" })];
+        assert!(check_trace(&events).is_empty());
+        assert_eq!(
+            check_trace_fail_closed(&events),
+            vec![Violation { at_ns: 4, device: 1, invariant: "fail-open-in-fail-closed" }]
+        );
     }
 
     #[test]

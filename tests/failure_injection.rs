@@ -29,10 +29,10 @@ fn slow_umbox_boot_leaves_a_protection_gap() {
         w.report()
     };
     let pooled = run(VmKind::UnikernelPooled);
-    assert!(pooled.privacy_leaked.is_empty(), "pooled boots in ~1.5ms: {}", pooled.summary());
+    assert!(!pooled.attack_reached_target(), "pooled boots in ~1.5ms: {}", pooled.summary());
     let fullvm = run(VmKind::FullVm);
     assert!(
-        !fullvm.privacy_leaked.is_empty(),
+        fullvm.attack_reached_target(),
         "a 15s VM boot must lose the race against an immediate strike: {}",
         fullvm.summary()
     );
@@ -56,7 +56,7 @@ fn full_vm_protects_once_booted() {
     let mut w = World::new(&d);
     w.run_until_attack_done(SimDuration::from_secs(120));
     let m = w.report();
-    assert!(m.privacy_leaked.is_empty(), "{}", m.summary());
+    assert!(!m.attack_reached_target(), "{}", m.summary());
 }
 
 /// A failed device uplink makes the device unreachable — for the
@@ -75,7 +75,7 @@ fn dead_uplink_blackholes_the_attack() {
     w.run_until_attack_done(SimDuration::from_secs(60));
     let m = w.report();
     assert!(!m.campaign_succeeded());
-    assert!(m.privacy_leaked.is_empty());
+    assert!(!m.attack_reached_target());
     assert!(w.net.stats.dropped_loss > 0);
 }
 
@@ -104,17 +104,13 @@ fn heavy_umboxes_exhaust_the_router() {
     let mut w = World::new(&build(VmKind::FullVm));
     w.run_until_attack_done(SimDuration::from_secs(600));
     let heavy = w.report();
-    assert!(
-        !heavy.privacy_leaked.is_empty(),
-        "3 unprotected cameras must leak: {}",
-        heavy.summary()
-    );
+    assert!(heavy.attack_reached_target(), "3 unprotected cameras must leak: {}", heavy.summary());
     assert!(heavy.privacy_leaked.len() <= 3, "{}", heavy.summary());
     // Pooled unikernels: 8 MiB each → everyone is covered.
     let mut w = World::new(&build(VmKind::UnikernelPooled));
     w.run_until_attack_done(SimDuration::from_secs(600));
     let light = w.report();
-    assert!(light.privacy_leaked.is_empty(), "{}", light.summary());
+    assert!(!light.attack_reached_target(), "{}", light.summary());
 }
 
 /// Reactive reconfiguration under sustained attack: the IDS ruleset
@@ -165,5 +161,5 @@ fn reconfiguration_never_drops_protection() {
         m.attack_outcomes.iter().filter(|o| o.label.starts_with("control")).collect();
     assert_eq!(strikes.len(), 10);
     assert!(strikes.iter().all(|o| !o.success), "{strikes:?}");
-    assert!(m.compromised.is_empty());
+    assert!(!m.attack_reached_target(), "{}", m.summary());
 }

@@ -1,0 +1,65 @@
+//! Regression replay of the checked-in minimal-repro corpus
+//! (`tests/repros/*.repro`, written by the E23 shrinker).
+//!
+//! Each artifact is a weakened-defense scenario the vet oracle once
+//! flagged, minimized by ddmin. Replaying it must (a) parse, (b) still
+//! violate, and (c) reproduce exactly the invariant labels recorded in
+//! the artifact's `# violation=` trailer — if a defense change ever
+//! *fixes* one of these repros, this test fails and the artifact should
+//! be regenerated or retired deliberately.
+
+use iotsec_fuzz::artifact;
+use iotsec_fuzz::oracle::defense_on_violations;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/repros");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/repros exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "repro"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "the repro corpus must not be empty");
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("repro file readable");
+            (name, text)
+        })
+        .collect()
+}
+
+/// The invariant labels recorded in the artifact's trailer comments.
+fn recorded_invariants(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .filter_map(|l| l.strip_prefix("# violation="))
+        .map(|rest| rest.split_whitespace().next().unwrap_or("").to_string())
+        .collect()
+}
+
+#[test]
+fn every_corpus_artifact_still_reproduces_its_violation() {
+    for (name, text) in corpus() {
+        let spec = artifact::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let violations = defense_on_violations(&spec);
+        assert!(!violations.is_empty(), "{name}: repro no longer violates");
+        let got: BTreeSet<String> = violations.iter().map(|v| v.invariant.to_string()).collect();
+        let recorded = recorded_invariants(&text);
+        assert!(!recorded.is_empty(), "{name}: artifact has no violation trailer");
+        assert_eq!(got, recorded, "{name}: violation set drifted from the recorded trailer");
+    }
+}
+
+#[test]
+fn corpus_artifacts_are_minimal_scale() {
+    // The shrinker's contract: a corpus repro is small enough to read.
+    for (name, text) in corpus() {
+        let spec = artifact::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(spec.devices.len() <= 3, "{name}: {} devices", spec.devices.len());
+        assert!(spec.faults.len() <= 2, "{name}: {} faults", spec.faults.len());
+    }
+}

@@ -75,6 +75,9 @@ proptest! {
         prop_assert_eq!(m.breaker_trips, 0);
         prop_assert_eq!(m.admission_shed, 0);
         prop_assert_eq!(m.delivery.shed_critical, 0);
+        // And silence is not surrender: the campaign still never
+        // reaches its target through the healthy enforcement path.
+        prop_assert!(!m.attack_reached_target(), "{}", m.summary());
     }
 
     /// Breaker transitions (trip → half-open → reclose) and every other

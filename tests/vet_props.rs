@@ -1,0 +1,103 @@
+//! E23 vet-layer properties: generated scenarios stay inside the
+//! grammar, artifacts round-trip, and every weakened-defense violation
+//! shrinks to a small, deterministic, replayable repro.
+
+use iotsec_fuzz::{
+    artifact, generate, run_oracle, shrink, GenConfig, ScenarioSpec, Verdict, Weakness,
+};
+use proptest::prelude::*;
+
+fn weakened() -> GenConfig {
+    GenConfig::weakened(Weakness::NoQuarantine)
+}
+
+/// The first weakened-family seed at or above `from` whose scenario the
+/// oracle flags. The weakened family violates often (quarantine
+/// escalation off, chains failing open), so the scan is short.
+fn first_violating_seed(from: u64) -> (u64, ScenarioSpec) {
+    let cfg = weakened();
+    for seed in from..from + 64 {
+        let spec = generate(seed, &cfg);
+        if run_oracle(&spec).verdict == Verdict::Violation {
+            return (seed, spec);
+        }
+    }
+    panic!("no violating weakened scenario in seeds {from}..{}", from + 64);
+}
+
+proptest! {
+    /// Every generated scenario — correct or weakened — renders to an
+    /// artifact that parses back to the identical spec.
+    #[test]
+    fn prop_artifacts_round_trip(seed in any::<u64>(), weak in any::<bool>()) {
+        let cfg = if weak { weakened() } else { GenConfig::default() };
+        let spec = generate(seed, &cfg);
+        let parsed = artifact::parse(&artifact::render(&spec)).expect("rendered artifact parses");
+        prop_assert_eq!(parsed, spec);
+    }
+
+    /// Known-injected violations (the weakened family) always shrink to
+    /// a small repro: at most 3 devices and at most 2 faults, and the
+    /// minimal spec still round-trips through its artifact.
+    #[test]
+    fn prop_weakened_violations_shrink_small(seed in 0u64..1000) {
+        let spec = generate(seed, &weakened());
+        let Some(repro) = shrink(&spec) else {
+            // This seed's scenario happens to survive the weakening;
+            // nothing to minimize.
+            return Ok(());
+        };
+        prop_assert!(
+            repro.spec.devices.len() <= 3,
+            "shrink left {} devices: {:?}",
+            repro.spec.devices.len(),
+            repro.spec
+        );
+        prop_assert!(
+            repro.spec.faults.len() <= 2,
+            "shrink left {} faults: {:?}",
+            repro.spec.faults.len(),
+            repro.spec
+        );
+        prop_assert!(!repro.violations.is_empty());
+        // The artifact (minus its `# violation=` trailer comments)
+        // parses back to exactly the minimal spec.
+        let parsed = artifact::parse(&repro.artifact).expect("repro artifact parses");
+        prop_assert_eq!(parsed, repro.spec);
+    }
+}
+
+/// The shrinker is a pure function of the spec: the same violating
+/// scenario minimizes to the byte-identical artifact on every rerun and
+/// on every thread.
+#[test]
+fn shrinking_is_deterministic_across_threads() {
+    let (_, spec) = first_violating_seed(0);
+    let reference = shrink(&spec).expect("scenario violates").artifact;
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let spec = spec.clone();
+            std::thread::spawn(move || shrink(&spec).expect("scenario violates").artifact)
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().expect("shrink thread"), reference);
+    }
+    assert_eq!(shrink(&spec).expect("scenario violates").artifact, reference);
+}
+
+/// Distinct violating seeds each shrink deterministically (rerun equals
+/// first run) — the minimality loop never samples anything outside the
+/// spec.
+#[test]
+fn shrinking_is_deterministic_across_seeds() {
+    let mut from = 0;
+    for _ in 0..3 {
+        let (seed, spec) = first_violating_seed(from);
+        let a = shrink(&spec).expect("violates");
+        let b = shrink(&spec).expect("violates");
+        assert_eq!(a.artifact, b.artifact, "seed {seed}");
+        assert_eq!(a.oracle_runs, b.oracle_runs, "seed {seed}");
+        from = seed + 1;
+    }
+}

@@ -20,7 +20,15 @@
 //! `BENCH_E19.json` (stable digests plus a `wall_ms`-marked volatile
 //! timing section) and exits non-zero if any state-space engine
 //! diverges from the serial packed reference — the CI state-space-gate
-//! job depends on that. The `e23` arm always writes `BENCH_E23.json`
+//! job depends on that. The `e21` arm always writes `BENCH_E21.json`
+//! (stable sweep digests, engine counters and the steady-state
+//! allocation verdict plus a `wall_ms` volatile timing section) and
+//! exits non-zero if any engine arm — legacy heap queue, packed wheel,
+//! serial or parallel — diverges from the packed-serial reference, or
+//! if the packed steady state allocates at all (this binary installs a
+//! counting global allocator so E21 can measure allocs/event for real)
+//! — the CI engine-gate job depends on that. The `e23` arm always
+//! writes `BENCH_E23.json`
 //! (stable campaign fingerprint and shrink statistics plus a `wall_ms`
 //! volatile line) and exits non-zero if the vet campaign finds a
 //! violation or a vacuous scenario, if the parallel sweep diverges from
@@ -29,12 +37,46 @@
 //! that.
 
 use iotsec_bench::{
-    exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_models, exp_perf, exp_pipeline, exp_policy,
-    exp_safety, exp_space, exp_trace, exp_umbox, exp_vet, exp_world, metrics,
+    exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_engine, exp_models, exp_perf, exp_pipeline,
+    exp_policy, exp_safety, exp_space, exp_trace, exp_umbox, exp_vet, exp_world, metrics,
 };
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 const SEED: u64 = 20151116; // HotNets '15, November 16
+
+/// Counting allocator: E21's steady-state probe reads this to pin
+/// allocs/event for real (the library crates are `#![forbid(unsafe_code)]`,
+/// so the counter lives in the binary, mirroring `tests/alloc_counter.rs`).
+/// Counts allocations and reallocations; frees are irrelevant to the
+/// zero-alloc claim.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 /// One experiment's JSON record. Every record carries the full field
 /// set; only E16 populates the engine counters.
@@ -136,6 +178,19 @@ fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
             println!("wrote {path}");
             return Some((report.states_total(), report.memo_hit_rate(), report.deterministic));
         }
+        "engine" | "e21" => {
+            let report = exp_engine::engine(&alloc_count);
+            report.table.print();
+            println!("{}", report.summary);
+            println!();
+            let path = "BENCH_E21.json";
+            std::fs::write(path, report.render_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path}");
+            return Some((report.events_total, report.cache_hit_rate(), report.deterministic));
+        }
         "vet" | "e23" => {
             let report = exp_vet::vet(SEED, threads);
             report.table.print();
@@ -180,6 +235,7 @@ const ALL: &[&str] = &[
     "trace",
     "safety",
     "space",
+    "engine",
     "vet",
 ];
 

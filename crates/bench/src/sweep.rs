@@ -114,7 +114,16 @@ impl WorldOutcome {
 /// Build and run one world job to completion (entirely on the calling
 /// thread — `World` never crosses a thread boundary).
 pub fn run_world_job(job: &WorldJob) -> WorldOutcome {
-    run_world_job_with(job, QueueKind::default(), Tracer::disabled())
+    run_world_job_with(job, QueueKind::default(), true, Tracer::disabled())
+}
+
+/// Run one world job on an explicit engine configuration: the event-queue
+/// backend plus the flow-table lookup engine (packed SoA probing vs the
+/// legacy field-by-field scan). Both configurations must produce
+/// identical outcomes — this is the hook the E21 benchmark's legacy arm
+/// uses to measure the pre-arena engine against the packed default.
+pub fn run_world_job_engine(job: &WorldJob, queue: QueueKind, packed_lookup: bool) -> WorldOutcome {
+    run_world_job_with(job, queue, packed_lookup, Tracer::disabled())
 }
 
 /// Run one world job with trace emission, returning the outcome and the
@@ -127,14 +136,20 @@ pub fn run_world_job_traced(
     config: TraceConfig,
 ) -> (WorldOutcome, String) {
     let tracer = Tracer::new(config);
-    let outcome = run_world_job_with(job, queue, tracer.clone());
+    let outcome = run_world_job_with(job, queue, true, tracer.clone());
     (outcome, tracer.to_jsonl())
 }
 
-fn run_world_job_with(job: &WorldJob, queue: QueueKind, tracer: Tracer) -> WorldOutcome {
+fn run_world_job_with(
+    job: &WorldJob,
+    queue: QueueKind,
+    packed_lookup: bool,
+    tracer: Tracer,
+) -> WorldOutcome {
     let (mut d, _) = scenario::scaled_home(job.scenario.defense(), job.seed, job.population);
     d.queue = queue;
     let mut w = World::new_traced(&d, tracer);
+    w.net.set_packed_lookup(packed_lookup);
     w.env.occupied = true;
     w.run_until_attack_done(SimDuration::from_secs(300));
     let m = w.report();

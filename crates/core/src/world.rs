@@ -235,6 +235,13 @@ pub struct World {
     breakers: Option<BreakerBank>,
     /// Whole-class recomputes refused by the admission controller.
     admission_shed: u64,
+    // --- per-tick scratch buffers (capacity reused across ticks) --------
+    /// Delivery buffer handed to [`Network::step_until_into`].
+    delivery_scratch: Vec<iotnet::net::Delivery>,
+    /// Environment snapshot handed to the control plane each tick.
+    env_scratch: Vec<(EnvVar, &'static str)>,
+    /// Per-device fact rows rebuilt for the safety monitor each tick.
+    facts_scratch: Vec<DeviceFacts>,
 }
 
 impl World {
@@ -303,7 +310,8 @@ impl World {
 
         // --- devices ------------------------------------------------------
         let mut devices = Vec::with_capacity(deployment.devices.len());
-        let mut entities = HashMap::new();
+        // Devices plus at most hub, attacker and victim endpoints.
+        let mut entities = HashMap::with_capacity(deployment.devices.len() + 3);
         let hub_ip = hub_ep.map(|ep| net.ip_of(ep));
         for (i, setup) in deployment.devices.iter().enumerate() {
             let ep = device_endpoints[i];
@@ -534,6 +542,9 @@ impl World {
             safety: None,
             breakers: None,
             admission_shed: 0,
+            delivery_scratch: Vec::new(),
+            env_scratch: Vec::with_capacity(EnvVar::ALL.len()),
+            facts_scratch: Vec::with_capacity(deployment.devices.len()),
         };
 
         if let Some(chaos) = &deployment.chaos {
@@ -758,9 +769,9 @@ impl World {
             }
         }
         if let Some(control) = &mut self.control {
-            let values: Vec<(EnvVar, &'static str)> =
-                EnvVar::ALL.iter().map(|v| (*v, denv.get(*v))).collect();
-            control.ingest_env(now, &values);
+            self.env_scratch.clear();
+            self.env_scratch.extend(EnvVar::ALL.iter().map(|v| (*v, denv.get(*v))));
+            control.ingest_env(now, &self.env_scratch);
         }
 
         // 4. Attacker.
@@ -773,15 +784,21 @@ impl World {
         }
 
         // 5. Drain the packet plane (replies can cascade within a tick).
+        // The delivery buffer is taken out of the world for the duration
+        // of each round (`route_delivery` needs `&mut self`) and put back
+        // with its capacity intact, so steady-state ticks never allocate.
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
         loop {
-            let deliveries = self.net.step_until(now);
+            deliveries.clear();
+            self.net.step_until_into(now, &mut deliveries);
             if deliveries.is_empty() {
                 break;
             }
-            for d in deliveries {
+            for d in deliveries.drain(..) {
                 self.route_delivery(d);
             }
         }
+        self.delivery_scratch = deliveries;
 
         // 6. Control plane: collect events, step, execute directives.
         let mut events = std::mem::take(&mut self.pending_events);
@@ -887,35 +904,36 @@ impl World {
     /// Gather per-device facts, run the safety monitor, and install the
     /// quarantine posture for any device it escalates.
     fn safety_tick(&mut self, now: SimTime) {
-        let facts: Vec<DeviceFacts> = (0..self.devices.len())
-            .map(|i| {
-                let device = DeviceId(i as u32);
-                let (protected, chain_down, fail_open, passed) = match self.chains.get(&device) {
-                    Some(slot) => {
-                        let chain = slot.chain.borrow();
-                        (
-                            true,
-                            chain.down,
-                            chain.failure_mode == FailureMode::FailOpen,
-                            chain.fail_open_passed,
-                        )
-                    }
-                    None => (false, false, false, 0),
-                };
-                DeviceFacts {
-                    device,
-                    class: self.devices[i].class,
-                    protected,
-                    chain_down,
-                    fail_open,
-                    fail_open_passed: passed,
+        let mut facts = std::mem::take(&mut self.facts_scratch);
+        facts.clear();
+        facts.extend((0..self.devices.len()).map(|i| {
+            let device = DeviceId(i as u32);
+            let (protected, chain_down, fail_open, passed) = match self.chains.get(&device) {
+                Some(slot) => {
+                    let chain = slot.chain.borrow();
+                    (
+                        true,
+                        chain.down,
+                        chain.failure_mode == FailureMode::FailOpen,
+                        chain.fail_open_passed,
+                    )
                 }
-            })
-            .collect();
+                None => (false, false, false, 0),
+            };
+            DeviceFacts {
+                device,
+                class: self.devices[i].class,
+                protected,
+                chain_down,
+                fail_open,
+                fail_open_passed: passed,
+            }
+        }));
         let ctl_down = self.control.as_ref().is_some_and(|c| c.is_down(now));
         let fingerprint = self.control.as_ref().map_or(0, |c| c.installed_fingerprint());
         let newly =
             self.safety.as_mut().expect("caller checked").tick(now, ctl_down, fingerprint, &facts);
+        self.facts_scratch = facts;
         for device in newly {
             self.install_quarantine(device);
         }

@@ -240,18 +240,50 @@ pub enum AppMessage {
 
 // ---- tag constants -------------------------------------------------------
 
-const T_MGMT_LOGIN: u8 = 1;
-const T_MGMT_LOGIN_OK: u8 = 2;
-const T_MGMT_DENIED: u8 = 3;
-const T_MGMT_COMMAND: u8 = 4;
-const T_MGMT_RESULT: u8 = 5;
-const T_CONTROL: u8 = 6;
-const T_CONTROL_ACK: u8 = 7;
-const T_TELEMETRY: u8 = 8;
-const T_EVENT: u8 = 9;
-const T_DNS_QUERY: u8 = 10;
-const T_DNS_RESPONSE: u8 = 11;
-const T_CLOUD_COMMAND: u8 = 12;
+/// Wire tags: the first byte of every encoded [`AppMessage`] names its
+/// variant. Public so payload inspectors (the IDS signature pre-filters)
+/// can reject non-candidate packets on one byte compare before paying for
+/// a full decode; [`AppMessage::decode`] succeeding for a variant implies
+/// the payload's first byte is that variant's tag.
+pub mod tag {
+    /// `AppMessage::MgmtLogin`.
+    pub const MGMT_LOGIN: u8 = 1;
+    /// `AppMessage::MgmtLoginOk`.
+    pub const MGMT_LOGIN_OK: u8 = 2;
+    /// `AppMessage::MgmtDenied`.
+    pub const MGMT_DENIED: u8 = 3;
+    /// `AppMessage::MgmtCommand`.
+    pub const MGMT_COMMAND: u8 = 4;
+    /// `AppMessage::MgmtResult`.
+    pub const MGMT_RESULT: u8 = 5;
+    /// `AppMessage::Control`.
+    pub const CONTROL: u8 = 6;
+    /// `AppMessage::ControlAck`.
+    pub const CONTROL_ACK: u8 = 7;
+    /// `AppMessage::Telemetry`.
+    pub const TELEMETRY: u8 = 8;
+    /// `AppMessage::Event`.
+    pub const EVENT: u8 = 9;
+    /// `AppMessage::DnsQuery`.
+    pub const DNS_QUERY: u8 = 10;
+    /// `AppMessage::DnsResponse`.
+    pub const DNS_RESPONSE: u8 = 11;
+    /// `AppMessage::CloudCommand`.
+    pub const CLOUD_COMMAND: u8 = 12;
+}
+
+const T_MGMT_LOGIN: u8 = tag::MGMT_LOGIN;
+const T_MGMT_LOGIN_OK: u8 = tag::MGMT_LOGIN_OK;
+const T_MGMT_DENIED: u8 = tag::MGMT_DENIED;
+const T_MGMT_COMMAND: u8 = tag::MGMT_COMMAND;
+const T_MGMT_RESULT: u8 = tag::MGMT_RESULT;
+const T_CONTROL: u8 = tag::CONTROL;
+const T_CONTROL_ACK: u8 = tag::CONTROL_ACK;
+const T_TELEMETRY: u8 = tag::TELEMETRY;
+const T_EVENT: u8 = tag::EVENT;
+const T_DNS_QUERY: u8 = tag::DNS_QUERY;
+const T_DNS_RESPONSE: u8 = tag::DNS_RESPONSE;
+const T_CLOUD_COMMAND: u8 = tag::CLOUD_COMMAND;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u16(s.len() as u16);

@@ -7,9 +7,9 @@
 //! [`AttackSignature::to_json`]/[`AttackSignature::from_json`] — that is
 //! the wire format of the repository.
 
-use iotdev::proto::{ports, AppMessage, ControlAuth};
+use iotdev::proto::{ports, tag, AppMessage, ControlAuth};
 use iotdev::registry::Sku;
-use iotnet::packet::Packet;
+use iotnet::packet::{PackedHeaders, Packet};
 use serde::{Deserialize, Serialize};
 
 /// How bad a match is.
@@ -97,6 +97,62 @@ impl Matcher {
             Matcher::MatchAll => false,
             Matcher::PayloadContains(needle) => !needle.is_empty(),
             _ => true,
+        }
+    }
+
+    /// The cheapest necessary condition for this matcher — the IDS runs it
+    /// against the packed header words and the first payload byte before
+    /// paying for a full [`AppMessage`] decode. See [`Prefilter`].
+    pub fn prefilter(&self) -> Prefilter {
+        match self {
+            Matcher::DefaultCredLogin { .. } => Prefilter::Tag(tag::MGMT_LOGIN),
+            Matcher::MgmtFromExternal => Prefilter::MgmtExternal,
+            Matcher::KeyAuthControl { .. } => Prefilter::Tag(tag::CONTROL),
+            Matcher::UnauthenticatedControl => Prefilter::Tag(tag::CONTROL),
+            Matcher::CloudCommand => Prefilter::Tag(tag::CLOUD_COMMAND),
+            Matcher::RecursiveDnsFromExternal => Prefilter::TagAndExternalSrc(tag::DNS_QUERY),
+            Matcher::PayloadContains(_) | Matcher::MatchAll => Prefilter::Always,
+        }
+    }
+}
+
+/// A constant-time *necessary* condition for [`Matcher::matches`], checked
+/// against the packed header words ([`PackedHeaders`]) and the first
+/// payload byte — no decode, no allocation.
+///
+/// Soundness rests on the wire format: [`AppMessage::encode`] writes the
+/// variant's tag byte first, so a successful decode to variant `V` implies
+/// `payload[0] == tag(V)`. A prefilter may therefore *admit* packets the
+/// full matcher rejects (it is a screen, not a decision), but it never
+/// rejects a packet the matcher would flag — the IDS still runs the full
+/// matcher on admitted packets, keeping counters and security events
+/// byte-identical to an unscreened run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prefilter {
+    /// Payload must start with this [`AppMessage`] wire tag.
+    Tag(u8),
+    /// Wire tag plus a non-RFC1918 source address.
+    TagAndExternalSrc(u8),
+    /// Management-port destination and a non-RFC1918 source (the matcher
+    /// never decodes, so neither does the screen).
+    MgmtExternal,
+    /// No cheap screen exists — always run the full matcher.
+    Always,
+}
+
+impl Prefilter {
+    /// Whether the packet survives the screen and the full matcher must run.
+    #[inline]
+    pub fn admits(&self, headers: &PackedHeaders, payload: &[u8]) -> bool {
+        match *self {
+            Prefilter::Tag(t) => payload.first() == Some(&t),
+            Prefilter::TagAndExternalSrc(t) => {
+                payload.first() == Some(&t) && !headers.ip_src().is_private()
+            }
+            Prefilter::MgmtExternal => {
+                headers.dst_port() == ports::MGMT && !headers.ip_src().is_private()
+            }
+            Prefilter::Always => true,
         }
     }
 }
@@ -563,6 +619,58 @@ mod tests {
         assert!(!Matcher::PayloadContains(vec![]).is_selective());
         assert!(!Matcher::PayloadContains(vec![]).matches(&hit));
         assert!(Matcher::MatchAll.matches(&hit));
+    }
+
+    #[test]
+    fn prefilter_admits_whenever_matcher_fires() {
+        // The screen is a necessary condition: over every matcher × a
+        // battery of packets (hits and misses alike), matches ⇒ admits.
+        let matchers = vec![
+            Matcher::DefaultCredLogin { user: "admin".into(), pass: "admin".into() },
+            Matcher::MgmtFromExternal,
+            Matcher::KeyAuthControl { key: 42 },
+            Matcher::UnauthenticatedControl,
+            Matcher::CloudCommand,
+            Matcher::RecursiveDnsFromExternal,
+            Matcher::PayloadContains(b"admin".to_vec()),
+            Matcher::MatchAll,
+        ];
+        let msgs = vec![
+            AppMessage::MgmtLogin { user: "admin".into(), pass: "admin".into() },
+            AppMessage::MgmtLogin { user: "owner".into(), pass: "x".into() },
+            AppMessage::Control { action: ControlAction::Open, auth: ControlAuth::Key(42) },
+            AppMessage::Control { action: ControlAction::Open, auth: ControlAuth::None },
+            AppMessage::CloudCommand { action: ControlAction::Open },
+            AppMessage::DnsQuery { name: "x.example".into(), recursion: true },
+            AppMessage::DnsQuery { name: "x.example".into(), recursion: false },
+            AppMessage::Telemetry { kind: iotdev::proto::TelemetryKind::Power, value: 2.0 },
+        ];
+        let mut packets = Vec::new();
+        for msg in &msgs {
+            for src in [LAN, WAN] {
+                for port in [ports::MGMT, ports::CONTROL, ports::DNS, ports::CLOUD] {
+                    packets.push(pkt_with(src, port, msg));
+                }
+            }
+        }
+        // Undecodable payloads exercise the same implication trivially.
+        let mut garbled = pkt_with(WAN, ports::MGMT, &msgs[0]);
+        garbled.payload = bytes::Bytes::from_static(b"\xff junk");
+        packets.push(garbled);
+        let mut fired = 0;
+        for m in &matchers {
+            let pf = m.prefilter();
+            for p in &packets {
+                if m.matches(p) {
+                    fired += 1;
+                    assert!(
+                        pf.admits(&p.packed_headers(), &p.payload),
+                        "{m:?} matched a packet its prefilter rejected"
+                    );
+                }
+            }
+        }
+        assert!(fired > 10, "battery too weak: only {fired} matcher hits");
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //!   with a binary-heap overflow tier. Near-future events (the common case:
 //!   link latencies and µmbox detours are microseconds to milliseconds) go
 //!   into O(1) wheel slots; events beyond the wheel's horizon wait in the
-//!   overflow heap and are cascaded in when the wheel advances.
+//!   overflow heap and are cascaded in when the wheel advances. Event
+//!   payloads live in a slab [`EventArena`] with generational indices:
+//!   the wheel slots and heaps move only plain `u32` [`EventHandle`]s
+//!   (24-byte tickets), freed slots recycle through an intrusive free
+//!   list, and the steady state allocates nothing (pinned by
+//!   `tests/alloc_counter.rs`).
 //! * [`HeapEventQueue`] — the original `BinaryHeap` queue, kept as the
 //!   reference implementation. Property tests assert the wheel delivers
 //!   the exact same event order on randomized schedules.
@@ -19,6 +24,189 @@
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// A generational handle into an [`EventArena`]: the low 24 bits are the
+/// slot index, the high 8 bits the slot's generation at insertion time.
+/// Accessing a slot after its event was removed fails (`None`) rather
+/// than silently yielding a different event — the generation check turns
+/// use-after-free into a detected error. (The 8-bit generation wraps
+/// after 256 reuses of one slot; a handle held across exactly a multiple
+/// of 256 recycles would alias. The engine never holds handles across
+/// pops, and the proptests in `tests/packed_net_props.rs` pin the
+/// detection behavior.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u32);
+
+/// Bits of an [`EventHandle`] carrying the slot index.
+const HANDLE_INDEX_BITS: u32 = 24;
+/// Free-list terminator (also the max representable index, reserved).
+const HANDLE_NIL: u32 = (1 << HANDLE_INDEX_BITS) - 1;
+
+impl EventHandle {
+    fn new(index: u32, generation: u8) -> EventHandle {
+        EventHandle((u32::from(generation) << HANDLE_INDEX_BITS) | index)
+    }
+
+    /// The raw packed word (index | generation), for diagnostics.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    fn index(self) -> u32 {
+        self.0 & HANDLE_NIL
+    }
+
+    fn generation(self) -> u8 {
+        (self.0 >> HANDLE_INDEX_BITS) as u8
+    }
+}
+
+enum SlotState<E> {
+    Occupied(E),
+    Free { next: u32 },
+}
+
+struct ArenaSlot<E> {
+    generation: u8,
+    state: SlotState<E>,
+}
+
+/// A slab of event payloads addressed by generational [`EventHandle`]s.
+///
+/// Freed slots recycle through an intrusive free list threaded through
+/// the `Free` variant, so a warm arena inserts and removes without
+/// touching the allocator. Capacity grows only when every slot is
+/// occupied (amortized, and avoidable entirely via
+/// [`EventArena::with_capacity`]).
+pub struct EventArena<E> {
+    slots: Vec<ArenaSlot<E>>,
+    free_head: u32,
+    len: usize,
+}
+
+impl<E> Default for EventArena<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventArena<E> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        EventArena { slots: Vec::new(), free_head: HANDLE_NIL, len: 0 }
+    }
+
+    /// An empty arena with room for `cap` events before any growth.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventArena { slots: Vec::with_capacity(cap), free_head: HANDLE_NIL, len: 0 }
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots the arena can hold before growing.
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// Store `event`, returning its handle. Reuses a freed slot when one
+    /// is available; otherwise appends (the only allocating path).
+    ///
+    /// # Panics
+    /// If the arena holds 2^24 − 1 live events (the index space of the
+    /// packed handle) — far beyond any simulated pending-event count.
+    pub fn insert(&mut self, event: E) -> EventHandle {
+        self.len += 1;
+        if self.free_head != HANDLE_NIL {
+            let index = self.free_head;
+            let slot = &mut self.slots[index as usize];
+            match slot.state {
+                SlotState::Free { next } => self.free_head = next,
+                SlotState::Occupied(_) => unreachable!("free list points at occupied slot"),
+            }
+            slot.state = SlotState::Occupied(event);
+            EventHandle::new(index, slot.generation)
+        } else {
+            let index = self.slots.len() as u32;
+            assert!(index < HANDLE_NIL, "event arena exhausted its 24-bit index space");
+            self.slots.push(ArenaSlot { generation: 0, state: SlotState::Occupied(event) });
+            EventHandle::new(index, 0)
+        }
+    }
+
+    /// The event behind `handle`, or `None` if the handle is stale (its
+    /// slot was freed or recycled) or out of range.
+    pub fn get(&self, handle: EventHandle) -> Option<&E> {
+        let slot = self.slots.get(handle.index() as usize)?;
+        match &slot.state {
+            SlotState::Occupied(e) if slot.generation == handle.generation() => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Remove and return the event behind `handle`; `None` if the handle
+    /// is stale or out of range. The slot's generation bumps so every
+    /// outstanding copy of the handle becomes stale, and the slot joins
+    /// the free list for reuse.
+    pub fn remove(&mut self, handle: EventHandle) -> Option<E> {
+        let index = handle.index() as usize;
+        let slot = self.slots.get_mut(index)?;
+        if slot.generation != handle.generation() || !matches!(slot.state, SlotState::Occupied(_)) {
+            return None;
+        }
+        let state = std::mem::replace(&mut slot.state, SlotState::Free { next: self.free_head });
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free_head = handle.index();
+        self.len -= 1;
+        match state {
+            SlotState::Occupied(e) => Some(e),
+            SlotState::Free { .. } => unreachable!("checked occupied above"),
+        }
+    }
+
+    /// Drop every live event and rebuild the free list.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free_head = HANDLE_NIL;
+        self.len = 0;
+    }
+}
+
+/// A wheel/heap ticket: the ordering key plus the arena handle of the
+/// event payload. 24 bytes and `Copy`, so slot vectors and heaps shuffle
+/// words instead of event payloads.
+#[derive(Clone, Copy)]
+struct Ticket {
+    at: SimTime,
+    seq: u64,
+    handle: EventHandle,
+}
+
+impl PartialEq for Ticket {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Ticket {}
+impl PartialOrd for Ticket {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ticket {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Same inverted (at, seq) key as `Entry`: earliest first, FIFO
+        // ties — the pop order is identical to the pre-arena queue.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
 
 struct Entry<E> {
     at: SimTime,
@@ -60,19 +248,30 @@ fn level_shift(level: usize) -> u32 {
 
 /// A time-ordered, FIFO-stable event queue backed by a hierarchical timer
 /// wheel with a heap overflow tier.
+///
+/// Event payloads live in an [`EventArena`]; the wheel slots and both
+/// heaps move 24-byte [`Ticket`]s (ordering key + generational handle)
+/// only. Slot vectors, heaps and arena slots all retain their capacity
+/// across drains, so a warm queue schedules and pops with zero
+/// allocations.
 pub struct EventQueue<E> {
-    /// `levels[l][slot]` holds entries whose delivery time falls in that
+    /// Slab storage for the scheduled event payloads.
+    arena: EventArena<E>,
+    /// `levels[l][slot]` holds tickets whose delivery time falls in that
     /// slot of level `l`. Slot vectors are unsorted; a slot is sorted once,
     /// when it becomes due, by draining it into `ready`.
-    levels: Vec<Vec<Vec<Entry<E>>>>,
-    /// Entries per level, to skip empty levels in O(1).
+    levels: Vec<Vec<Vec<Ticket>>>,
+    /// Tickets per level, to skip empty levels in O(1).
     level_len: [usize; LEVELS],
-    /// Entries beyond the wheel's span, earliest first.
-    overflow: BinaryHeap<Entry<E>>,
-    /// The due set: every entry at or before the current level-0 slot,
+    /// Tickets beyond the wheel's span, earliest first.
+    overflow: BinaryHeap<Ticket>,
+    /// The due set: every ticket at or before the current level-0 slot,
     /// ordered by `(at, seq)`. Popping drains this heap; it is refilled by
     /// advancing the wheel cursor.
-    ready: BinaryHeap<Entry<E>>,
+    ready: BinaryHeap<Ticket>,
+    /// Reusable buffer for cascading a higher-level slot (capacity is
+    /// retained across cascades so re-placing allocates nothing).
+    cascade_scratch: Vec<Ticket>,
     /// Start (ns) of the level-0 slot currently feeding `ready`.
     cursor: u64,
     len: usize,
@@ -97,11 +296,20 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue pre-sized for `cap` pending events: the arena, the
+    /// due heap and the cascade scratch reserve up front, so a workload
+    /// that never exceeds `cap` pending events never grows them.
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
+            arena: EventArena::with_capacity(cap),
             levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
             level_len: [0; LEVELS],
             overflow: BinaryHeap::new(),
-            ready: BinaryHeap::new(),
+            ready: BinaryHeap::with_capacity(cap),
+            cascade_scratch: Vec::new(),
             cursor: 0,
             len: 0,
             next_seq: 0,
@@ -135,11 +343,12 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
-        self.place(Entry { at, seq, event });
+        let handle = self.arena.insert(event);
+        self.place(Ticket { at, seq, handle });
     }
 
-    /// Route an entry to the due set, a wheel slot, or the overflow tier.
-    fn place(&mut self, entry: Entry<E>) {
+    /// Route a ticket to the due set, a wheel slot, or the overflow tier.
+    fn place(&mut self, entry: Ticket) {
         let ns = entry.at.as_nanos();
         // At or before the slot currently being drained: it is due now.
         // (This also catches clock-clamped entries "behind" the cursor.)
@@ -178,12 +387,13 @@ impl<E> EventQueue<E> {
                 let start = (self.cursor >> GRAN_BITS) as usize & (SLOTS - 1);
                 for slot in start..SLOTS {
                     if !self.levels[0][slot].is_empty() {
-                        let drained = std::mem::take(&mut self.levels[0][slot]);
-                        self.level_len[0] -= drained.len();
+                        self.level_len[0] -= self.levels[0][slot].len();
                         // Align the cursor with the drained slot.
                         let window = self.cursor >> (GRAN_BITS + SLOT_BITS);
                         self.cursor = (window << SLOT_BITS | slot as u64) << GRAN_BITS;
-                        self.ready.extend(drained);
+                        // Drain in place: the slot vector keeps its
+                        // capacity for the wheel's next lap.
+                        self.ready.extend(self.levels[0][slot].drain(..));
                         return;
                     }
                 }
@@ -205,13 +415,18 @@ impl<E> EventQueue<E> {
                     if self.levels[level][slot].is_empty() {
                         continue;
                     }
-                    let drained = std::mem::take(&mut self.levels[level][slot]);
-                    self.level_len[level] -= drained.len();
+                    self.level_len[level] -= self.levels[level][slot].len();
                     let window = self.cursor >> (shift + SLOT_BITS);
                     self.cursor = (window << SLOT_BITS | slot as u64) << shift;
-                    for e in drained {
+                    // Move the tickets through the reusable scratch (both
+                    // vectors retain capacity) and re-place them against
+                    // the moved cursor.
+                    let mut scratch = std::mem::take(&mut self.cascade_scratch);
+                    scratch.append(&mut self.levels[level][slot]);
+                    for e in scratch.drain(..) {
                         self.place(e);
                     }
+                    self.cascade_scratch = scratch;
                     cascaded = true;
                     break;
                 }
@@ -287,7 +502,11 @@ impl<E> EventQueue<E> {
         self.len -= 1;
         self.processed += 1;
         self.now = entry.at;
-        Some((entry.at, entry.event))
+        let event = self
+            .arena
+            .remove(entry.handle)
+            .expect("every ticket in the wheel maps to a live arena slot");
+        Some((entry.at, event))
     }
 
     /// Pop the next event only if it is due at or before `deadline`.
@@ -310,6 +529,7 @@ impl<E> EventQueue<E> {
         self.level_len = [0; LEVELS];
         self.overflow.clear();
         self.ready.clear();
+        self.arena.clear();
         self.len = 0;
     }
 }
@@ -333,7 +553,17 @@ impl<E> Default for HeapEventQueue<E> {
 impl<E> HeapEventQueue<E> {
     /// An empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        HeapEventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO, processed: 0 }
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue whose heap is pre-sized for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        HeapEventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
     }
 
     /// The current clock.
@@ -435,9 +665,16 @@ impl<E> std::fmt::Debug for AnyEventQueue<E> {
 impl<E> AnyEventQueue<E> {
     /// An empty queue on the requested backend.
     pub fn new(kind: QueueKind) -> Self {
+        Self::with_capacity(kind, 0)
+    }
+
+    /// An empty queue on the requested backend, pre-sized for `cap`
+    /// pending events (arena + due heap for the wheel, the heap itself
+    /// for the reference backend).
+    pub fn with_capacity(kind: QueueKind, cap: usize) -> Self {
         match kind {
-            QueueKind::Wheel => AnyEventQueue::Wheel(EventQueue::new()),
-            QueueKind::Heap => AnyEventQueue::Heap(HeapEventQueue::new()),
+            QueueKind::Wheel => AnyEventQueue::Wheel(EventQueue::with_capacity(cap)),
+            QueueKind::Heap => AnyEventQueue::Heap(HeapEventQueue::with_capacity(cap)),
         }
     }
 
@@ -515,6 +752,55 @@ impl<E> AnyEventQueue<E> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn arena_insert_get_remove_round_trip() {
+        let mut a = EventArena::new();
+        let h1 = a.insert("one");
+        let h2 = a.insert("two");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(h1), Some(&"one"));
+        assert_eq!(a.get(h2), Some(&"two"));
+        assert_eq!(a.remove(h1), Some("one"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(h1), None, "freed slot must not resolve");
+        assert_eq!(a.remove(h1), None, "double free is an error, not a steal");
+        assert_eq!(a.remove(h2), Some("two"));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn arena_recycles_slots_and_detects_stale_handles() {
+        let mut a = EventArena::new();
+        let h1 = a.insert(10u32);
+        assert_eq!(a.remove(h1), Some(10));
+        // The freed slot is reused (intrusive free list), under a new
+        // generation: the old handle stays dead.
+        let h2 = a.insert(20);
+        assert_eq!(h2.index(), h1.index());
+        assert_ne!(h2.generation(), h1.generation());
+        assert_eq!(a.get(h1), None);
+        assert_eq!(a.remove(h1), None);
+        assert_eq!(a.get(h2), Some(&20));
+        // Capacity did not grow past the single recycled slot.
+        assert_eq!(a.slots.len(), 1);
+    }
+
+    #[test]
+    fn arena_free_list_is_lifo_over_many_slots() {
+        let mut a = EventArena::new();
+        let handles: Vec<_> = (0..8u32).map(|i| a.insert(i)).collect();
+        for h in &handles {
+            assert!(a.remove(*h).is_some());
+        }
+        // Reinsertion pops the free list (most recently freed first) and
+        // never grows the slot vector.
+        for i in 0..8u32 {
+            let h = a.insert(100 + i);
+            assert_eq!(h.index(), handles[7 - i as usize].index());
+        }
+        assert_eq!(a.slots.len(), 8);
+    }
 
     #[test]
     fn delivers_in_time_order() {

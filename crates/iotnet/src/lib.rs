@@ -47,12 +47,12 @@ pub mod time;
 pub mod topology;
 
 pub use addr::{EndpointId, Ipv4Addr, MacAddr, NodeId, PortNo, SwitchId};
-pub use engine::EventQueue;
+pub use engine::{EventArena, EventHandle, EventQueue};
 pub use faults::{FaultScheduler, NetFault};
-pub use flow::{FlowAction, FlowMatch, FlowRule, FlowTable};
+pub use flow::{FlowAction, FlowMatch, FlowRule, FlowTable, PackedFlowKey};
 pub use link::{Link, LinkParams};
-pub use net::{Delivery, InlineProcessor, InlineVerdict, Network, SteerHandle};
-pub use packet::{EthernetHeader, Ipv4Header, Packet, TransportHeader};
+pub use net::{Delivery, ForwardList, InlineProcessor, InlineVerdict, Network, SteerHandle};
+pub use packet::{EthernetHeader, Ipv4Header, PackedHeaders, Packet, TransportHeader};
 pub use switch::Switch;
 pub use time::{SimDuration, SimTime};
 pub use topology::{Topology, TopologyBuilder};

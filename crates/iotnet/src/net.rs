@@ -42,13 +42,80 @@ pub struct Delivery {
     pub packet: Packet,
 }
 
+/// Packets surviving inline processing, stored inline for the dominant
+/// verdicts. *Pass* (one packet) and *drop* (none) never touch the heap;
+/// only multi-packet verdicts — a proxy answering with several replies —
+/// spill to a `Vec`. This keeps the steered steady state allocation-free.
+#[derive(Debug, Default)]
+pub struct ForwardList {
+    one: Option<Packet>,
+    rest: Vec<Packet>,
+}
+
+impl ForwardList {
+    /// An empty list (the drop verdict).
+    pub fn new() -> ForwardList {
+        ForwardList::default()
+    }
+
+    /// A single-packet list (the pass verdict), allocation-free.
+    pub fn one(pkt: Packet) -> ForwardList {
+        ForwardList { one: Some(pkt), rest: Vec::new() }
+    }
+
+    /// Append a packet (the first stays inline).
+    pub fn push(&mut self, pkt: Packet) {
+        match self.one {
+            None if self.rest.is_empty() => self.one = Some(pkt),
+            _ => self.rest.push(pkt),
+        }
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        usize::from(self.one.is_some()) + self.rest.len()
+    }
+
+    /// Whether no packets survived (the drop verdict).
+    pub fn is_empty(&self) -> bool {
+        self.one.is_none() && self.rest.is_empty()
+    }
+
+    /// Iterate over the packets in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Packet> {
+        self.one.iter().chain(self.rest.iter())
+    }
+}
+
+impl From<Vec<Packet>> for ForwardList {
+    fn from(v: Vec<Packet>) -> ForwardList {
+        ForwardList { one: None, rest: v }
+    }
+}
+
+impl IntoIterator for ForwardList {
+    type Item = Packet;
+    type IntoIter = std::iter::Chain<std::option::IntoIter<Packet>, std::vec::IntoIter<Packet>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.one.into_iter().chain(self.rest)
+    }
+}
+
+impl<'a> IntoIterator for &'a ForwardList {
+    type Item = &'a Packet;
+    type IntoIter = std::iter::Chain<std::option::Iter<'a, Packet>, std::slice::Iter<'a, Packet>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.one.iter().chain(self.rest.iter())
+    }
+}
+
 /// Outcome of inline processing: packets to keep forwarding (empty = drop)
 /// plus the processing latency the detour added.
 #[derive(Debug)]
 pub struct InlineVerdict {
     /// Packets that continue from the steer switch (the original, a
     /// modified copy, a proxy reply toward the source — or nothing).
-    pub forward: Vec<Packet>,
+    pub forward: ForwardList,
     /// Processing latency added by the µmbox itself.
     pub latency: SimDuration,
 }
@@ -56,12 +123,12 @@ pub struct InlineVerdict {
 impl InlineVerdict {
     /// Forward the packet unchanged with the given processing latency.
     pub fn pass(pkt: Packet, latency: SimDuration) -> InlineVerdict {
-        InlineVerdict { forward: vec![pkt], latency }
+        InlineVerdict { forward: ForwardList::one(pkt), latency }
     }
 
     /// Drop the packet.
     pub fn drop(latency: SimDuration) -> InlineVerdict {
-        InlineVerdict { forward: Vec::new(), latency }
+        InlineVerdict { forward: ForwardList::new(), latency }
     }
 }
 
@@ -148,15 +215,29 @@ impl Network {
         let switches = (0..topo.switch_count())
             .map(|i| Switch::new(SwitchId(i as u32), topo.ports_of(SwitchId(i as u32))))
             .collect();
+        // Pre-size the event arena for the typical in-flight load — a few
+        // packets per endpoint plus inter-switch hops — so the warm-up
+        // phase fills capacity once and the steady state never reallocates.
+        let in_flight = (topo.endpoint_count() * 4 + topo.switch_count() * 2).max(64);
         Network {
             topo,
             switches,
-            queue: AnyEventQueue::new(kind),
+            queue: AnyEventQueue::with_capacity(kind, in_flight),
             steer: std::collections::HashMap::new(),
             deliveries: Vec::new(),
             capture: Capture::new(65_536),
             rng: StdRng::seed_from_u64(seed ^ 0x006e_6574_776f_726b_u64),
             stats: NetStats::default(),
+        }
+    }
+
+    /// Select the flow-table lookup engine on every switch: packed-key
+    /// SoA probing (`true`, the default) or the legacy field-by-field
+    /// scan (`false`). Both return identical decisions — this is the
+    /// toggle the E21 benchmark's legacy arm uses.
+    pub fn set_packed_lookup(&mut self, on: bool) {
+        for sw in &mut self.switches {
+            sw.table.set_packed_lookup(on);
         }
     }
 
@@ -263,6 +344,15 @@ impl Network {
     /// Process queued events up to and including `deadline`, returning the
     /// packets delivered to endpoints in time order.
     pub fn step_until(&mut self, deadline: SimTime) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        self.step_until_into(deadline, &mut out);
+        out
+    }
+
+    /// [`Network::step_until`] appending into a caller-owned buffer, so a
+    /// driver loop can reuse one `Vec`'s capacity across ticks instead of
+    /// allocating a fresh delivery vector per step.
+    pub fn step_until_into(&mut self, deadline: SimTime, out: &mut Vec<Delivery>) {
         while let Some((at, ev)) = self.queue.pop_until(deadline) {
             match ev {
                 NetEvent::AtSwitch { sw, in_port, pkt } => {
@@ -279,7 +369,7 @@ impl Network {
                 }
             }
         }
-        std::mem::take(&mut self.deliveries)
+        out.append(&mut self.deliveries);
     }
 
     /// Whether any events remain queued.

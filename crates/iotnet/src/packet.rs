@@ -415,6 +415,148 @@ impl Packet {
     }
 }
 
+/// All three packet headers packed into two `u128` words plus a `u32`
+/// side word, in the bit-field register style the E19 packed-state
+/// engine (and the arm-sysregs idiom it borrows) uses: the hot paths —
+/// flow-key extraction, signature pre-filters, switch forwarding —
+/// compare and mask whole words instead of walking three structs.
+///
+/// Layout (high bit → low bit):
+///
+/// ```text
+/// a: | eth_dst 48 | eth_src 48 | ethertype 16 | ttl 8 | dscp 8 |
+/// b: | ip_src 32 | ip_dst 32 | total_len 16 | src_port 16
+///    | dst_port 16 | protocol 8 | kind 1 (pad 2) | tcp flags 5 |
+/// seq: TCP sequence number (0 for UDP)
+/// ```
+///
+/// The encoding is a **total bijection** with
+/// `(EthernetHeader, Ipv4Header, TransportHeader)` — 286 raw header bits
+/// do not fit two words, hence the `seq` side word — so
+/// [`PackedHeaders::unpack`] reconstructs the exact structs for the
+/// trace layer and the wire codec ([`From`]/[`Into`] both ways). The
+/// payload is *not* packed: it rides alongside as its ref-counted
+/// [`Bytes`], the fallback for data no fixed-width word can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedHeaders {
+    /// L2 word: MACs, ethertype, TTL, DSCP.
+    pub a: u128,
+    /// L3/L4 word: addresses, lengths, ports, protocol, flags.
+    pub b: u128,
+    /// TCP sequence number side word (0 for UDP).
+    pub seq: u32,
+}
+
+/// `kind` bit in word `b`: set for TCP, clear for UDP.
+const PACKED_KIND_TCP: u128 = 1 << 7;
+
+fn mac_to_u48(m: MacAddr) -> u128 {
+    let b = m.0;
+    (u128::from(b[0]) << 40)
+        | (u128::from(b[1]) << 32)
+        | (u128::from(b[2]) << 24)
+        | (u128::from(b[3]) << 16)
+        | (u128::from(b[4]) << 8)
+        | u128::from(b[5])
+}
+
+fn mac_from_u48(v: u128) -> MacAddr {
+    MacAddr([
+        (v >> 40) as u8,
+        (v >> 32) as u8,
+        (v >> 24) as u8,
+        (v >> 16) as u8,
+        (v >> 8) as u8,
+        v as u8,
+    ])
+}
+
+impl PackedHeaders {
+    /// Pack the three headers into words.
+    pub fn pack(eth: &EthernetHeader, ip: &Ipv4Header, transport: &TransportHeader) -> Self {
+        let a = (mac_to_u48(eth.dst) << 80)
+            | (mac_to_u48(eth.src) << 32)
+            | (u128::from(eth.ethertype) << 16)
+            | (u128::from(ip.ttl) << 8)
+            | u128::from(ip.dscp);
+        let (kind, flag_bits, seq) = match *transport {
+            TransportHeader::Udp { .. } => (0u128, 0u128, 0u32),
+            TransportHeader::Tcp { seq, flags, .. } => {
+                (PACKED_KIND_TCP, u128::from(flags.to_bits()), seq)
+            }
+        };
+        let b = (u128::from(ip.src.to_u32()) << 96)
+            | (u128::from(ip.dst.to_u32()) << 64)
+            | (u128::from(ip.total_len) << 48)
+            | (u128::from(transport.src_port()) << 32)
+            | (u128::from(transport.dst_port()) << 16)
+            | (u128::from(ip.protocol) << 8)
+            | kind
+            | flag_bits;
+        PackedHeaders { a, b, seq }
+    }
+
+    /// Reconstruct the exact header structs (the trace layer and wire
+    /// codec consume these).
+    pub fn unpack(&self) -> (EthernetHeader, Ipv4Header, TransportHeader) {
+        let eth = EthernetHeader {
+            dst: mac_from_u48(self.a >> 80),
+            src: mac_from_u48((self.a >> 32) & 0xffff_ffff_ffff),
+            ethertype: (self.a >> 16) as u16,
+        };
+        let ip = Ipv4Header {
+            src: Ipv4Addr::from_u32((self.b >> 96) as u32),
+            dst: Ipv4Addr::from_u32((self.b >> 64) as u32),
+            protocol: (self.b >> 8) as u8,
+            ttl: (self.a >> 8) as u8,
+            dscp: self.a as u8,
+            total_len: (self.b >> 48) as u16,
+        };
+        let src_port = (self.b >> 32) as u16;
+        let dst_port = (self.b >> 16) as u16;
+        let transport = if self.b & PACKED_KIND_TCP != 0 {
+            TransportHeader::Tcp {
+                src_port,
+                dst_port,
+                seq: self.seq,
+                flags: TcpFlags::from_bits((self.b & 0x1f) as u8),
+            }
+        } else {
+            TransportHeader::Udp { src_port, dst_port }
+        };
+        (eth, ip, transport)
+    }
+
+    /// Destination port, straight off the packed word (pre-filters).
+    pub fn dst_port(&self) -> u16 {
+        (self.b >> 16) as u16
+    }
+
+    /// Source IPv4 address, straight off the packed word (pre-filters).
+    pub fn ip_src(&self) -> Ipv4Addr {
+        Ipv4Addr::from_u32((self.b >> 96) as u32)
+    }
+}
+
+impl From<&Packet> for PackedHeaders {
+    fn from(p: &Packet) -> Self {
+        PackedHeaders::pack(&p.eth, &p.ip, &p.transport)
+    }
+}
+
+impl From<PackedHeaders> for (EthernetHeader, Ipv4Header, TransportHeader) {
+    fn from(p: PackedHeaders) -> Self {
+        p.unpack()
+    }
+}
+
+impl Packet {
+    /// The packed-word view of this packet's headers.
+    pub fn packed_headers(&self) -> PackedHeaders {
+        PackedHeaders::from(self)
+    }
+}
+
 /// RFC 1071 internet checksum over `data`.
 pub fn internet_checksum(data: &[u8]) -> u16 {
     let mut sum: u32 = 0;
@@ -475,6 +617,41 @@ mod tests {
             }
             _ => panic!("expected tcp"),
         }
+    }
+
+    #[test]
+    fn packed_headers_round_trip_udp_and_tcp() {
+        let udp = sample_packet(b"hello iot");
+        let (eth, ip, transport) = udp.packed_headers().unpack();
+        assert_eq!((eth, ip, transport), (udp.eth, udp.ip, udp.transport));
+
+        let tcp = Packet::new(
+            MacAddr::from_index(3),
+            MacAddr::BROADCAST,
+            Ipv4Addr::new(8, 8, 8, 8),
+            Ipv4Addr::new(192, 168, 1, 1),
+            TransportHeader::tcp(43122, 443, 0xdead_beef, TcpFlags::SYN),
+            Bytes::new(),
+        );
+        let packed = PackedHeaders::from(&tcp);
+        let (eth, ip, transport) = packed.into();
+        assert_eq!((eth, ip, transport), (tcp.eth, tcp.ip, tcp.transport));
+        assert_eq!(packed.dst_port(), 443);
+        assert_eq!(packed.ip_src(), Ipv4Addr::new(8, 8, 8, 8));
+    }
+
+    #[test]
+    fn packed_headers_preserve_independent_ip_protocol() {
+        // `ip.protocol` is its own field: a (malformed) packet whose IP
+        // protocol disagrees with the transport variant must survive the
+        // word round trip bit-for-bit — the encoding keeps the protocol
+        // byte and the transport kind bit separately.
+        let mut p = sample_packet(b"");
+        p.ip.protocol = 99;
+        p.ip.ttl = 1;
+        p.ip.dscp = 0xb8;
+        let (eth, ip, transport) = p.packed_headers().unpack();
+        assert_eq!((eth, ip, transport), (p.eth, p.ip, p.transport));
     }
 
     #[test]

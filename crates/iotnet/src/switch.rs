@@ -6,20 +6,26 @@
 //! device's *first-hop* switch or AP is programmable; this model is that
 //! first hop.
 //!
-//! Two fast paths keep per-packet work off the hot loop:
+//! Three fast paths keep per-packet work off the hot loop:
 //!
 //! * Port lists are [`PortList`]s (inline up to 8 ports) — unicast output
 //!   and home-scale floods never allocate.
 //! * A flow-decision cache memoizes the full `(in_port, flow key)` →
 //!   decision mapping, skipping the linear table scan for repeat flows.
-//!   It is invalidated by flow-table changes (via [`FlowTable::epoch`])
+//!   The key is the two-word [`PackedFlowKey`], so hashing and equality
+//!   compare machine words instead of seven header fields. The cache is
+//!   invalidated by flow-table changes (via [`FlowTable::epoch`])
 //!   and by MAC-table learning changes, so cached decisions are always
 //!   exactly what the slow path would have computed. Rule hit / miss
 //!   counters are still updated on cache hits, keeping every counter
 //!   byte-identical to an uncached run.
+//! * Cache misses probe the table through its compiled struct-of-arrays
+//!   form ([`FlowTable::lookup_index_keyed`]), a branchless masked-word
+//!   comparison per rule reusing the packed key already computed for the
+//!   cache probe.
 
 use crate::addr::{MacAddr, PortNo, SwitchId};
-use crate::flow::{FlowAction, FlowRule, FlowTable};
+use crate::flow::{FlowAction, FlowRule, FlowTable, PackedFlowKey};
 use crate::packet::Packet;
 use crate::time::SimTime;
 use smallvec::SmallVec;
@@ -48,35 +54,6 @@ pub enum SwitchDecision {
     MirrorAnd(PortList),
 }
 
-/// The packet fields a forwarding decision can depend on. Everything the
-/// flow table can match and everything `Normal` forwarding reads (the
-/// Ethernet destination), but not the payload — so packets differing only
-/// in payload share a cache entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct FlowKey {
-    eth_src: MacAddr,
-    eth_dst: MacAddr,
-    ip_src: crate::addr::Ipv4Addr,
-    ip_dst: crate::addr::Ipv4Addr,
-    ip_proto: u8,
-    src_port: u16,
-    dst_port: u16,
-}
-
-impl FlowKey {
-    fn of(packet: &Packet) -> FlowKey {
-        FlowKey {
-            eth_src: packet.eth.src,
-            eth_dst: packet.eth.dst,
-            ip_src: packet.ip.src,
-            ip_dst: packet.ip.dst,
-            ip_proto: packet.ip.protocol,
-            src_port: packet.transport.src_port(),
-            dst_port: packet.transport.dst_port(),
-        }
-    }
-}
-
 #[derive(Debug, Clone)]
 struct CachedDecision {
     /// The matched rule's index (`None` = table miss), replayed into the
@@ -95,7 +72,10 @@ pub struct Switch {
     /// The controller-programmed flow table.
     pub table: FlowTable,
     mac_table: HashMap<MacAddr, PortNo>,
-    cache: HashMap<(PortNo, FlowKey), CachedDecision>,
+    /// Decision cache keyed by the packed flow key — the two-word encoding
+    /// of every packet field a forwarding decision can depend on (see
+    /// [`PackedFlowKey`]). Packets differing only in payload share an entry.
+    cache: HashMap<(PortNo, PackedFlowKey), CachedDecision>,
     /// Flow-table epoch the cache was filled against.
     cache_epoch: u64,
     /// Packets processed.
@@ -173,7 +153,7 @@ impl Switch {
             self.cache_epoch = self.table.epoch();
             self.cache.clear();
         }
-        let key = (in_port, FlowKey::of(packet));
+        let key = (in_port, PackedFlowKey::of(packet));
         self.cache_lookups += 1;
         if let Some(cached) = self.cache.get(&key) {
             self.cache_hits += 1;
@@ -186,7 +166,7 @@ impl Switch {
             return cached.decision.clone();
         }
         self.tracer.emit(now.as_nanos(), TraceEvent::CacheMiss { switch: self.id.0 });
-        let rule = self.table.lookup_index(in_port, packet);
+        let rule = self.table.lookup_index_keyed(in_port, key.1, packet);
         self.table.record(rule);
         let action = rule.map(|i| self.table.rule(i).action).unwrap_or(FlowAction::Normal);
         let decision = match action {

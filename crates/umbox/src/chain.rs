@@ -223,7 +223,7 @@ impl UmboxChain {
                 self.intercepted += 1;
                 self.busy += cost;
                 self.exit_trace(now, "intercept");
-                return InlineVerdict { forward: replies, latency: cost };
+                return InlineVerdict { forward: replies.into(), latency: cost };
             }
             match packet {
                 Some(p) => current = p,

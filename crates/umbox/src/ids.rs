@@ -11,7 +11,7 @@ use crate::element::{costs, Element, ElementOutcome};
 use iotdev::device::DeviceId;
 use iotdev::events::{SecurityEvent, SecurityEventKind};
 use iotdev::proto::{ports, AppMessage};
-use iotlearn::signature::AttackSignature;
+use iotlearn::signature::{AttackSignature, Prefilter};
 use iotnet::packet::Packet;
 use iotnet::time::{SimDuration, SimTime};
 use std::rc::Rc;
@@ -25,6 +25,11 @@ pub struct SigIds {
     /// same SKU — the controller interns one ruleset per SKU instead of
     /// cloning signature vectors per chain.
     signatures: Rc<[AttackSignature]>,
+    /// One compiled [`Prefilter`] per signature (same order), rebuilt on
+    /// every ruleset swap. Each is a *necessary* condition for its
+    /// matcher, so skipping screened-out signatures cannot change which
+    /// signature fires first — counters and events stay byte-identical.
+    prefilters: Vec<Prefilter>,
     /// Ruleset generation (bumped on every swap).
     pub generation: u16,
     /// Matches so far.
@@ -33,16 +38,23 @@ pub struct SigIds {
     pub inspected: u64,
 }
 
+fn compile_prefilters(signatures: &[AttackSignature]) -> Vec<Prefilter> {
+    signatures.iter().map(|s| s.matcher.prefilter()).collect()
+}
+
 impl SigIds {
     /// An IDS with an initial ruleset (a `Vec` or an interned `Rc` slice).
     pub fn new(device: DeviceId, signatures: impl Into<Rc<[AttackSignature]>>) -> SigIds {
-        SigIds { device, signatures: signatures.into(), generation: 1, matches: 0, inspected: 0 }
+        let signatures = signatures.into();
+        let prefilters = compile_prefilters(&signatures);
+        SigIds { device, signatures, prefilters, generation: 1, matches: 0, inspected: 0 }
     }
 
     /// Hot-swap the ruleset (no packets dropped; the next packet sees
     /// the new rules).
     pub fn update_signatures(&mut self, signatures: impl Into<Rc<[AttackSignature]>>) {
         self.signatures = signatures.into();
+        self.prefilters = compile_prefilters(&self.signatures);
         self.generation += 1;
     }
 
@@ -60,8 +72,11 @@ impl Element for SigIds {
     fn process(&mut self, now: SimTime, packet: Packet) -> ElementOutcome {
         self.inspected += 1;
         let cost = self.per_packet_cost();
-        for sig in self.signatures.iter() {
-            if sig.matcher.matches(&packet) {
+        // One packed-header computation serves every signature's screen;
+        // only signatures whose prefilter admits pay for a payload decode.
+        let headers = packet.packed_headers();
+        for (sig, pf) in self.signatures.iter().zip(self.prefilters.iter()) {
+            if pf.admits(&headers, &packet.payload) && sig.matcher.matches(&packet) {
                 self.matches += 1;
                 return ElementOutcome::drop(cost).with_event(
                     SecurityEvent::new(now, self.device, SecurityEventKind::SignatureMatch)

@@ -114,4 +114,102 @@ fn world_construction_allocation_profile() {
         std::hint::black_box(quiet)
     });
     assert_eq!(sweep, 0, "warm packed sweep must not allocate");
+
+    // 5. The full engine tick (E21): schedule → fire → forward → verdict
+    // through a steered IDS chain is allocation-free once warm. Event
+    // payloads live in the generational arena, wheel slots and heaps
+    // move Copy tickets, the decision cache is keyed by the packed flow
+    // key, the IDS prefilter screens the benign traffic without a
+    // payload decode, and pass/drop verdicts carry packets inline — so
+    // a steady round never touches the allocator.
+    steady_engine_tick_is_allocation_free();
+}
+
+/// Round spacing of the steady-state loop: 2^21 ns, an exact multiple of
+/// the timer wheel's slot widths, so the wheel-slot usage pattern repeats
+/// with a short period and the warm phase provably covers every slot the
+/// measured phase touches (the same geometry as `bench::exp_engine`'s
+/// steady probe; see DESIGN.md §11).
+const STEADY_STEP_NS: u64 = 1 << 21;
+/// One full level-2 slot lap (512 rounds) plus the first overflow
+/// re-anchor crossing at the 2^30 ns boundary.
+const STEADY_WARM: u64 = 576;
+const STEADY_MEASURE: u64 = 64;
+
+fn steady_engine_tick_is_allocation_free() {
+    use iotsec_repro::iotdev::device::{AdminCreds, DeviceId};
+    use iotsec_repro::iotdev::proto::{ports, AppMessage, TelemetryKind};
+    use iotsec_repro::iotdev::registry::Sku;
+    use iotsec_repro::iotlearn::signature::{AttackSignature, Matcher, Severity};
+    use iotsec_repro::iotnet::flow::{FlowAction, FlowMatch, FlowRule, SteerId};
+    use iotsec_repro::iotnet::link::LinkParams;
+    use iotsec_repro::iotnet::net::{Delivery, Network};
+    use iotsec_repro::iotnet::packet::{Packet, TransportHeader};
+    use iotsec_repro::iotnet::time::{SimDuration, SimTime};
+    use iotsec_repro::iotnet::topology::TopologyBuilder;
+    use iotsec_repro::iotpolicy::posture::{Posture, SecurityModule};
+    use iotsec_repro::trace::tracer::Tracer;
+    use iotsec_repro::umbox::chain::{build_chain, ChainConfig, FailureMode};
+    use iotsec_repro::umbox::element::{EventSink, ViewHandle};
+
+    let mut b = TopologyBuilder::new();
+    let sw = b.add_switch();
+    let a = b.attach_endpoint(sw, LinkParams::lan());
+    let z = b.attach_endpoint(sw, LinkParams::lan());
+    let mut net = Network::new(b.build(), 21);
+
+    let signatures: Vec<AttackSignature> = vec![AttackSignature::new(
+        Sku::new("belkin", "wemo", "1.1"),
+        "cloud-bypass-backdoor",
+        Matcher::CloudCommand,
+        Severity::High,
+    )];
+    let config = ChainConfig {
+        device: DeviceId(0),
+        required_creds: AdminCreds::new("owner", "Str0ng!"),
+        cleared_sources: Vec::new(),
+        signatures: signatures.into(),
+        view: ViewHandle::new(),
+        events: EventSink::new(),
+        failure_mode: FailureMode::FailOpen,
+        tracer: Tracer::disabled(),
+    };
+    let chain = build_chain(&Posture::of(SecurityModule::Ids { ruleset: 1 }), &config);
+    net.register_steer(SteerId(1), Box::new(chain), SimDuration::from_micros(200));
+    net.install_rule(sw, FlowRule::new(100, FlowMatch::any(), FlowAction::Steer(SteerId(1))));
+
+    let pkt = Packet::new(
+        net.mac_of(a),
+        net.mac_of(z),
+        net.ip_of(a),
+        net.ip_of(z),
+        TransportHeader::udp(4000, ports::TELEMETRY),
+        AppMessage::Telemetry { kind: TelemetryKind::Power, value: 21.0 }.encode(),
+    );
+
+    let mut buf: Vec<Delivery> = Vec::new();
+    let round = |net: &mut Network, buf: &mut Vec<Delivery>, r: u64| {
+        let t = SimTime::from_nanos(r * STEADY_STEP_NS);
+        net.send(a, t, pkt.clone());
+        buf.clear();
+        net.step_until_into(SimTime::from_nanos((r + 1) * STEADY_STEP_NS), buf);
+        buf.len() as u64
+    };
+    let mut delivered = 0u64;
+    for r in 0..STEADY_WARM {
+        delivered += round(&mut net, &mut buf, r);
+    }
+    assert_eq!(delivered, STEADY_WARM, "warm rounds must deliver one packet each");
+
+    let events_before = net.events_processed();
+    let (allocs, delivered) = allocs_during(|| {
+        let mut delivered = 0u64;
+        for r in STEADY_WARM..STEADY_WARM + STEADY_MEASURE {
+            delivered += round(&mut net, &mut buf, r);
+        }
+        delivered
+    });
+    assert_eq!(delivered, STEADY_MEASURE);
+    assert!(net.events_processed() > events_before, "the engine must have fired events");
+    assert_eq!(allocs, 0, "warm engine tick (schedule→fire→forward→verdict) must not allocate");
 }

@@ -1,0 +1,309 @@
+//! Property pins for the E21 packed fast path (see DESIGN.md §11):
+//!
+//! 1. [`PackedHeaders`] pack↔unpack is a total bijection with the
+//!    `(EthernetHeader, Ipv4Header, TransportHeader)` structs — including
+//!    malformed combinations (IP protocol byte disagreeing with the
+//!    transport variant) that only a field-faithful encoding preserves.
+//! 2. [`PackedFlowKey`] equality mirrors equality of the seven matched
+//!    header fields, in both directions.
+//! 3. The packed word-compare flow lookup selects the same rule as the
+//!    legacy struct-walking scan for arbitrary rule tables, packets and
+//!    ingress ports — including after cookie removals, which must keep
+//!    the struct-of-arrays pattern table index-aligned with the rules.
+//! 4. [`EventArena`] generational handles turn use-after-free into a
+//!    detected error: a stale handle yields `None`, never a different
+//!    event, across arbitrary insert/remove interleavings.
+
+use iotsec_repro::iotnet::addr::{Ipv4Addr, MacAddr, PortNo};
+use iotsec_repro::iotnet::engine::{EventArena, EventHandle};
+use iotsec_repro::iotnet::flow::{
+    FlowAction, FlowMatch, FlowRule, FlowTable, PackedFlowKey, SteerId,
+};
+use iotsec_repro::iotnet::packet::{
+    EthernetHeader, Ipv4Header, PackedHeaders, Packet, TcpFlags, TransportHeader,
+};
+use proptest::prelude::*;
+
+fn mac() -> impl Strategy<Value = MacAddr> {
+    any::<u64>().prop_map(|b| {
+        let w = b.to_be_bytes();
+        MacAddr([w[2], w[3], w[4], w[5], w[6], w[7]])
+    })
+}
+
+fn transport() -> impl Strategy<Value = TransportHeader> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>()).prop_map(|(s, d)| TransportHeader::udp(s, d)),
+        (any::<u16>(), any::<u16>(), any::<u32>(), any::<u8>()).prop_map(|(s, d, seq, f)| {
+            TransportHeader::tcp(
+                s,
+                d,
+                seq,
+                TcpFlags { syn: f & 1 != 0, ack: f & 2 != 0, fin: f & 4 != 0, rst: f & 8 != 0 },
+            )
+        }),
+    ]
+}
+
+fn headers() -> impl Strategy<Value = (EthernetHeader, Ipv4Header, TransportHeader)> {
+    (
+        (mac(), mac(), any::<u16>()),
+        ((any::<u32>(), any::<u32>()), (any::<u8>(), any::<u8>()), (any::<u8>(), any::<u16>())),
+        transport(),
+    )
+        .prop_map(|((dst, src, ethertype), ((is, id), (proto, ttl), (dscp, total_len)), t)| {
+            (
+                EthernetHeader { dst, src, ethertype },
+                Ipv4Header {
+                    src: Ipv4Addr::from_u32(is),
+                    dst: Ipv4Addr::from_u32(id),
+                    // Deliberately independent of the transport variant:
+                    // the packing keeps the protocol byte and the
+                    // transport kind bit as separate fields.
+                    protocol: proto,
+                    ttl,
+                    dscp,
+                    total_len,
+                },
+                t,
+            )
+        })
+}
+
+/// Packets drawn from small per-field pools so the flow-key equality and
+/// rule-match properties exercise both the equal and unequal cases.
+fn pooled_packet() -> impl Strategy<Value = Packet> {
+    ((0u32..3, 0u32..3), (0u8..3, 0u8..3), (0usize..3, 0usize..3, any::<bool>())).prop_map(
+        |((ms, md), (is, id), (sp, dp, tcp))| {
+            let ports = [7u16, 53, 5683];
+            let t = if tcp {
+                TransportHeader::tcp(ports[sp], ports[dp], 9, TcpFlags::SYN)
+            } else {
+                TransportHeader::udp(ports[sp], ports[dp])
+            };
+            Packet::new(
+                MacAddr::from_index(ms),
+                MacAddr::from_index(md),
+                Ipv4Addr::new(10, 0, is, 1),
+                Ipv4Addr::new(10, 0, id, 2),
+                t,
+                Default::default(),
+            )
+        },
+    )
+}
+
+/// The seven fields [`PackedFlowKey`] packs, straight off the structs.
+fn flow_fields(p: &Packet) -> (MacAddr, MacAddr, Ipv4Addr, Ipv4Addr, u8, u16, u16) {
+    (
+        p.eth.src,
+        p.eth.dst,
+        p.ip.src,
+        p.ip.dst,
+        p.ip.protocol,
+        p.transport.src_port(),
+        p.transport.dst_port(),
+    )
+}
+
+fn opt_port() -> impl Strategy<Value = Option<PortNo>> {
+    prop_oneof![Just(None), (0u16..3).prop_map(|p| Some(PortNo(p)))]
+}
+
+fn opt_mac() -> impl Strategy<Value = Option<MacAddr>> {
+    prop_oneof![Just(None), (0u32..3).prop_map(|i| Some(MacAddr::from_index(i)))]
+}
+
+fn opt_prefix() -> impl Strategy<Value = Option<(Ipv4Addr, u8)>> {
+    prop_oneof![
+        Just(None),
+        (0u8..3, prop_oneof![Just(0u8), Just(8), Just(24), Just(32)])
+            .prop_map(|(o, len)| Some((Ipv4Addr::new(10, 0, o, 1), len))),
+    ]
+}
+
+fn opt_proto() -> impl Strategy<Value = Option<u8>> {
+    prop_oneof![Just(None), Just(Some(6u8)), Just(Some(17u8))]
+}
+
+fn opt_tport() -> impl Strategy<Value = Option<u16>> {
+    prop_oneof![Just(None), prop_oneof![Just(7u16), Just(53), Just(5683)].prop_map(Some)]
+}
+
+fn flow_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        (opt_port(), opt_mac(), opt_mac()),
+        (opt_prefix(), opt_prefix(), opt_proto()),
+        (opt_tport(), opt_tport()),
+    )
+        .prop_map(
+            |((in_port, eth_src, eth_dst), (ip_src, ip_dst, ip_proto), (src_port, dst_port))| {
+                FlowMatch {
+                    in_port,
+                    eth_src,
+                    eth_dst,
+                    ip_src,
+                    ip_dst,
+                    ip_proto,
+                    src_port,
+                    dst_port,
+                }
+            },
+        )
+}
+
+fn flow_rule() -> impl Strategy<Value = FlowRule> {
+    (0u16..4, flow_match(), 0u8..4, 0u64..2).prop_map(|(priority, matcher, action, cookie)| {
+        let action = match action {
+            0 => FlowAction::Normal,
+            1 => FlowAction::Drop,
+            2 => FlowAction::Mirror,
+            _ => FlowAction::Steer(SteerId(1)),
+        };
+        FlowRule::new(priority, matcher, action).with_cookie(cookie)
+    })
+}
+
+proptest! {
+    /// Property 1: the packed-word encoding reconstructs the exact header
+    /// structs — `unpack ∘ pack = id`, which also makes `pack` injective.
+    #[test]
+    fn packed_headers_roundtrip_is_identity(h in headers()) {
+        let (eth, ip, t) = h;
+        let packed = PackedHeaders::pack(&eth, &ip, &t);
+        prop_assert_eq!(packed.unpack(), (eth, ip, t));
+        // The word accessors agree with the struct fields.
+        prop_assert_eq!(packed.dst_port(), t.dst_port());
+        prop_assert_eq!(packed.ip_src(), ip.src);
+        // Packing is stable: the same headers produce the same words.
+        prop_assert_eq!(PackedHeaders::pack(&eth, &ip, &t), packed);
+    }
+
+    /// Property 2: two packets get equal flow keys iff every field the
+    /// legacy struct key compared is equal — key equality is exactly
+    /// seven-field equality, never a hash-style collision.
+    #[test]
+    fn flow_key_equality_iff_field_equality(a in pooled_packet(), b in pooled_packet()) {
+        let keys_equal = PackedFlowKey::of(&a) == PackedFlowKey::of(&b);
+        prop_assert_eq!(keys_equal, flow_fields(&a) == flow_fields(&b));
+    }
+
+    /// The key derived from pre-packed headers equals the one extracted
+    /// from the packet — the switch's cached-key path and the direct path
+    /// agree.
+    #[test]
+    fn flow_key_from_headers_matches_of(h in headers()) {
+        let (eth, ip, t) = h;
+        let p = Packet { eth, ip, transport: t, payload: Default::default() };
+        prop_assert_eq!(
+            PackedFlowKey::from_headers(&p.packed_headers()),
+            PackedFlowKey::of(&p)
+        );
+    }
+
+    /// Property 3: the packed word-compare probe and the legacy struct
+    /// scan pick the same rule (same index, hence same priority/tie
+    /// resolution) for every table, packet and ingress port — and keep
+    /// agreeing after a cookie removal rewrites the pattern arrays.
+    #[test]
+    fn packed_lookup_equals_legacy_scan(
+        rules in proptest::collection::vec(flow_rule(), 0..10),
+        packets in proptest::collection::vec(pooled_packet(), 1..6),
+        ports in proptest::collection::vec(0u16..3, 1..4),
+    ) {
+        let mut t = FlowTable::new();
+        for r in &rules {
+            t.install(r.clone());
+        }
+        let check = |t: &FlowTable| -> Result<(), TestCaseError> {
+            for p in &packets {
+                let key = PackedFlowKey::of(p);
+                for &port in ports.iter().chain([PortNo::ANY.0].iter()) {
+                    prop_assert_eq!(
+                        t.lookup_index_packed(PortNo(port), key),
+                        t.lookup_index_scan(PortNo(port), p)
+                    );
+                }
+            }
+            Ok(())
+        };
+        check(&t)?;
+        // Structural change: removing by cookie must keep the compiled
+        // struct-of-arrays patterns index-aligned with the rules.
+        t.remove_by_cookie(1);
+        check(&t)?;
+    }
+
+    /// The [`FlowTable::set_packed_lookup`] toggle is behaviour-neutral.
+    #[test]
+    fn lookup_engine_toggle_is_neutral(
+        rules in proptest::collection::vec(flow_rule(), 0..10),
+        p in pooled_packet(),
+        port in 0u16..3,
+    ) {
+        let mut packed = FlowTable::new();
+        let mut legacy = FlowTable::new();
+        for r in &rules {
+            packed.install(r.clone());
+            legacy.install(r.clone());
+        }
+        legacy.set_packed_lookup(false);
+        prop_assert_eq!(
+            packed.lookup_index(PortNo(port), &p),
+            legacy.lookup_index(PortNo(port), &p)
+        );
+    }
+
+    /// Property 4: across arbitrary insert/remove interleavings, every
+    /// live handle resolves to exactly the event it was issued for, and
+    /// every stale handle is a detected error (`None` from both `get`
+    /// and `remove`) — never a different event.
+    #[test]
+    fn arena_handles_are_generation_safe(
+        ops in proptest::collection::vec((any::<bool>(), any::<u16>()), 1..80),
+    ) {
+        let mut arena: EventArena<u64> = EventArena::new();
+        let mut live: Vec<(EventHandle, u64)> = Vec::new();
+        let mut stale: Vec<EventHandle> = Vec::new();
+        let mut next: u64 = 0;
+        for (insert, sel) in ops {
+            if insert || live.is_empty() {
+                let h = arena.insert(next);
+                live.push((h, next));
+                next += 1;
+            } else {
+                let (h, v) = live.swap_remove(sel as usize % live.len());
+                prop_assert_eq!(arena.remove(h), Some(v));
+                stale.push(h);
+            }
+            prop_assert_eq!(arena.len(), live.len());
+            for &(h, v) in &live {
+                prop_assert_eq!(arena.get(h), Some(&v));
+            }
+            for &h in &stale {
+                prop_assert_eq!(arena.get(h), None);
+            }
+        }
+        // Stale removes are rejected without disturbing live events.
+        for h in stale {
+            prop_assert_eq!(arena.remove(h), None);
+        }
+        prop_assert_eq!(arena.len(), live.len());
+    }
+}
+
+/// The recycling case spelled out: a slot reused after removal bumps its
+/// generation, so the old handle observes `None` while the new handle
+/// sees the new event — even though both name the same slot index.
+#[test]
+fn recycled_slot_invalidates_old_handle() {
+    let mut arena: EventArena<&'static str> = EventArena::new();
+    let old = arena.insert("first");
+    assert_eq!(arena.remove(old), Some("first"));
+    let new = arena.insert("second");
+    assert_ne!(old.raw(), new.raw(), "recycled handle must differ");
+    assert_eq!(old.raw() & 0x00ff_ffff, new.raw() & 0x00ff_ffff, "same slot index");
+    assert_eq!(arena.get(old), None);
+    assert_eq!(arena.remove(old), None);
+    assert_eq!(arena.get(new), Some(&"second"));
+}

@@ -20,7 +20,13 @@
 //! `BENCH_E19.json` (stable digests plus a `wall_ms`-marked volatile
 //! timing section) and exits non-zero if any state-space engine
 //! diverges from the serial packed reference — the CI state-space-gate
-//! job depends on that. The `e21` arm always writes `BENCH_E21.json`
+//! job depends on that. The `e20` arm always writes `BENCH_E20.json`
+//! (stable fleet digest, propagation counters and leg agreement plus a
+//! `wall_ms` volatile section carrying homes/sec, directives/sec and
+//! bytes/home) and exits non-zero if any fleet leg — serial rerun or
+//! work-stealing parallel — diverges from the serial reference, or if
+//! the one-discovery → fleet-wide-install propagation fact fails — the
+//! CI fleet-gate job depends on that. The `e21` arm always writes `BENCH_E21.json`
 //! (stable sweep digests, engine counters and the steady-state
 //! allocation verdict plus a `wall_ms` volatile timing section) and
 //! exits non-zero if any engine arm — legacy heap queue, packed wheel,
@@ -37,8 +43,9 @@
 //! that.
 
 use iotsec_bench::{
-    exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_engine, exp_models, exp_perf, exp_pipeline,
-    exp_policy, exp_safety, exp_space, exp_trace, exp_umbox, exp_vet, exp_world, metrics,
+    exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_engine, exp_fleet, exp_models, exp_perf,
+    exp_pipeline, exp_policy, exp_safety, exp_space, exp_trace, exp_umbox, exp_vet, exp_world,
+    metrics,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,10 +61,12 @@ const SEED: u64 = 20151116; // HotNets '15, November 16
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
 
@@ -67,6 +76,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -76,6 +86,10 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn alloc_count() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
+}
+
+fn alloc_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
 }
 
 /// One experiment's JSON record. Every record carries the full field
@@ -178,6 +192,19 @@ fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
             println!("wrote {path}");
             return Some((report.states_total(), report.memo_hit_rate(), report.deterministic));
         }
+        "fleet" | "e20" => {
+            let report = exp_fleet::fleet(&alloc_bytes);
+            report.table.print();
+            println!("{}", report.summary);
+            println!();
+            let path = "BENCH_E20.json";
+            std::fs::write(path, report.render_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path}");
+            return Some((report.reference.events, 0.0, report.deterministic));
+        }
         "engine" | "e21" => {
             let report = exp_engine::engine(&alloc_count);
             report.table.print();
@@ -235,6 +262,7 @@ const ALL: &[&str] = &[
     "trace",
     "safety",
     "space",
+    "fleet",
     "engine",
     "vet",
 ];

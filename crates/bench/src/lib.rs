@@ -23,6 +23,7 @@
 //! | E17 | [`exp_trace`] (the golden-trace differential harness) |
 //! | E18 | [`exp_safety`] (the runtime safety sweep and CI gate) |
 //! | E19 | [`exp_space`] (the packed-state state-space engine) |
+//! | E20 | [`exp_fleet`] (the fleet-scale sharded controller) |
 //! | E21 | [`exp_engine`] (the arena event engine + packed fast path) |
 //! | E23 | [`exp_vet`] (the adversarial vet campaign and CI gate) |
 //!
@@ -37,6 +38,7 @@ pub mod exp_chaos;
 pub mod exp_crowd;
 pub mod exp_ctl;
 pub mod exp_engine;
+pub mod exp_fleet;
 pub mod exp_models;
 pub mod exp_perf;
 pub mod exp_pipeline;

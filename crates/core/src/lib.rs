@@ -67,4 +67,4 @@ pub use chaos::ChaosConfig;
 pub use defense::{Defense, IoTSecConfig};
 pub use deployment::{AttackerLocation, Deployment, DeviceSetup, StepSpec};
 pub use metrics::{CampaignReport, Metrics};
-pub use world::World;
+pub use world::{HomeOverrides, World};

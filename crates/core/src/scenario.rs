@@ -228,6 +228,26 @@ pub fn scaled_home(defense: Defense, seed: u64, extra: u32) -> (Deployment, Vec<
     (d, vulnerable)
 }
 
+/// The E20 fleet home template: one home of a metro-scale fleet.
+///
+/// The camera carries Table 1 row 1's default credentials as an
+/// *undisclosed* flaw — the operator cannot compile a local mitigation,
+/// so the only defense is a crowdsourced repository signature arriving
+/// through the fleet's aggregator hierarchy. Until that signature
+/// propagates, the dictionary-login campaign leaks the camera's images
+/// in every home; after it installs, the standing IDS blocks it
+/// fleet-wide. Returns `(deployment, camera)`.
+pub fn fleet_home(defense: Defense, seed: u64) -> (Deployment, DeviceId) {
+    let mut d = Deployment::new();
+    d.seed = seed;
+    let cam = d.device(DeviceSetup::table1_row_undisclosed(1));
+    let _bulb = d.device(DeviceSetup::clean(DeviceClass::LightBulb));
+    let _motion = d.device(DeviceSetup::clean(DeviceClass::MotionSensor));
+    d.campaign(vec![StepSpec::DictionaryLogin(cam), StepSpec::Mgmt(cam, MgmtCommand::GetImage)]);
+    d.defend_with(defense);
+    (d, cam)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +293,22 @@ mod tests {
         for setup in &d.devices[base.devices.len()..] {
             assert!(setup.vulns.is_empty());
         }
+    }
+
+    #[test]
+    fn fleet_home_flaw_is_undisclosed() {
+        let (d, cam) = fleet_home(Defense::iotsec(), 7);
+        assert_eq!(d.seed, 7);
+        let setup = &d.devices[cam.0 as usize];
+        // Zero-day: the compiler sees a clean camera; only crowdsourced
+        // signatures can defend it.
+        assert!(setup.vulns.is_empty());
+        assert!(setup.undisclosed.iter().any(|v| v.id() == "default-credentials"));
+        // Without intel the campaign must land (non-vacuity of the E20
+        // propagation story).
+        let mut w = World::new(&d);
+        w.run_until_attack_done(SimDuration::from_secs(120));
+        assert!(w.report().campaign_succeeded());
     }
 
     #[test]

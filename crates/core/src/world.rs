@@ -244,6 +244,23 @@ pub struct World {
     facts_scratch: Vec<DeviceFacts>,
 }
 
+/// Per-home construction overrides for fleet worlds (E20).
+///
+/// A fleet shares one read-only [`Deployment`] template across 10⁴–10⁶
+/// homes; the only per-home inputs are the home's seed and the region's
+/// current crowdsourced intel epoch, borrowed from the region's interned
+/// snapshot so construction clones signatures at most once per device,
+/// never per home.
+#[derive(Debug, Clone, Copy)]
+pub struct HomeOverrides<'a> {
+    /// Replaces the template's `seed` for this home's network RNG.
+    pub seed: u64,
+    /// Region intel installed on top of the template's own
+    /// `subscribed_signatures` (treated identically: standing IDS for
+    /// matching SKUs plus membership in each device's interned ruleset).
+    pub extra_signatures: &'a [AttackSignature],
+}
+
 impl World {
     /// Build a world from a deployment description.
     pub fn new(deployment: &Deployment) -> World {
@@ -256,6 +273,32 @@ impl World {
     /// buffer) and serializes it after the run. With a disabled tracer
     /// this is exactly [`World::new`].
     pub fn new_traced(deployment: &Deployment, tracer: Tracer) -> World {
+        World::build(deployment, tracer, None)
+    }
+
+    /// Build one home world of a fleet from a shared template (E20).
+    ///
+    /// The template deployment is read-only and shared across every home
+    /// of the fleet; the overrides carry the only two things that vary
+    /// per home — its seed and the region's current interned intel
+    /// epoch. With `seed = deployment.seed` and no extra signatures this
+    /// is exactly [`World::new`].
+    pub fn new_home(template: &Deployment, home: &HomeOverrides<'_>) -> World {
+        World::build(template, Tracer::disabled(), Some(home))
+    }
+
+    /// [`World::new_home`] with a trace buffer attached.
+    pub fn new_home_traced(
+        template: &Deployment,
+        home: &HomeOverrides<'_>,
+        tracer: Tracer,
+    ) -> World {
+        World::build(template, tracer, Some(home))
+    }
+
+    fn build(deployment: &Deployment, tracer: Tracer, home: Option<&HomeOverrides<'_>>) -> World {
+        let seed = home.map_or(deployment.seed, |h| h.seed);
+        let extra: &[AttackSignature] = home.map_or(&[], |h| h.extra_signatures);
         // The safety monitor subscribes to the deterministic trace
         // stream rather than a parallel instrumentation channel. When
         // the caller did not ask for a trace, give the world an
@@ -305,7 +348,7 @@ impl World {
         let victim_ep = deployment.needs_victim().then(|| {
             b.attach_endpoint_with(core, LinkParams::wan(), Ipv4Addr::new(203, 0, 113, 50))
         });
-        let mut net = Network::with_queue(b.build(), deployment.seed, deployment.queue);
+        let mut net = Network::with_queue(b.build(), seed, deployment.queue);
         net.set_tracer(tracer.clone());
 
         // --- devices ------------------------------------------------------
@@ -411,7 +454,12 @@ impl World {
                     compiler.device(DeviceId(i as u32), setup.class, &setup.vulns);
                     // Subscribed repository signatures for this SKU put a
                     // standing IDS in front of the device.
-                    if deployment.subscribed_signatures.iter().any(|s| s.sku == setup.sku) {
+                    if deployment
+                        .subscribed_signatures
+                        .iter()
+                        .chain(extra.iter())
+                        .any(|s| s.sku == setup.sku)
+                    {
                         compiler.rule(
                             iotpolicy::policy::PolicyRule::new(
                                 iotpolicy::compile::priority::MITIGATION,
@@ -490,6 +538,7 @@ impl World {
                     &devices[i].sku,
                     &setup.vulns,
                     &deployment.subscribed_signatures,
+                    extra,
                 )
             })
             .collect();
@@ -1326,9 +1375,10 @@ fn build_signatures(
     sku: &iotdev::registry::Sku,
     vulns: &[Vulnerability],
     subscribed: &[AttackSignature],
+    extra: &[AttackSignature],
 ) -> Rc<[AttackSignature]> {
     let Some(cfg) = cfg else { return Vec::new().into() };
-    let matching = subscribed.iter().filter(|s| s.sku == *sku).cloned();
+    let matching = subscribed.iter().chain(extra.iter()).filter(|s| s.sku == *sku).cloned();
     if !cfg.signatures {
         return matching.collect::<Vec<_>>().into();
     }

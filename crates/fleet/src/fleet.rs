@@ -1,0 +1,602 @@
+//! The fleet engine: sharded execution, hierarchical intel, chunk-order
+//! merge.
+//!
+//! A fleet round has three strictly separated parts:
+//!
+//! 1. **Execute** (parallel): every home runs — or is served from the
+//!    memo — against the intel epoch installed at the last barrier.
+//!    Workers touch only `Sync` state (the scenario, the memo shards,
+//!    the outcome slots, two atomic counters) and each home is owned by
+//!    exactly one chunk, so slot writes never race.
+//! 2. **Merge** (serial, coordinator): outcomes are folded into the
+//!    chained fleet digest in home order, totals accumulate, and fresh
+//!    discoveries flow into the discovering home's neighborhood buffer.
+//! 3. **Barrier** (serial, coordinator): neighborhood buffers flush
+//!    upward in neighborhood order, the region unions them into its
+//!    canonical `BTreeSet`, and — if anything was new — the epoch bumps,
+//!    the snapshot is interned once, and batched installs bring every
+//!    home to the new epoch before the next round.
+//!
+//! Determinism: parts 2 and 3 are serial and iterate in home /
+//! neighborhood order; part 1 computes a pure function of
+//! `(home, epoch)` per home. Thread interleaving can only change *when*
+//! a slot is written, never what it holds — so the chained digest is
+//! byte-identical at any thread count, which `experiments e20` and
+//! `tests/fleet_props.rs` enforce.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use iotctl::aggregate::{Directory, InstallLedger, NeighborhoodBuffer, RegionIntel};
+use iotlearn::AttackSignature;
+use iotpolicy::intern::Interner;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use trace::digest::Fnv64;
+use trace::{TraceEvent, Tracer};
+
+/// Number of memo shards (the E19 pattern: enough to keep lock
+/// contention negligible at any worker count, few enough to stay cheap).
+const MEMO_SHARDS: usize = 64;
+
+/// The `Copy` outcome of one home for one round. Crossing a thread
+/// boundary and sitting in the memo must both be allocation-free, so
+/// this is fixed-size by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HomeOutcome {
+    /// Per-home outcome digest (a pure function of `(home, intel)`).
+    pub digest: u64,
+    /// Devices compromised.
+    pub compromised: u32,
+    /// Devices with data exposure.
+    pub leaked: u32,
+    /// µmbox drops + intercepts.
+    pub blocks: u64,
+    /// Simulation events the home's engine processed.
+    pub events: u64,
+    /// Whether this home observed the attack well enough to publish a
+    /// crowdsourced signature (sentinel homes only).
+    pub discovered: bool,
+    /// Safety-monitor violations flagged for this home (the vet arm).
+    pub flagged: u32,
+}
+
+/// One home scenario family: how to run home `h` against an intel
+/// snapshot, and what a discovering home publishes.
+///
+/// `run_home` must be a **pure function** of `(home, seed, intel)` —
+/// the memo and the serial≡parallel digest both assume it.
+pub trait HomeWorld: Sync {
+    /// Build and run one home world entirely on the calling thread.
+    fn run_home(&self, home: u32, seed: u64, intel: &[AttackSignature]) -> HomeOutcome;
+
+    /// Materialize the signature home `home` publishes on discovery.
+    /// Called on the coordinator thread only, once per discovering home.
+    fn discovery(&self, home: u32) -> Option<AttackSignature>;
+}
+
+/// Fleet shape and execution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of home worlds.
+    pub homes: u32,
+    /// Homes per neighborhood aggregator.
+    pub neighborhood: u32,
+    /// Homes per work-stealing chunk (the scheduling granule).
+    pub chunk: u32,
+    /// Worker threads; `<= 1` is the serial reference path.
+    pub threads: usize,
+    /// Fleet seed; each home derives its own via [`home_seed`].
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A serial fleet of `homes` homes with the default shape
+    /// (neighborhoods of 100, chunks of 64, seed 42).
+    pub fn new(homes: u32) -> FleetConfig {
+        FleetConfig { homes, neighborhood: 100, chunk: 64, threads: 1, seed: 42 }
+    }
+
+    /// Same fleet, different worker count.
+    pub fn with_threads(mut self, threads: usize) -> FleetConfig {
+        self.threads = threads;
+        self
+    }
+}
+
+/// What one round did (executions vs memo hits, discoveries, installs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Homes that actually built and ran a world this round.
+    pub executed: u32,
+    /// Homes served from the memo this round.
+    pub memo_hits: u32,
+    /// Fresh signature discoveries published this round.
+    pub discoveries: u32,
+    /// Intel epoch installed fleet-wide after this round's barrier.
+    pub epoch: u32,
+    /// Per-home installs delivered at this round's barrier.
+    pub installs: u64,
+}
+
+/// Cumulative fleet report over all rounds run so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Number of homes.
+    pub homes: u32,
+    /// Rounds completed.
+    pub rounds: u32,
+    /// The chained fleet digest (home-order fold of every round).
+    pub digest: u64,
+    /// Final installed intel epoch.
+    pub epoch: u32,
+    /// Distinct intel items known to the region.
+    pub intel_len: usize,
+    /// Total signature discoveries published.
+    pub discoveries: u64,
+    /// Total per-home directive installs delivered.
+    pub installs: u64,
+    /// Total non-empty install batches.
+    pub batches: u64,
+    /// Homes served from the memo, cumulative.
+    pub memo_hits: u64,
+    /// Homes that built and ran a world, cumulative.
+    pub memo_misses: u64,
+    /// Distinct interned intel snapshots.
+    pub interned: usize,
+    /// Total simulation events across all home runs.
+    pub events: u64,
+    /// Total µmbox blocks across all home runs.
+    pub blocks: u64,
+    /// Total compromised devices across all home runs.
+    pub compromised: u64,
+    /// Total privacy-leaked devices across all home runs.
+    pub leaked: u64,
+    /// Total safety violations flagged across all home runs.
+    pub flagged: u64,
+}
+
+impl FleetReport {
+    /// The digest as the fixed-width hex string checked into
+    /// `BENCH_E20.json` and compared between legs.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest)
+    }
+}
+
+/// Derive home `home`'s world seed from the fleet seed (splitmix64
+/// finalizer — deterministic, well-spread, collision-free in practice).
+pub fn home_seed(fleet_seed: u64, home: u32) -> u64 {
+    let mut z = fleet_seed ^ (u64::from(home) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Memo key: exact `(home, epoch)` packed into a `u64` — no hashing on
+/// the key itself, so distinct homes can never alias.
+fn memo_key(home: u32, epoch: u32) -> u64 {
+    (u64::from(home) << 32) | u64::from(epoch)
+}
+
+/// Shard selector: multiply-shift over the key's top bits.
+fn memo_shard(key: u64) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize
+}
+
+/// The fleet engine. See the module docs for the round structure.
+pub struct Fleet<S: HomeWorld> {
+    scenario: S,
+    cfg: FleetConfig,
+    dir: Directory,
+    /// Precomputed `[start, end)` home chunks, reused every round.
+    chunks: Vec<(u32, u32)>,
+    /// One outcome slot per home; writing a `Copy` value, never racing
+    /// (each home belongs to exactly one chunk).
+    slots: Vec<Mutex<Option<HomeOutcome>>>,
+    /// The E19-style sharded memo: `(home, epoch) → outcome`.
+    memo: Vec<Mutex<HashMap<u64, HomeOutcome>>>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    /// Per-neighborhood upward discovery buffers.
+    buffers: Vec<NeighborhoodBuffer<AttackSignature>>,
+    /// The regional canonical intel union.
+    region: RegionIntel<AttackSignature>,
+    /// Region-level intern table for intel snapshots.
+    interner: Interner<AttackSignature>,
+    /// Per-home installed epochs + install/batch counters.
+    ledger: InstallLedger,
+    /// The currently installed interned snapshot (shared by every home).
+    intel: Arc<[AttackSignature]>,
+    /// Epoch of `intel` (what the memo keys against).
+    installed_epoch: u32,
+    /// Which homes have already published their discovery (so warm
+    /// rounds stay allocation-free instead of re-publishing).
+    published: Vec<bool>,
+    /// Chained fleet digest across rounds.
+    digest: Fnv64,
+    tracer: Tracer,
+    round: u32,
+    discoveries: u64,
+    events: u64,
+    blocks: u64,
+    compromised: u64,
+    leaked: u64,
+    flagged: u64,
+}
+
+impl<S: HomeWorld> Fleet<S> {
+    /// Build a fleet (no tracing).
+    pub fn new(scenario: S, cfg: FleetConfig) -> Fleet<S> {
+        Fleet::with_tracer(scenario, cfg, Tracer::disabled())
+    }
+
+    /// Build a fleet that emits [`TraceEvent::FleetDiscovery`] /
+    /// [`TraceEvent::FleetBatch`] / [`TraceEvent::FleetInstall`] events
+    /// (at `at_ns = round`) into `tracer` — the propagation golden.
+    pub fn with_tracer(scenario: S, cfg: FleetConfig, tracer: Tracer) -> Fleet<S> {
+        let homes = cfg.homes;
+        let chunk = cfg.chunk.max(1);
+        let chunks =
+            (0..homes.div_ceil(chunk)).map(|c| (c * chunk, ((c + 1) * chunk).min(homes))).collect();
+        let dir = Directory::new(homes, cfg.neighborhood);
+        Fleet {
+            scenario,
+            cfg,
+            dir,
+            chunks,
+            slots: (0..homes).map(|_| Mutex::new(None)).collect(),
+            memo: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+            buffers: (0..dir.neighborhoods()).map(|_| NeighborhoodBuffer::new()).collect(),
+            region: RegionIntel::new(),
+            interner: Interner::new(),
+            ledger: InstallLedger::new(homes as usize),
+            intel: Vec::new().into(),
+            installed_epoch: 0,
+            published: vec![false; homes as usize],
+            digest: Fnv64::new(),
+            tracer,
+            round: 0,
+            discoveries: 0,
+            events: 0,
+            blocks: 0,
+            compromised: 0,
+            leaked: 0,
+            flagged: 0,
+        }
+    }
+
+    /// Run one fleet round: execute every home, merge in home order,
+    /// propagate discoveries through the aggregator hierarchy.
+    ///
+    /// A *quiesced* round (no new intel, every home memoized) performs
+    /// zero heap allocations on the serial path — the warm-fleet
+    /// section of `tests/alloc_counter.rs` pins this.
+    pub fn round(&mut self) -> RoundSummary {
+        let round = self.round;
+        let epoch = self.installed_epoch;
+        let hits_before = self.memo_hits.load(Ordering::Relaxed);
+        let misses_before = self.memo_misses.load(Ordering::Relaxed);
+
+        // --- 1. execute -------------------------------------------------
+        {
+            let scenario = &self.scenario;
+            let memo = &self.memo;
+            let slots = &self.slots;
+            let intel: &[AttackSignature] = &self.intel;
+            let (hits, misses) = (&self.memo_hits, &self.memo_misses);
+            let seed = self.cfg.seed;
+            let exec = |home: u32| {
+                let key = memo_key(home, epoch);
+                let shard = &memo[memo_shard(key)];
+                if let Some(out) = shard.lock().unwrap().get(&key) {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    return *out;
+                }
+                let out = scenario.run_home(home, home_seed(seed, home), intel);
+                shard.lock().unwrap().insert(key, out);
+                misses.fetch_add(1, Ordering::Relaxed);
+                out
+            };
+            if self.cfg.threads <= 1 {
+                for &(start, end) in &self.chunks {
+                    for home in start..end {
+                        *slots[home as usize].lock().unwrap() = Some(exec(home));
+                    }
+                }
+            } else {
+                let injector: Injector<(u32, u32)> = Injector::new();
+                for &c in &self.chunks {
+                    injector.push(c);
+                }
+                let workers: Vec<Worker<(u32, u32)>> =
+                    (0..self.cfg.threads).map(|_| Worker::new_fifo()).collect();
+                let stealers: Vec<Stealer<(u32, u32)>> =
+                    workers.iter().map(|w| w.stealer()).collect();
+                crossbeam::scope(|s| {
+                    for (me, worker) in workers.into_iter().enumerate() {
+                        let injector = &injector;
+                        let stealers = &stealers;
+                        let exec = &exec;
+                        s.spawn(move |_| {
+                            while let Some((start, end)) =
+                                find_task(&worker, injector, stealers, me)
+                            {
+                                for home in start..end {
+                                    *slots[home as usize].lock().unwrap() = Some(exec(home));
+                                }
+                            }
+                        });
+                    }
+                })
+                .unwrap();
+            }
+        }
+
+        // --- 2. merge (serial, home order) ------------------------------
+        self.digest.write_u32(round);
+        self.digest.write_u32(epoch);
+        let mut discoveries = 0u32;
+        for home in 0..self.cfg.homes {
+            let out = self.slots[home as usize]
+                .lock()
+                .unwrap()
+                .expect("every home produces exactly one outcome per round");
+            self.digest.write_u32(home);
+            self.digest.write_u64(out.digest);
+            self.digest.write_u64(out.blocks);
+            self.digest.write_u32(out.compromised);
+            self.digest.write_u32(out.leaked);
+            self.digest.write_u32(out.flagged);
+            self.events += out.events;
+            self.blocks += out.blocks;
+            self.compromised += u64::from(out.compromised);
+            self.leaked += u64::from(out.leaked);
+            self.flagged += u64::from(out.flagged);
+            if out.discovered && !self.published[home as usize] {
+                if let Some(sig) = self.scenario.discovery(home) {
+                    self.published[home as usize] = true;
+                    discoveries += 1;
+                    self.tracer.emit(
+                        u64::from(round),
+                        TraceEvent::FleetDiscovery { home, signature: sig.id },
+                    );
+                    self.buffers[self.dir.neighborhood_of(home) as usize].collect(sig);
+                }
+            }
+        }
+        self.discoveries += u64::from(discoveries);
+
+        // --- 3. barrier (serial, neighborhood order) --------------------
+        let installs_before = self.ledger.installs();
+        let mut upward: Vec<AttackSignature> = Vec::new();
+        for n in 0..self.dir.neighborhoods() {
+            let batch = self.buffers[n as usize].flush();
+            if !batch.is_empty() {
+                upward.extend(batch);
+            }
+        }
+        if self.region.absorb(upward) {
+            let snapshot = self.region.snapshot();
+            self.intel = self.interner.intern(&snapshot);
+            let new_epoch = self.region.epoch();
+            self.installed_epoch = new_epoch;
+            for n in 0..self.dir.neighborhoods() {
+                let range = self.dir.homes_of(n);
+                let advanced = self.ledger.install_batch(range.clone(), new_epoch);
+                if advanced > 0 {
+                    self.tracer.emit(
+                        u64::from(round),
+                        TraceEvent::FleetBatch { neighborhood: n, installs: advanced },
+                    );
+                    for home in range {
+                        self.tracer.emit(
+                            u64::from(round),
+                            TraceEvent::FleetInstall { home, epoch: new_epoch },
+                        );
+                    }
+                }
+            }
+        }
+        self.digest.write_u32(self.installed_epoch);
+
+        self.round += 1;
+        RoundSummary {
+            round,
+            executed: (self.memo_misses.load(Ordering::Relaxed) - misses_before) as u32,
+            memo_hits: (self.memo_hits.load(Ordering::Relaxed) - hits_before) as u32,
+            discoveries,
+            epoch: self.installed_epoch,
+            installs: self.ledger.installs() - installs_before,
+        }
+    }
+
+    /// Run `rounds` rounds and return the cumulative report.
+    pub fn run(&mut self, rounds: u32) -> FleetReport {
+        for _ in 0..rounds {
+            self.round();
+        }
+        self.report()
+    }
+
+    /// The cumulative report so far.
+    pub fn report(&self) -> FleetReport {
+        FleetReport {
+            homes: self.cfg.homes,
+            rounds: self.round,
+            digest: self.digest.finish(),
+            epoch: self.installed_epoch,
+            intel_len: self.region.len(),
+            discoveries: self.discoveries,
+            installs: self.ledger.installs(),
+            batches: self.ledger.batches(),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            interned: self.interner.distinct(),
+            events: self.events,
+            blocks: self.blocks,
+            compromised: self.compromised,
+            leaked: self.leaked,
+            flagged: self.flagged,
+        }
+    }
+
+    /// The chained fleet digest after the rounds run so far.
+    pub fn digest(&self) -> u64 {
+        self.digest.finish()
+    }
+
+    /// Home `home`'s outcome from the most recent round.
+    pub fn outcome(&self, home: u32) -> HomeOutcome {
+        self.slots[home as usize].lock().unwrap().expect("no round has run yet")
+    }
+
+    /// The currently installed interned intel snapshot. Every home
+    /// shares this exact allocation (`Arc::ptr_eq`-comparable).
+    pub fn intel(&self) -> &Arc<[AttackSignature]> {
+        &self.intel
+    }
+
+    /// The intel epoch currently installed fleet-wide.
+    pub fn epoch(&self) -> u32 {
+        self.installed_epoch
+    }
+
+    /// The epoch installed at one home (per the ledger).
+    pub fn installed_at(&self, home: u32) -> u32 {
+        self.ledger.epoch_of(home)
+    }
+
+    /// The home → neighborhood directory.
+    pub fn directory(&self) -> Directory {
+        self.dir
+    }
+}
+
+/// Pop the next chunk: local deque, then the injector, then a sibling —
+/// the E16 work-stealing discipline (chunks never spawn chunks, so an
+/// all-dry scan is a correct termination test).
+fn find_task<T>(
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+    me: usize,
+) -> Option<T> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        match injector.steal() {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    for (i, s) in stealers.iter().enumerate() {
+        if i == me {
+            continue;
+        }
+        loop {
+            match s.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotdev::registry::Sku;
+    use iotlearn::signature::{Matcher, Severity};
+
+    /// A synthetic scenario: outcome digest mixes `(seed, intel len)`;
+    /// homes divisible by `stride` discover once attacked (attacked =
+    /// intel empty).
+    struct Synthetic {
+        stride: u32,
+    }
+
+    impl HomeWorld for Synthetic {
+        fn run_home(&self, home: u32, seed: u64, intel: &[AttackSignature]) -> HomeOutcome {
+            let mut h = Fnv64::new();
+            h.write_u64(seed);
+            h.write_u64(intel.len() as u64);
+            let attacked = intel.is_empty();
+            HomeOutcome {
+                digest: h.finish(),
+                compromised: u32::from(attacked),
+                leaked: 0,
+                blocks: u64::from(!attacked),
+                events: 10,
+                discovered: attacked && home.is_multiple_of(self.stride),
+                flagged: 0,
+            }
+        }
+
+        fn discovery(&self, _home: u32) -> Option<AttackSignature> {
+            Some(AttackSignature::new(
+                Sku::new("v", "m", "1"),
+                "default-credentials",
+                Matcher::MatchAll,
+                Severity::Medium,
+            ))
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_digests_match() {
+        let mut configs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let cfg = FleetConfig { homes: 37, neighborhood: 5, chunk: 3, threads, seed: 7 };
+            let mut fleet = Fleet::new(Synthetic { stride: 10 }, cfg);
+            let report = fleet.run(3);
+            configs.push(report);
+        }
+        assert_eq!(configs[0], configs[1]);
+        assert_eq!(configs[0], configs[2]);
+    }
+
+    #[test]
+    fn discovery_propagates_in_one_round() {
+        let cfg = FleetConfig { homes: 12, neighborhood: 4, chunk: 2, threads: 1, seed: 1 };
+        let mut fleet = Fleet::new(Synthetic { stride: 12 }, cfg);
+        let r0 = fleet.round();
+        // Round 0: everyone attacked, home 0 discovers, installs land at
+        // the barrier.
+        assert_eq!(r0.discoveries, 1);
+        assert_eq!(r0.epoch, 1);
+        assert_eq!(r0.installs, 12);
+        for home in 0..12 {
+            assert_eq!(fleet.installed_at(home), 1);
+        }
+        // Round 1: everyone defended, nothing new.
+        let r1 = fleet.round();
+        assert_eq!(r1.discoveries, 0);
+        assert_eq!(r1.installs, 0);
+        assert_eq!(fleet.outcome(0).blocks, 1);
+        // Round 2: fully memoized.
+        let r2 = fleet.round();
+        assert_eq!(r2.executed, 0);
+        assert_eq!(r2.memo_hits, 12);
+    }
+
+    #[test]
+    fn memo_serves_quiesced_rounds() {
+        let cfg = FleetConfig { homes: 8, neighborhood: 8, chunk: 8, threads: 1, seed: 3 };
+        let mut fleet = Fleet::new(Synthetic { stride: 1 }, cfg);
+        fleet.run(4);
+        let report = fleet.report();
+        // Round 0 (epoch 0) and round 1 (epoch 1) execute; rounds 2-3
+        // are pure memo hits.
+        assert_eq!(report.memo_misses, 16);
+        assert_eq!(report.memo_hits, 16);
+        assert_eq!(report.interned, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! `iotsec-fleet` — the metro/ISP-scale fleet tier (E20, paper §5.1).
+//!
+//! "A logically centralized IoTSec controller" only earns the paper's
+//! billion-device framing if one controller architecture serves a
+//! *population* of homes. This crate runs 10⁴–10⁶ independent home
+//! worlds as one fleet:
+//!
+//! * [`fleet`] — the [`fleet::Fleet`] engine: homes sharded into chunks
+//!   across work-stealing worker threads (the E16 deque triple), a
+//!   64-shard memo keyed by `(home, intel epoch)` (the E19 pattern) so
+//!   quiesced rounds re-serve outcomes without rebuilding worlds, a
+//!   hierarchical home → neighborhood → region intel path with batched
+//!   directive installs, and a chained FNV digest merged in home order
+//!   so `--threads N` is byte-identical to serial.
+//! * [`scenario`] — the canonical E20 home template: a zero-day camera
+//!   only crowdsourced signatures can defend, so one sentinel home's
+//!   discovery flips the whole fleet from breached to protected.
+//!
+//! `World` is deliberately single-threaded, so the unit of parallelism
+//! is one whole home world, built and run inside whichever worker
+//! claims its chunk; everything cross-thread is `Copy` outcomes, shared
+//! read-only intel (`Arc<[AttackSignature]>`), and slot writes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod scenario;
+
+pub use fleet::{home_seed, Fleet, FleetConfig, FleetReport, HomeOutcome, HomeWorld, RoundSummary};
+pub use scenario::FleetScenario;

@@ -1,0 +1,289 @@
+//! The fleet controller hierarchy: home → neighborhood → region (E20).
+//!
+//! [`hier::HierarchicalController`](crate::hier) scales *within* one
+//! home by partitioning devices; this module scales *across* homes. A
+//! metro/ISP fleet is partitioned into fixed-size neighborhoods, each
+//! served by an aggregator that collects crowdsourced discoveries from
+//! its homes and flushes them upward in one batch per round; the
+//! regional tier unions all batches into a canonical intel set and bumps
+//! an epoch counter, and directive installs flow back down batched per
+//! neighborhood. Everything here is generic over the intel item type
+//! `T` (the fleet crate instantiates it with
+//! `iotlearn::AttackSignature`) because the control plane does not
+//! depend on the learning crate — the hierarchy moves opaque ordered
+//! values.
+//!
+//! Determinism: discoveries are drained in home order, the region set is
+//! a `BTreeSet` (canonical iteration order regardless of arrival
+//! order), and batches flush in neighborhood order — so the install
+//! schedule is a pure function of the per-round outcomes, independent
+//! of worker-thread interleaving.
+
+use std::collections::BTreeSet;
+
+/// Maps homes to fixed-size neighborhoods and back.
+///
+/// Home `h` belongs to neighborhood `h / size`; neighborhoods are
+/// contiguous id ranges so chunk-order iteration over homes is also
+/// neighborhood-order iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Directory {
+    homes: u32,
+    size: u32,
+}
+
+impl Directory {
+    /// A directory for `homes` homes in neighborhoods of `size`
+    /// (the last neighborhood may be smaller). `size` is clamped to at
+    /// least 1.
+    pub fn new(homes: u32, size: u32) -> Directory {
+        Directory { homes, size: size.max(1) }
+    }
+
+    /// Total number of homes.
+    pub fn homes(&self) -> u32 {
+        self.homes
+    }
+
+    /// Number of neighborhoods.
+    pub fn neighborhoods(&self) -> u32 {
+        self.homes.div_ceil(self.size)
+    }
+
+    /// The neighborhood a home belongs to.
+    pub fn neighborhood_of(&self, home: u32) -> u32 {
+        home / self.size
+    }
+
+    /// The homes of one neighborhood, as an id range.
+    pub fn homes_of(&self, neighborhood: u32) -> std::ops::Range<u32> {
+        let start = neighborhood * self.size;
+        let end = (start + self.size).min(self.homes);
+        start..end
+    }
+}
+
+/// One neighborhood aggregator's upward buffer: discoveries collected
+/// from its homes during a round, flushed as a single batch at the
+/// round barrier.
+#[derive(Debug)]
+pub struct NeighborhoodBuffer<T> {
+    pending: Vec<T>,
+    batches: u64,
+}
+
+impl<T: Ord> NeighborhoodBuffer<T> {
+    /// An empty buffer.
+    pub fn new() -> NeighborhoodBuffer<T> {
+        NeighborhoodBuffer { pending: Vec::new(), batches: 0 }
+    }
+
+    /// Collect one discovery from a member home.
+    pub fn collect(&mut self, item: T) {
+        self.pending.push(item);
+    }
+
+    /// Number of discoveries waiting for the next flush.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Flush the buffered discoveries upward in canonical (sorted)
+    /// order. Counts a batch only when there was something to flush.
+    pub fn flush(&mut self) -> Vec<T> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        self.batches += 1;
+        let mut out = std::mem::take(&mut self.pending);
+        out.sort();
+        out
+    }
+
+    /// Number of non-empty batches flushed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+}
+
+impl<T: Ord> Default for NeighborhoodBuffer<T> {
+    fn default() -> NeighborhoodBuffer<T> {
+        NeighborhoodBuffer::new()
+    }
+}
+
+/// The regional intel tier: the canonical union of everything every
+/// neighborhood has reported, versioned by an epoch counter.
+#[derive(Debug)]
+pub struct RegionIntel<T> {
+    items: BTreeSet<T>,
+    epoch: u32,
+}
+
+impl<T: Clone + Ord> RegionIntel<T> {
+    /// An empty region at epoch 0.
+    pub fn new() -> RegionIntel<T> {
+        RegionIntel { items: BTreeSet::new(), epoch: 0 }
+    }
+
+    /// Absorb one flushed batch. Returns `true` (and bumps the epoch)
+    /// if the batch contained anything new; re-reports of known intel
+    /// leave the epoch untouched so quiesced rounds stay quiesced.
+    pub fn absorb(&mut self, batch: Vec<T>) -> bool {
+        let mut changed = false;
+        for item in batch {
+            changed |= self.items.insert(item);
+        }
+        if changed {
+            self.epoch += 1;
+        }
+        changed
+    }
+
+    /// Current intel epoch (bumped once per absorbing round, not per
+    /// item).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Number of distinct intel items known to the region.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the region knows nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The canonical snapshot: every known item in `Ord` order, ready
+    /// for the intern table.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.items.iter().cloned().collect()
+    }
+}
+
+impl<T: Clone + Ord> Default for RegionIntel<T> {
+    fn default() -> RegionIntel<T> {
+        RegionIntel::new()
+    }
+}
+
+/// Per-home install bookkeeping: which intel epoch each home has
+/// installed, plus fleet-wide install/batch counters for the E20
+/// directives/sec report.
+#[derive(Debug)]
+pub struct InstallLedger {
+    installed: Vec<u32>,
+    installs: u64,
+    batches: u64,
+}
+
+impl InstallLedger {
+    /// A ledger for `homes` homes, all at epoch 0.
+    pub fn new(homes: usize) -> InstallLedger {
+        InstallLedger { installed: vec![0; homes], installs: 0, batches: 0 }
+    }
+
+    /// The epoch currently installed at a home.
+    pub fn epoch_of(&self, home: u32) -> u32 {
+        self.installed[home as usize]
+    }
+
+    /// Record a batched install bringing every home of `range` up to
+    /// `epoch`. Returns the number of homes actually advanced (0 when
+    /// the batch was a no-op; no batch is counted then).
+    pub fn install_batch(&mut self, range: std::ops::Range<u32>, epoch: u32) -> u32 {
+        let mut advanced = 0;
+        for home in range {
+            let slot = &mut self.installed[home as usize];
+            if *slot < epoch {
+                *slot = epoch;
+                advanced += 1;
+            }
+        }
+        if advanced > 0 {
+            self.batches += 1;
+            self.installs += u64::from(advanced);
+        }
+        advanced
+    }
+
+    /// Total per-home installs performed.
+    pub fn installs(&self) -> u64 {
+        self.installs
+    }
+
+    /// Total non-empty install batches delivered.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// `true` iff every home has installed at least `epoch`.
+    pub fn all_at_least(&self, epoch: u32) -> bool {
+        self.installed.iter().all(|&e| e >= epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_partitions_contiguously() {
+        let d = Directory::new(10, 4);
+        assert_eq!(d.neighborhoods(), 3);
+        assert_eq!(d.homes_of(0), 0..4);
+        assert_eq!(d.homes_of(1), 4..8);
+        assert_eq!(d.homes_of(2), 8..10);
+        for h in 0..10 {
+            assert!(d.homes_of(d.neighborhood_of(h)).contains(&h));
+        }
+    }
+
+    #[test]
+    fn directory_clamps_zero_size() {
+        let d = Directory::new(3, 0);
+        assert_eq!(d.neighborhoods(), 3);
+        assert_eq!(d.homes_of(2), 2..3);
+    }
+
+    #[test]
+    fn buffer_flushes_sorted_and_counts_batches() {
+        let mut b: NeighborhoodBuffer<u32> = NeighborhoodBuffer::new();
+        assert!(b.flush().is_empty());
+        assert_eq!(b.batches(), 0);
+        b.collect(9);
+        b.collect(3);
+        assert_eq!(b.pending(), 2);
+        assert_eq!(b.flush(), vec![3, 9]);
+        assert_eq!(b.pending(), 0);
+        assert_eq!(b.batches(), 1);
+    }
+
+    #[test]
+    fn region_epoch_bumps_only_on_new_intel() {
+        let mut r: RegionIntel<u32> = RegionIntel::new();
+        assert!(r.absorb(vec![5, 1]));
+        assert_eq!(r.epoch(), 1);
+        assert_eq!(r.snapshot(), vec![1, 5]);
+        // Re-reporting known intel is a no-op round.
+        assert!(!r.absorb(vec![1, 5]));
+        assert_eq!(r.epoch(), 1);
+        assert!(r.absorb(vec![5, 7]));
+        assert_eq!(r.epoch(), 2);
+        assert_eq!(r.snapshot(), vec![1, 5, 7]);
+    }
+
+    #[test]
+    fn ledger_counts_installs_and_skips_noop_batches() {
+        let mut l = InstallLedger::new(6);
+        assert_eq!(l.install_batch(0..3, 1), 3);
+        assert_eq!(l.install_batch(0..3, 1), 0);
+        assert_eq!(l.install_batch(3..6, 1), 3);
+        assert_eq!((l.installs(), l.batches()), (6, 2));
+        assert!(l.all_at_least(1));
+        assert!(!l.all_at_least(2));
+        assert_eq!(l.epoch_of(4), 1);
+    }
+}

@@ -34,10 +34,15 @@
 //! deterministic trace stream checks fail-closed coverage, posture
 //! monotonicity, bounded staleness and FSM continuity every tick, and
 //! escalates repeat offenders into a per-class quarantine posture.
+//! [`aggregate`] stacks one more tier on top for the E20 fleet: home →
+//! neighborhood aggregator → region, with batched directive installs
+//! and an epoch-versioned canonical intel union, all deterministic in
+//! home/neighborhood order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod concurrent;
 pub mod controller;
 pub mod delivery;
@@ -47,6 +52,7 @@ pub mod hier;
 pub mod safety;
 pub mod view;
 
+pub use aggregate::{Directory, InstallLedger, NeighborhoodBuffer, RegionIntel};
 pub use controller::{Controller, ControllerConfig, ControllerStats};
 pub use delivery::{DeliveryChannel, DeliveryConfig, DeliveryStats};
 pub use directive::{Criticality, Directive};

@@ -24,7 +24,7 @@ pub enum Severity {
 }
 
 /// An executable packet predicate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Matcher {
     /// A management login using specific (default) credentials.
     DefaultCredLogin {
@@ -158,7 +158,7 @@ impl Prefilter {
 }
 
 /// A SKU-scoped attack signature — the unit the repository exchanges.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct AttackSignature {
     /// Repository-assigned id (0 until published).
     pub id: u64,

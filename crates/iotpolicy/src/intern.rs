@@ -1,0 +1,98 @@
+//! Region-level interning of shared rulesets and vuln intel (E20).
+//!
+//! The paper's §5.1 scalability argument is that per-device policies are
+//! *shared*, not per-home: one crowdsourced signature set serves every
+//! subscribed home in a metro region. The fleet tier therefore interns
+//! each distinct intel snapshot exactly once per region and hands every
+//! home an `Arc` to the same allocation — 10⁵ homes hold 10⁵ pointers,
+//! not 10⁵ copies. Interning is keyed by value equality over the sorted
+//! snapshot, so two epochs with identical content share one allocation
+//! and pointer equality (`Arc::ptr_eq`) becomes a cheap "nothing
+//! changed" test on the install path.
+
+use std::sync::Arc;
+
+/// A value-keyed intern table handing out shared `Arc<[T]>` snapshots.
+///
+/// Lookups are a linear scan over previously interned snapshots: the
+/// table holds one entry per *distinct intel epoch* (a handful over a
+/// fleet run), not per home, so a scan beats a hash table and keeps the
+/// structure dependency-free.
+#[derive(Debug, Default)]
+pub struct Interner<T> {
+    snapshots: Vec<Arc<[T]>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T: Clone + PartialEq> Interner<T> {
+    /// An empty intern table.
+    pub fn new() -> Interner<T> {
+        Interner { snapshots: Vec::new(), hits: 0, misses: 0 }
+    }
+
+    /// Intern a snapshot: returns the shared allocation for this exact
+    /// sequence, allocating only the first time it is seen.
+    ///
+    /// The caller is responsible for presenting snapshots in a canonical
+    /// (sorted, deduplicated) order — the table compares sequences, it
+    /// does not normalize them.
+    pub fn intern(&mut self, items: &[T]) -> Arc<[T]> {
+        if let Some(found) = self.snapshots.iter().find(|s| s.as_ref() == items) {
+            self.hits += 1;
+            return Arc::clone(found);
+        }
+        self.misses += 1;
+        let snap: Arc<[T]> = items.to_vec().into();
+        self.snapshots.push(Arc::clone(&snap));
+        snap
+    }
+
+    /// Number of distinct snapshots interned so far.
+    pub fn distinct(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `(hits, misses)` — lookups served from an existing allocation vs
+    /// lookups that allocated a new snapshot.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_snapshots_share_one_allocation() {
+        let mut t: Interner<u32> = Interner::new();
+        let a = t.intern(&[1, 2, 3]);
+        let b = t.intern(&[1, 2, 3]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(t.distinct(), 1);
+        assert_eq!(t.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_snapshots_get_distinct_allocations() {
+        let mut t: Interner<u32> = Interner::new();
+        let a = t.intern(&[1, 2]);
+        let b = t.intern(&[1, 2, 3]);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(t.distinct(), 2);
+        // Order matters: the table does not normalize.
+        let c = t.intern(&[2, 1]);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(t.distinct(), 3);
+    }
+
+    #[test]
+    fn empty_snapshot_is_interned_once() {
+        let mut t: Interner<u32> = Interner::new();
+        let a = t.intern(&[]);
+        let b = t.intern(&[]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(t.distinct(), 1);
+    }
+}

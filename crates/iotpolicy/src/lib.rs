@@ -32,6 +32,8 @@
 //! * [`explore`] — exhaustive sweeps and frontier BFS over the packed
 //!   space, serial and work-stealing parallel, differentially equal to
 //!   the naive engines.
+//! * [`intern`] — region-level value-keyed interning of shared rulesets
+//!   and vuln intel for the E20 fleet tier.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +42,7 @@ pub mod compile;
 pub mod conflict;
 pub mod context;
 pub mod explore;
+pub mod intern;
 pub mod packed;
 pub mod policy;
 pub mod posture;
@@ -51,6 +54,7 @@ pub use compile::PolicyCompiler;
 pub use conflict::{Conflict, ConflictKind};
 pub use context::SecurityContext;
 pub use explore::{BfsStats, SpaceStats};
+pub use intern::Interner;
 pub use packed::{MemoPolicy, PackedLayout, PackedState};
 pub use policy::{FsmPolicy, PolicyRule, StatePattern};
 pub use posture::{

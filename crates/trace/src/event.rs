@@ -198,6 +198,33 @@ pub enum TraceEvent {
         /// Number of states first reached at this depth.
         frontier: u64,
     },
+    /// A fleet home published a crowdsourced signature discovery to its
+    /// neighborhood aggregator (E20). Emitted with `at_ns = round`, so a
+    /// control-only golden fleet trace is the propagation schedule
+    /// itself.
+    FleetDiscovery {
+        /// Discovering home id.
+        home: u32,
+        /// Repository-assigned signature id.
+        signature: u64,
+    },
+    /// A neighborhood aggregator flushed a batch of directive installs
+    /// upward/downward during a fleet round barrier (E20). Emitted with
+    /// `at_ns = round`.
+    FleetBatch {
+        /// Neighborhood aggregator id.
+        neighborhood: u32,
+        /// Number of per-home installs carried by this batch.
+        installs: u32,
+    },
+    /// A home's installed ruleset advanced to a new region intel epoch
+    /// (E20). Emitted with `at_ns = round`.
+    FleetInstall {
+        /// Home id.
+        home: u32,
+        /// Region intel epoch now installed at this home.
+        epoch: u32,
+    },
     /// A packet entered a µmbox chain.
     UmboxEnter {
         /// Protected device id.
@@ -252,6 +279,9 @@ impl TraceEvent {
             TraceEvent::BreakerClose { .. } => "breaker-close",
             TraceEvent::QuarantineInstalled { .. } => "quarantine-install",
             TraceEvent::SpaceFrontier { .. } => "space-frontier",
+            TraceEvent::FleetDiscovery { .. } => "fleet-discovery",
+            TraceEvent::FleetBatch { .. } => "fleet-batch",
+            TraceEvent::FleetInstall { .. } => "fleet-install",
             TraceEvent::CacheHit { .. } => "cache-hit",
             TraceEvent::CacheMiss { .. } => "cache-miss",
             TraceEvent::PolicyDrop { .. } => "policy-drop",
@@ -292,6 +322,9 @@ impl TraceEvent {
             | TraceEvent::CacheMiss { .. }
             | TraceEvent::PolicyDrop { .. } => "iotnet",
             TraceEvent::SpaceFrontier { .. } => "iotpolicy",
+            TraceEvent::FleetDiscovery { .. }
+            | TraceEvent::FleetBatch { .. }
+            | TraceEvent::FleetInstall { .. } => "fleet",
         }
     }
 
@@ -359,6 +392,15 @@ impl TraceEvent {
             TraceEvent::SpaceFrontier { depth, frontier } => {
                 let _ = write!(out, ",\"depth\":{depth},\"frontier\":{frontier}");
             }
+            TraceEvent::FleetDiscovery { home, signature } => {
+                let _ = write!(out, ",\"home\":{home},\"sig\":{signature}");
+            }
+            TraceEvent::FleetBatch { neighborhood, installs } => {
+                let _ = write!(out, ",\"nbhd\":{neighborhood},\"installs\":{installs}");
+            }
+            TraceEvent::FleetInstall { home, epoch } => {
+                let _ = write!(out, ",\"home\":{home},\"epoch\":{epoch}");
+            }
         }
         out.push('}');
     }
@@ -395,6 +437,15 @@ mod tests {
         out.clear();
         TraceEvent::SpaceFrontier { depth: 2, frontier: 84 }.write_json(2, &mut out);
         assert_eq!(out, r#"{"t":2,"e":"space-frontier","depth":2,"frontier":84}"#);
+        out.clear();
+        TraceEvent::FleetDiscovery { home: 7, signature: 9001 }.write_json(1, &mut out);
+        assert_eq!(out, r#"{"t":1,"e":"fleet-discovery","home":7,"sig":9001}"#);
+        out.clear();
+        TraceEvent::FleetBatch { neighborhood: 2, installs: 100 }.write_json(1, &mut out);
+        assert_eq!(out, r#"{"t":1,"e":"fleet-batch","nbhd":2,"installs":100}"#);
+        out.clear();
+        TraceEvent::FleetInstall { home: 0, epoch: 1 }.write_json(2, &mut out);
+        assert_eq!(out, r#"{"t":2,"e":"fleet-install","home":0,"epoch":1}"#);
     }
 
     #[test]
@@ -410,6 +461,16 @@ mod tests {
             EventClass::Control
         );
         assert_eq!(TraceEvent::SpaceFrontier { depth: 0, frontier: 1 }.component(), "iotpolicy");
+        // Fleet propagation events are control class: a handful per
+        // round, compact enough for the E20 propagation golden.
+        for ev in [
+            TraceEvent::FleetDiscovery { home: 0, signature: 1 },
+            TraceEvent::FleetBatch { neighborhood: 0, installs: 1 },
+            TraceEvent::FleetInstall { home: 0, epoch: 1 },
+        ] {
+            assert_eq!(ev.class(), EventClass::Control, "{}", ev.kind());
+            assert_eq!(ev.component(), "fleet", "{}", ev.kind());
+        }
     }
 
     #[test]

@@ -33,18 +33,22 @@
 //! * [`aggregate`] — in-process trace aggregation (per-component event
 //!   histograms, top-K hot switches/µmboxes) for `experiments --trace`.
 //! * [`diff`] — first-divergence reporting for golden-trace tests.
+//! * [`digest`] — streaming FNV-1a digests for fleet-scale (E20)
+//!   serial≡parallel comparisons without retaining per-home output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod diff;
+pub mod digest;
 pub mod event;
 pub mod registry;
 pub mod tracer;
 
 pub use aggregate::TraceAggregator;
 pub use diff::{first_divergence, render_divergence, Divergence};
+pub use digest::Fnv64;
 pub use event::{EventClass, TraceEvent};
 pub use registry::{MetricValue, MetricsRegistry};
 pub use tracer::{TraceConfig, Tracer};

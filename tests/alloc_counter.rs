@@ -115,7 +115,14 @@ fn world_construction_allocation_profile() {
     });
     assert_eq!(sweep, 0, "warm packed sweep must not allocate");
 
-    // 5. The full engine tick (E21): schedule → fire → forward → verdict
+    // 5. The warm fleet tick (E20): once a fleet's intel epoch stops
+    // moving, a whole round is memo replay — every home's outcome is a
+    // `(home, epoch)` memo hit, the merge writes Copy outcomes and folds
+    // the digest in place, and the barrier flushes empty buffers into a
+    // no-op absorb. A steady-state fleet round must not allocate at all.
+    warm_fleet_round_is_allocation_free();
+
+    // 6. The full engine tick (E21): schedule → fire → forward → verdict
     // through a steered IDS chain is allocation-free once warm. Event
     // payloads live in the generational arena, wheel slots and heaps
     // move Copy tickets, the decision cache is keyed by the packed flow
@@ -135,6 +142,27 @@ const STEADY_STEP_NS: u64 = 1 << 21;
 /// re-anchor crossing at the 2^30 ns boundary.
 const STEADY_WARM: u64 = 576;
 const STEADY_MEASURE: u64 = 64;
+
+fn warm_fleet_round_is_allocation_free() {
+    use iotsec_fleet::{Fleet, FleetConfig, FleetScenario};
+
+    let cfg = FleetConfig { homes: 8, neighborhood: 3, chunk: 2, threads: 1, seed: 42 };
+    let mut fleet = Fleet::new(FleetScenario::new(8), cfg);
+    // Warm rounds: round 0 breaches and installs the discovered
+    // signature (epoch 0 → 1), round 1 populates the epoch-1 memo,
+    // round 2 proves the fleet has quiesced.
+    fleet.run(3);
+    let quiesced = fleet.report();
+    assert_eq!(quiesced.epoch, 1, "the fleet must have quiesced before measuring");
+
+    let allocs = min_allocs_over(3, || {
+        let r = fleet.round();
+        assert_eq!(r.executed, 0, "a quiesced round must be pure memo replay");
+        assert_eq!(r.memo_hits, 8);
+        std::hint::black_box(fleet.digest())
+    });
+    assert_eq!(allocs, 0, "warm fleet round (memo → merge → barrier) must not allocate");
+}
 
 fn steady_engine_tick_is_allocation_free() {
     use iotsec_repro::iotdev::device::{AdminCreds, DeviceId};

@@ -1,0 +1,124 @@
+//! E20 propagation regression: one sentinel home's crowdsourced
+//! discovery must reach *every* home in the fleet within the batching
+//! bound (the next round barrier), through the home → neighborhood →
+//! region hierarchy, with the install order pinned by a checked-in
+//! golden fleet trace.
+//!
+//! Bless an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test fleet_propagation
+//! ```
+
+use iotsec_fleet::{Fleet, FleetConfig, FleetScenario};
+use iotsec_repro::iotlearn::AttackSignature;
+use iotsec_repro::trace::{first_divergence, render_divergence, TraceConfig, Tracer};
+
+/// The seed the golden fleet trace was blessed at.
+const GOLDEN_SEED: u64 = 42;
+const HOMES: u32 = 12;
+const NEIGHBORHOOD: u32 = 4;
+
+fn fleet_cfg() -> FleetConfig {
+    FleetConfig {
+        homes: HOMES,
+        neighborhood: NEIGHBORHOOD,
+        chunk: 3,
+        threads: 1,
+        seed: GOLDEN_SEED,
+    }
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}.jsonl", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {path}: {e}\nbless it with UPDATE_GOLDEN=1 cargo test --test \
+             fleet_propagation"
+        )
+    });
+    if let Some(d) = first_divergence(&expected, actual) {
+        panic!(
+            "golden fleet trace '{name}' diverged.\n{}\nIf the change is intentional, regenerate \
+             with UPDATE_GOLDEN=1 cargo test --test fleet_propagation and review the diff.",
+            render_divergence(&d)
+        );
+    }
+}
+
+/// The batching bound: a signature discovered in round R is installed in
+/// every home at round R's barrier — by round R+1 every world runs
+/// defended, and the ledger says so per home.
+#[test]
+fn discovery_reaches_every_home_within_one_barrier() {
+    let mut fleet = Fleet::new(FleetScenario::new(HOMES), fleet_cfg());
+    let r0 = fleet.round();
+    assert_eq!(r0.discoveries, 1, "exactly one sentinel (home 0) publishes");
+    assert_eq!(r0.epoch, 1, "the region epoch moves at the same barrier");
+    assert_eq!(r0.installs, u64::from(HOMES), "every home gets the directive batch");
+    for home in 0..HOMES {
+        assert_eq!(fleet.installed_at(home), 1, "home {home} missed the install wave");
+    }
+    // The installed snapshot *is* the discovered signature: the canonical
+    // Table 1 row 1 default-credential ruleset for the camera SKU.
+    let scenario = FleetScenario::new(HOMES);
+    let cam_sku = &scenario.template().devices[0].sku;
+    let expected = AttackSignature::for_table1_row(1, cam_sku).expect("row 1 has a signature");
+    assert_eq!(fleet.intel().as_ref(), &[expected][..]);
+
+    // Round R+1: every home now runs with the signature in its ruleset —
+    // the standing IDS blocks the campaign fleet-wide.
+    fleet.round();
+    for home in 0..HOMES {
+        let o = fleet.outcome(home);
+        assert_eq!(o.leaked, 0, "home {home} still leaks after the install wave: {o:?}");
+        assert!(o.blocks > 0, "home {home} has the ruleset but never matched it: {o:?}");
+    }
+}
+
+/// The region interns the snapshot once: 10¹ neighborhoods × 10¹ homes
+/// all share the same `Arc` allocation, and the interner records exactly
+/// one distinct snapshot for the whole propagation wave.
+#[test]
+fn installed_intel_is_one_shared_snapshot() {
+    let mut fleet = Fleet::new(FleetScenario::new(HOMES), fleet_cfg());
+    fleet.run(2);
+    let report = fleet.report();
+    assert_eq!(report.interned, 1, "one discovery must intern exactly one snapshot");
+    assert_eq!(report.intel_len, 1);
+    assert_eq!(report.installs, u64::from(HOMES));
+    assert_eq!(
+        report.batches,
+        u64::from(HOMES.div_ceil(NEIGHBORHOOD)),
+        "installs must flow as one batch per neighborhood"
+    );
+    // The snapshot handle is literally shared, not per-home copies.
+    let a = fleet.intel().clone();
+    let b = fleet.intel().clone();
+    assert!(std::sync::Arc::ptr_eq(&a, &b));
+}
+
+/// The install order is pinned: discovery, then per-neighborhood batches
+/// in neighborhood order, then per-home installs in home order — the
+/// checked-in golden fleet trace is the regression surface.
+#[test]
+fn fleet_trace_matches_golden() {
+    let tracer = Tracer::new(TraceConfig::control_only());
+    let mut fleet = Fleet::with_tracer(FleetScenario::new(HOMES), fleet_cfg(), tracer.clone());
+    fleet.run(3);
+    let trace = tracer.to_jsonl();
+    for kind in ["fleet-discovery", "fleet-batch", "fleet-install"] {
+        assert!(
+            trace.lines().any(|l| l.contains(&format!("\"e\":\"{kind}\""))),
+            "fleet golden must contain a '{kind}' event:\n{trace}"
+        );
+    }
+    // Quiesced rounds emit nothing: the trace is exactly the round-0
+    // propagation wave (1 discovery + 3 batches + 12 installs).
+    assert_eq!(trace.lines().count(), 1 + 3 + HOMES as usize);
+    check_golden("fleet_propagation", &trace);
+}

@@ -86,6 +86,92 @@ fn shrinking_is_deterministic_across_threads() {
     assert_eq!(shrink(&spec).expect("scenario violates").artifact, reference);
 }
 
+/// A seeded vet batch run *as a fleet* (E20): each home is one
+/// generated scenario's defense-on world, `flagged` carries its
+/// invariant-violation count, and the fleet must agree with the
+/// single-world oracle home-for-home at every thread count.
+struct VetFleet {
+    specs: Vec<ScenarioSpec>,
+}
+
+impl iotsec_fleet::HomeWorld for VetFleet {
+    fn run_home(
+        &self,
+        home: u32,
+        seed: u64,
+        _intel: &[iotsec_repro::iotlearn::AttackSignature],
+    ) -> iotsec_fleet::HomeOutcome {
+        let violations = iotsec_fuzz::oracle::defense_on_violations(&self.specs[home as usize]);
+        let mut h = iotsec_repro::trace::Fnv64::new();
+        h.write_u64(seed);
+        for v in &violations {
+            h.write_u64(v.at_ns);
+            h.write_u32(v.device);
+            h.write_bytes(v.invariant.as_bytes());
+        }
+        iotsec_fleet::HomeOutcome {
+            digest: h.finish(),
+            flagged: violations.len() as u32,
+            ..Default::default()
+        }
+    }
+
+    fn discovery(&self, _home: u32) -> Option<iotsec_repro::iotlearn::AttackSignature> {
+        None
+    }
+}
+
+/// Half the batch is the correct-defense family (must vet clean), half
+/// is the weakened family (violations expected); the fleet's per-home
+/// verdicts must match `run_oracle`, and the fleet digest must be
+/// byte-identical serial vs parallel.
+#[test]
+fn fleet_vet_batch_matches_single_world_oracle() {
+    use iotsec_fleet::{Fleet, FleetConfig};
+
+    let mut specs = Vec::new();
+    for seed in 0..4u64 {
+        specs.push(generate(seed, &GenConfig::default()));
+    }
+    let (seed, violating) = first_violating_seed(0);
+    specs.push(violating);
+    for s in [seed + 1, seed + 2, seed + 3] {
+        specs.push(generate(s, &weakened()));
+    }
+    let homes = specs.len() as u32;
+
+    let run_batch = |threads: usize| {
+        let cfg = FleetConfig { homes, neighborhood: 3, chunk: 2, threads, seed: 7 };
+        let mut fleet = Fleet::new(VetFleet { specs: specs.clone() }, cfg);
+        fleet.round();
+        let outcomes: Vec<_> = (0..homes).map(|h| fleet.outcome(h)).collect();
+        (fleet.digest(), outcomes)
+    };
+
+    let (digest, outcomes) = run_batch(1);
+    let (par_digest, par_outcomes) = run_batch(2);
+    assert_eq!(par_digest, digest, "vet fleet must be thread-invariant");
+    assert_eq!(par_outcomes, outcomes);
+
+    let mut saw_violation = false;
+    for (home, (spec, out)) in specs.iter().zip(&outcomes).enumerate() {
+        let report = run_oracle(spec);
+        assert_eq!(
+            out.flagged > 0,
+            report.verdict == Verdict::Violation,
+            "home {home}: fleet flagged {} but oracle said {:?}",
+            out.flagged,
+            report.verdict
+        );
+        assert_eq!(out.flagged as usize, report.violations.len(), "home {home}");
+        if home < 4 {
+            assert_eq!(out.flagged, 0, "correct-defense home {home} must vet clean");
+        }
+        saw_violation |= out.flagged > 0;
+    }
+    assert!(saw_violation, "the weakened half of the batch must flag at least one home");
+}
+
 /// Distinct violating seeds each shrink deterministically (rerun equals
 /// first run) — the minimality loop never samples anything outside the
 /// spec.

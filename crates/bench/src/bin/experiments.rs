@@ -40,12 +40,16 @@
 //! violation or a vacuous scenario, if the parallel sweep diverges from
 //! the serial reference, or if the weakened-defense arm fails to
 //! produce a shrinkable violation — the CI vet-gate job depends on
-//! that.
+//! that. The `e25` arm always writes `BENCH_E25.json` (stable per-cell
+//! convergence rounds, digests and fault/recovery counters plus a
+//! `wall_ms` volatile section) and exits non-zero if any chaos cell
+//! fails to recover by the deadline, trips the fleet trace checker, or
+//! diverges on rerun — the CI fleet-chaos-gate job depends on that.
 
 use iotsec_bench::{
-    exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_engine, exp_fleet, exp_models, exp_perf,
-    exp_pipeline, exp_policy, exp_safety, exp_space, exp_trace, exp_umbox, exp_vet, exp_world,
-    metrics,
+    exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_engine, exp_fleet, exp_fleet_chaos, exp_models,
+    exp_perf, exp_pipeline, exp_policy, exp_safety, exp_space, exp_trace, exp_umbox, exp_vet,
+    exp_world, metrics,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -231,6 +235,20 @@ fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
             println!("wrote {path}");
             return Some((report.scenarios as u64, 0.0, report.deterministic()));
         }
+        "fleet_chaos" | "e25" => {
+            let report = exp_fleet_chaos::fleet_chaos();
+            report.table.print();
+            println!("{}", report.summary);
+            println!();
+            let path = "BENCH_E25.json";
+            std::fs::write(path, report.render_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path}");
+            let faults: u64 = report.cells.iter().map(|c| c.faults).sum();
+            return Some((faults, 0.0, report.deterministic));
+        }
         _ => return None,
     }
     Some((0, 0.0, true))
@@ -265,6 +283,7 @@ const ALL: &[&str] = &[
     "fleet",
     "engine",
     "vet",
+    "fleet_chaos",
 ];
 
 fn render_json(seed: u64, threads: usize, records: &[Record]) -> String {

@@ -26,6 +26,7 @@
 //! | E20 | [`exp_fleet`] (the fleet-scale sharded controller) |
 //! | E21 | [`exp_engine`] (the arena event engine + packed fast path) |
 //! | E23 | [`exp_vet`] (the adversarial vet campaign and CI gate) |
+//! | E25 | [`exp_fleet_chaos`] (fleet fault tolerance and recovery) |
 //!
 //! [`metrics`] holds the runner's thread-local engine-counter registry,
 //! drained into each experiment's `BENCH_E16.json` record.
@@ -39,6 +40,7 @@ pub mod exp_crowd;
 pub mod exp_ctl;
 pub mod exp_engine;
 pub mod exp_fleet;
+pub mod exp_fleet_chaos;
 pub mod exp_models;
 pub mod exp_perf;
 pub mod exp_pipeline;

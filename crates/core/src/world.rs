@@ -29,7 +29,7 @@ use iotnet::addr::{EndpointId, Ipv4Addr, NodeId, SwitchId};
 use iotnet::faults::FaultScheduler;
 use iotnet::flow::{FlowAction, FlowMatch, FlowRule, SteerId};
 use iotnet::link::LinkParams;
-use iotnet::net::{InlineProcessor, InlineVerdict, Network};
+use iotnet::net::{InlineProcessor, InlineVerdict, NetScrap, Network};
 use iotnet::packet::{Packet, TcpFlags, TransportHeader};
 use iotnet::time::{SimDuration, SimTime};
 use iotnet::topology::TopologyBuilder;
@@ -164,6 +164,22 @@ struct UmboxSlot {
     instance: UmboxId,
 }
 
+/// Recyclable heap banked between consecutive home-world builds.
+///
+/// Holds the network-layer buffers ([`NetScrap`]) reclaimed from a torn-down
+/// [`World`] so the next [`World::new_home_recycled`] build reuses their
+/// allocations instead of paying the per-home construction cost again.
+/// Only flat, order-insensitive buffers are recycled — hash maps are
+/// deliberately excluded so iteration order can never differ between a
+/// recycled and a cold build. An empty (default) scrap builds exactly like
+/// [`World::new_home`].
+#[derive(Debug, Default)]
+pub struct WorldScrap {
+    /// Reclaimed network buffers (event queue arena, capture ring,
+    /// delivery scratch).
+    pub net: NetScrap,
+}
+
 /// The running world.
 pub struct World {
     /// Current simulated time.
@@ -296,7 +312,43 @@ impl World {
         World::build(template, tracer, Some(home))
     }
 
+    /// [`World::new_home`], rebuilding out of a [`WorldScrap`]'s retained
+    /// heap instead of allocating cold.
+    ///
+    /// A fleet worker runs thousands of homes back to back, and each
+    /// home's dominant construction cost is its network heap (event
+    /// queue arena, capture ring, delivery scratch — ~400 KB per home,
+    /// ~95% of the build's bytes).
+    /// Those buffers die with the world even though the next home wants
+    /// identically-shaped ones. This constructor threads the previous
+    /// world's reclaimed buffers (see [`World::reclaim_into`]) into the
+    /// network build; everything else is constructed exactly as
+    /// [`World::new_home`] does, so a recycled world is behaviorally
+    /// indistinguishable from a cold one.
+    pub fn new_home_recycled(
+        template: &Deployment,
+        home: &HomeOverrides<'_>,
+        scrap: &mut WorldScrap,
+    ) -> World {
+        World::build_with_scrap(template, Tracer::disabled(), Some(home), Some(scrap))
+    }
+
+    /// Tear the world down, banking its recyclable heap into `scrap` for
+    /// the next [`World::new_home_recycled`] build.
+    pub fn reclaim_into(self, scrap: &mut WorldScrap) {
+        scrap.net = self.net.reclaim();
+    }
+
     fn build(deployment: &Deployment, tracer: Tracer, home: Option<&HomeOverrides<'_>>) -> World {
+        World::build_with_scrap(deployment, tracer, home, None)
+    }
+
+    fn build_with_scrap(
+        deployment: &Deployment,
+        tracer: Tracer,
+        home: Option<&HomeOverrides<'_>>,
+        scrap: Option<&mut WorldScrap>,
+    ) -> World {
         let seed = home.map_or(deployment.seed, |h| h.seed);
         let extra: &[AttackSignature] = home.map_or(&[], |h| h.extra_signatures);
         // The safety monitor subscribes to the deterministic trace
@@ -348,7 +400,12 @@ impl World {
         let victim_ep = deployment.needs_victim().then(|| {
             b.attach_endpoint_with(core, LinkParams::wan(), Ipv4Addr::new(203, 0, 113, 50))
         });
-        let mut net = Network::with_queue(b.build(), seed, deployment.queue);
+        let mut net = match scrap {
+            Some(scrap) => {
+                Network::with_queue_recycled(b.build(), seed, deployment.queue, &mut scrap.net)
+            }
+            None => Network::with_queue(b.build(), seed, deployment.queue),
+        };
         net.set_tracer(tracer.clone());
 
         // --- devices ------------------------------------------------------

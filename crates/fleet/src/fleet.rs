@@ -23,11 +23,26 @@
 //! a slot is written, never what it holds — so the chained digest is
 //! byte-identical at any thread count, which `experiments e20` and
 //! `tests/fleet_props.rs` enforce.
+//!
+//! **Chaos (E25).** A fleet built with [`Fleet::with_chaos`] runs the
+//! same three parts under a seeded [`crate::chaos::FleetChaos`]
+//! schedule: flushes can be dropped/duplicated/reordered, aggregators
+//! crash and respawn from the checkpointed region log, neighborhoods
+//! partition from the region for whole rounds, and install waves slip.
+//! Every fault decision is rolled serially at the barrier as a pure
+//! function of `(chaos seed, round, neighborhood)`, so chaos-on runs
+//! stay byte-identical at any thread count. Under chaos homes diverge
+//! in installed epoch, so execution keys each home's memo lookup and
+//! intel snapshot by *its* ledger epoch; chaos-off every home shares
+//! one epoch and the path reduces exactly to the paragraph above —
+//! same digest bytes, same trace, same `BENCH_E20.json`.
 
+use crate::chaos::FleetChaos;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use iotctl::aggregate::{Directory, InstallLedger, NeighborhoodBuffer, RegionIntel};
+use iotctl::aggregate::{Directory, InstallLedger, NeighborhoodBuffer, RegionIntel, RegionLog};
 use iotlearn::AttackSignature;
 use iotpolicy::intern::Interner;
+use iotsec::world::WorldScrap;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -68,6 +83,23 @@ pub struct HomeOutcome {
 pub trait HomeWorld: Sync {
     /// Build and run one home world entirely on the calling thread.
     fn run_home(&self, home: u32, seed: u64, intel: &[AttackSignature]) -> HomeOutcome;
+
+    /// [`HomeWorld::run_home`], given a per-worker [`WorldScrap`] to
+    /// recycle the previous home's heap (arenas, rings, scratch
+    /// vectors) instead of cold-allocating ~400 KB per construction.
+    /// Must return **exactly** what `run_home` returns — recycling is a
+    /// capacity optimization, never a semantic one (the long-campaign
+    /// section of `tests/alloc_counter.rs` pins both properties). The
+    /// default ignores the scrap, so synthetic scenarios need not care.
+    fn run_home_recycled(
+        &self,
+        home: u32,
+        seed: u64,
+        intel: &[AttackSignature],
+        _scrap: &mut WorldScrap,
+    ) -> HomeOutcome {
+        self.run_home(home, seed, intel)
+    }
 
     /// Materialize the signature home `home` publishes on discovery.
     /// Called on the coordinator thread only, once per discovering home.
@@ -155,6 +187,15 @@ pub struct FleetReport {
     pub leaked: u64,
     /// Total safety violations flagged across all home runs.
     pub flagged: u64,
+    /// Chaos faults injected (0 chaos-off).
+    pub faults: u64,
+    /// Chaos recoveries completed (0 chaos-off).
+    pub recoveries: u64,
+    /// Rounds the fleet declared degraded (0 chaos-off).
+    pub degraded_rounds: u64,
+    /// Every published discovery absorbed and every home at the region
+    /// epoch (always `true` chaos-off).
+    pub converged: bool,
 }
 
 impl FleetReport {
@@ -185,6 +226,53 @@ fn memo_shard(key: u64) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize
 }
 
+/// A pending flush retry: the dropped batch, how many times it has been
+/// attempted, and the round it next pumps (bounded exponential backoff,
+/// the E15 `DeliveryChannel` discipline lifted to batches).
+#[derive(Debug)]
+struct RetryState {
+    batch: Vec<AttackSignature>,
+    attempt: u32,
+    due: u32,
+}
+
+/// Per-neighborhood aggregator recovery state (all inert chaos-off).
+#[derive(Debug, Default)]
+struct AggState {
+    /// Barriers with `round < partitioned_until` are missed; 0 when
+    /// connected.
+    partitioned_until: u32,
+    /// A dropped flush awaiting its bounded-backoff retry. Survives
+    /// aggregator crashes: a flushed-and-dropped batch sits in the
+    /// aggregator's write-ahead checkpoint, unlike the in-memory
+    /// collection buffer a crash wipes.
+    retry: Option<RetryState>,
+    /// A due install wave slipped to the next round (delayed waves land
+    /// unconditionally, so the slip is bounded at one round each).
+    delayed_wave: bool,
+    /// Rejoined from a partition at this barrier (one-shot, drives the
+    /// `rejoin-fast-forward` recover event).
+    rejoined: bool,
+    /// Crashed at this barrier (one-shot: the respawned aggregator
+    /// misses this round's install wave while replaying the log).
+    down: bool,
+    /// Region epoch the aggregator has replayed up to (respawn
+    /// bookkeeping).
+    known_epoch: u32,
+}
+
+/// One published discovery the fleet has not yet converged on: the
+/// degraded-mode accounting unit (chaos-on only).
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    /// Repository signature id (joins discoveries to absorbs).
+    signature: u64,
+    /// Round of first publication (staleness counts from here).
+    published: u32,
+    /// Region epoch that carries this signature, once absorbed.
+    goal: Option<u32>,
+}
+
 /// The fleet engine. See the module docs for the round structure.
 pub struct Fleet<S: HomeWorld> {
     scenario: S,
@@ -209,11 +297,35 @@ pub struct Fleet<S: HomeWorld> {
     ledger: InstallLedger,
     /// The currently installed interned snapshot (shared by every home).
     intel: Arc<[AttackSignature]>,
-    /// Epoch of `intel` (what the memo keys against).
+    /// Every interned snapshot by epoch (`snapshots[e]` is the intel at
+    /// epoch `e`; index 0 is the empty pre-discovery snapshot). Epochs
+    /// are dense, so this grows by one per absorbing round. Under chaos
+    /// homes sit at different epochs and execution serves each from its
+    /// own entry; chaos-off only the top entry is ever read.
+    snapshots: Vec<Arc<[AttackSignature]>>,
+    /// Fleet-wide installed-epoch floor (`ledger.min_epoch()`; chaos-off
+    /// every home is equal, so it is also every home's epoch).
     installed_epoch: u32,
     /// Which homes have already published their discovery (so warm
-    /// rounds stay allocation-free instead of re-publishing).
+    /// rounds stay allocation-free instead of re-publishing). An
+    /// aggregator crash clears the flags of the homes whose buffered
+    /// reports it lost, and they re-publish from memoized outcomes.
     published: Vec<bool>,
+    /// The chaos schedule; `None` (the default) is byte-for-byte the
+    /// pre-E25 fleet.
+    chaos: Option<FleetChaos>,
+    /// The region's checkpointed absorb log (respawn-by-replay source).
+    region_log: RegionLog<AttackSignature>,
+    /// Per-neighborhood recovery state (inert chaos-off).
+    aggs: Vec<AggState>,
+    /// Duplicated flushes in flight: `(due round, batch)` — delivered to
+    /// the region one round late, exercising at-least-once absorption.
+    late_dups: Vec<(u32, Vec<AttackSignature>)>,
+    /// Published-but-not-yet-converged discoveries (degraded-mode
+    /// accounting; chaos-on only).
+    outstanding: Vec<Outstanding>,
+    /// Per-worker recycled world heaps (index = worker, slot 0 serial).
+    scraps: Vec<Mutex<WorldScrap>>,
     /// Chained fleet digest across rounds.
     digest: Fnv64,
     tracer: Tracer,
@@ -224,6 +336,9 @@ pub struct Fleet<S: HomeWorld> {
     compromised: u64,
     leaked: u64,
     flagged: u64,
+    faults: u64,
+    recoveries: u64,
+    degraded_rounds: u64,
 }
 
 impl<S: HomeWorld> Fleet<S> {
@@ -236,11 +351,30 @@ impl<S: HomeWorld> Fleet<S> {
     /// [`TraceEvent::FleetBatch`] / [`TraceEvent::FleetInstall`] events
     /// (at `at_ns = round`) into `tracer` — the propagation golden.
     pub fn with_tracer(scenario: S, cfg: FleetConfig, tracer: Tracer) -> Fleet<S> {
+        Fleet::build(scenario, cfg, None, tracer)
+    }
+
+    /// Build a fleet under a seeded [`FleetChaos`] schedule. Faults and
+    /// recoveries additionally emit [`TraceEvent::FleetFault`] /
+    /// [`TraceEvent::FleetRecover`] / [`TraceEvent::FleetAbsorb`] /
+    /// [`TraceEvent::FleetDegraded`] (chaos-on runs only, so chaos-off
+    /// goldens never change).
+    pub fn with_chaos(
+        scenario: S,
+        cfg: FleetConfig,
+        chaos: FleetChaos,
+        tracer: Tracer,
+    ) -> Fleet<S> {
+        Fleet::build(scenario, cfg, Some(chaos), tracer)
+    }
+
+    fn build(scenario: S, cfg: FleetConfig, chaos: Option<FleetChaos>, tracer: Tracer) -> Fleet<S> {
         let homes = cfg.homes;
         let chunk = cfg.chunk.max(1);
         let chunks =
             (0..homes.div_ceil(chunk)).map(|c| (c * chunk, ((c + 1) * chunk).min(homes))).collect();
         let dir = Directory::new(homes, cfg.neighborhood);
+        let empty: Arc<[AttackSignature]> = Vec::new().into();
         Fleet {
             scenario,
             cfg,
@@ -254,9 +388,16 @@ impl<S: HomeWorld> Fleet<S> {
             region: RegionIntel::new(),
             interner: Interner::new(),
             ledger: InstallLedger::new(homes as usize),
-            intel: Vec::new().into(),
+            intel: empty.clone(),
+            snapshots: vec![empty],
             installed_epoch: 0,
             published: vec![false; homes as usize],
+            chaos,
+            region_log: RegionLog::new(),
+            aggs: (0..dir.neighborhoods()).map(|_| AggState::default()).collect(),
+            late_dups: Vec::new(),
+            outstanding: Vec::new(),
+            scraps: (0..cfg.threads.max(1)).map(|_| Mutex::new(WorldScrap::default())).collect(),
             digest: Fnv64::new(),
             tracer,
             round: 0,
@@ -266,6 +407,9 @@ impl<S: HomeWorld> Fleet<S> {
             compromised: 0,
             leaked: 0,
             flagged: 0,
+            faults: 0,
+            recoveries: 0,
+            degraded_rounds: 0,
         }
     }
 
@@ -282,29 +426,42 @@ impl<S: HomeWorld> Fleet<S> {
         let misses_before = self.memo_misses.load(Ordering::Relaxed);
 
         // --- 1. execute -------------------------------------------------
+        //
+        // Each home runs against the epoch *it* has installed (per the
+        // ledger): under chaos homes diverge while waves are lost or
+        // delayed; chaos-off every home sits at `installed_epoch` and
+        // this is exactly the single-epoch path. Each worker recycles
+        // one `WorldScrap` across every home it claims, so long
+        // campaigns rebuild worlds out of retained capacity instead of
+        // cold allocations.
         {
             let scenario = &self.scenario;
             let memo = &self.memo;
             let slots = &self.slots;
-            let intel: &[AttackSignature] = &self.intel;
+            let snapshots: &[Arc<[AttackSignature]>] = &self.snapshots;
+            let ledger = &self.ledger;
+            let scraps = &self.scraps;
             let (hits, misses) = (&self.memo_hits, &self.memo_misses);
             let seed = self.cfg.seed;
-            let exec = |home: u32| {
-                let key = memo_key(home, epoch);
+            let exec = |home: u32, scrap: &mut WorldScrap| {
+                let home_epoch = ledger.epoch_of(home);
+                let key = memo_key(home, home_epoch);
                 let shard = &memo[memo_shard(key)];
                 if let Some(out) = shard.lock().unwrap().get(&key) {
                     hits.fetch_add(1, Ordering::Relaxed);
                     return *out;
                 }
-                let out = scenario.run_home(home, home_seed(seed, home), intel);
+                let intel: &[AttackSignature] = &snapshots[home_epoch as usize];
+                let out = scenario.run_home_recycled(home, home_seed(seed, home), intel, scrap);
                 shard.lock().unwrap().insert(key, out);
                 misses.fetch_add(1, Ordering::Relaxed);
                 out
             };
             if self.cfg.threads <= 1 {
+                let scrap = &mut *scraps[0].lock().unwrap();
                 for &(start, end) in &self.chunks {
                     for home in start..end {
-                        *slots[home as usize].lock().unwrap() = Some(exec(home));
+                        *slots[home as usize].lock().unwrap() = Some(exec(home, scrap));
                     }
                 }
             } else {
@@ -322,11 +479,12 @@ impl<S: HomeWorld> Fleet<S> {
                         let stealers = &stealers;
                         let exec = &exec;
                         s.spawn(move |_| {
+                            let scrap = &mut *scraps[me].lock().unwrap();
                             while let Some((start, end)) =
                                 find_task(&worker, injector, stealers, me)
                             {
                                 for home in start..end {
-                                    *slots[home as usize].lock().unwrap() = Some(exec(home));
+                                    *slots[home as usize].lock().unwrap() = Some(exec(home, scrap));
                                 }
                             }
                         });
@@ -364,7 +522,16 @@ impl<S: HomeWorld> Fleet<S> {
                         u64::from(round),
                         TraceEvent::FleetDiscovery { home, signature: sig.id },
                     );
-                    self.buffers[self.dir.neighborhood_of(home) as usize].collect(sig);
+                    if self.chaos.is_some()
+                        && !self.outstanding.iter().any(|o| o.signature == sig.id)
+                    {
+                        self.outstanding.push(Outstanding {
+                            signature: sig.id,
+                            published: round,
+                            goal: None,
+                        });
+                    }
+                    self.buffers[self.dir.neighborhood_of(home) as usize].collect_from(home, sig);
                 }
             }
         }
@@ -372,6 +539,29 @@ impl<S: HomeWorld> Fleet<S> {
 
         // --- 3. barrier (serial, neighborhood order) --------------------
         let installs_before = self.ledger.installs();
+        if let Some(chaos) = self.chaos {
+            self.barrier_chaos(round, &chaos);
+        } else {
+            self.barrier_clean(round);
+        }
+        self.digest.write_u32(self.installed_epoch);
+
+        self.round += 1;
+        RoundSummary {
+            round,
+            executed: (self.memo_misses.load(Ordering::Relaxed) - misses_before) as u32,
+            memo_hits: (self.memo_hits.load(Ordering::Relaxed) - hits_before) as u32,
+            discoveries,
+            epoch: self.installed_epoch,
+            installs: self.ledger.installs() - installs_before,
+        }
+    }
+
+    /// The chaos-off barrier: flush every buffer in neighborhood order,
+    /// absorb once, and on a new epoch intern the snapshot and wave
+    /// installs to every neighborhood — the exact pre-E25 branch
+    /// structure, emitting the exact pre-E25 events.
+    fn barrier_clean(&mut self, round: u32) {
         let mut upward: Vec<AttackSignature> = Vec::new();
         for n in 0..self.dir.neighborhoods() {
             let batch = self.buffers[n as usize].flush();
@@ -382,6 +572,7 @@ impl<S: HomeWorld> Fleet<S> {
         if self.region.absorb(upward) {
             let snapshot = self.region.snapshot();
             self.intel = self.interner.intern(&snapshot);
+            self.snapshots.push(self.intel.clone());
             let new_epoch = self.region.epoch();
             self.installed_epoch = new_epoch;
             for n in 0..self.dir.neighborhoods() {
@@ -401,17 +592,250 @@ impl<S: HomeWorld> Fleet<S> {
                 }
             }
         }
-        self.digest.write_u32(self.installed_epoch);
+    }
 
-        self.round += 1;
-        RoundSummary {
-            round,
-            executed: (self.memo_misses.load(Ordering::Relaxed) - misses_before) as u32,
-            memo_hits: (self.memo_hits.load(Ordering::Relaxed) - hits_before) as u32,
-            discoveries,
-            epoch: self.installed_epoch,
-            installs: self.ledger.installs() - installs_before,
+    /// The chaos-on barrier: the same flush → absorb → wave sequence,
+    /// but every step faces the schedule's weather and is backed by the
+    /// corresponding recovery mechanism. Entirely serial; every fault
+    /// decision is a pure function of `(chaos seed, round,
+    /// neighborhood)`, so the whole round is thread-count invariant.
+    fn barrier_chaos(&mut self, round: u32, chaos: &FleetChaos) {
+        let tr = u64::from(round);
+        let policy = chaos.policy;
+
+        // Duplicated flushes from earlier rounds land first — the
+        // at-least-once leg the region's epoch contract absorbs as a
+        // no-op.
+        let mut upward: Vec<AttackSignature> = Vec::new();
+        let mut i = 0;
+        while i < self.late_dups.len() {
+            if self.late_dups[i].0 == round {
+                upward.extend(self.late_dups.remove(i).1);
+            } else {
+                i += 1;
+            }
         }
+
+        // Per-neighborhood fault rolls + flushes, neighborhood order.
+        let mut surviving: Vec<Vec<AttackSignature>> = Vec::new();
+        for n in 0..self.dir.neighborhoods() {
+            let ni = n as usize;
+
+            // Partition bookkeeping: rejoin first, then maybe cut anew.
+            if self.aggs[ni].partitioned_until != 0 && round >= self.aggs[ni].partitioned_until {
+                self.aggs[ni].partitioned_until = 0;
+                self.aggs[ni].rejoined = true;
+            }
+            if self.aggs[ni].partitioned_until == 0 && chaos.partition_begins(round, n) {
+                self.aggs[ni].partitioned_until = round + chaos.partition_rounds.max(1);
+                self.aggs[ni].rejoined = false;
+                self.tracer.emit(tr, TraceEvent::FleetFault { neighborhood: n, kind: "partition" });
+                self.faults += 1;
+            }
+            let connected = self.aggs[ni].partitioned_until == 0;
+
+            // Crash: the in-memory collection buffer is lost and its
+            // source homes must re-publish; the respawned aggregator
+            // replays the checkpointed region log to relearn the epoch
+            // and sits out this round's install wave.
+            if chaos.crashes_agg(round, n) {
+                self.tracer.emit(tr, TraceEvent::FleetFault { neighborhood: n, kind: "agg-crash" });
+                self.faults += 1;
+                for home in self.buffers[ni].crash() {
+                    self.published[home as usize] = false;
+                }
+                let replayed_to = self.region_log.epoch();
+                self.aggs[ni].known_epoch = replayed_to;
+                self.aggs[ni].down = true;
+                self.tracer
+                    .emit(tr, TraceEvent::FleetRecover { neighborhood: n, kind: "agg-respawn" });
+                self.recoveries += 1;
+            }
+
+            if !connected {
+                continue; // no flushes up, no retries pumped, no waves down
+            }
+
+            // Pump a due retry: each attempt faces the weather again,
+            // backing off exponentially up to the cap.
+            if self.aggs[ni].retry.as_ref().is_some_and(|r| r.due <= round) {
+                let mut retry = self.aggs[ni].retry.take().expect("checked above");
+                if chaos.drops_flush(round, n, retry.attempt) {
+                    self.tracer
+                        .emit(tr, TraceEvent::FleetFault { neighborhood: n, kind: "flush-drop" });
+                    self.faults += 1;
+                    retry.attempt += 1;
+                    retry.due = round + policy.backoff(retry.attempt);
+                    self.aggs[ni].retry = Some(retry);
+                } else {
+                    self.tracer.emit(
+                        tr,
+                        TraceEvent::FleetRecover { neighborhood: n, kind: "flush-retry" },
+                    );
+                    self.recoveries += 1;
+                    surviving.push(retry.batch);
+                }
+            }
+
+            // Fresh flush.
+            let batch = self.buffers[ni].flush();
+            if batch.is_empty() {
+                continue;
+            }
+            if chaos.drops_flush(round, n, 0) {
+                self.tracer
+                    .emit(tr, TraceEvent::FleetFault { neighborhood: n, kind: "flush-drop" });
+                self.faults += 1;
+                if policy.retry {
+                    match &mut self.aggs[ni].retry {
+                        Some(r) => r.batch.extend(batch),
+                        None => {
+                            let due = round + policy.backoff(1);
+                            self.aggs[ni].retry = Some(RetryState { batch, attempt: 1, due });
+                        }
+                    }
+                }
+                // `no-retry` weakness: the batch is gone — the checker's
+                // `lost-discovery` invariant exists to catch exactly this.
+            } else {
+                if chaos.dups_flush(round, n) {
+                    self.tracer
+                        .emit(tr, TraceEvent::FleetFault { neighborhood: n, kind: "flush-dup" });
+                    self.faults += 1;
+                    self.late_dups.push((round + 1, batch.clone()));
+                }
+                surviving.push(batch);
+            }
+        }
+
+        // Reorder: the surviving flushes reach the region rotated — a
+        // metamorphic fault the canonical set-union must not notice.
+        let rot = chaos.reorders(round, surviving.len());
+        if rot > 0 {
+            self.tracer.emit(
+                tr,
+                TraceEvent::FleetFault { neighborhood: rot as u32, kind: "flush-reorder" },
+            );
+            self.faults += 1;
+            surviving.rotate_left(rot);
+        }
+        for batch in surviving {
+            upward.extend(batch);
+        }
+
+        // Absorb once; checkpoint the novelty into the region log and
+        // name every newly-known signature in the trace.
+        let novel = self.region.absorb_returning_novel(upward);
+        let absorbed = !novel.is_empty();
+        if absorbed {
+            let new_epoch = self.region.epoch();
+            for sig in &novel {
+                self.tracer
+                    .emit(tr, TraceEvent::FleetAbsorb { signature: sig.id, epoch: new_epoch });
+            }
+            for o in &mut self.outstanding {
+                if o.goal.is_none() && novel.iter().any(|s| s.id == o.signature) {
+                    o.goal = Some(new_epoch);
+                }
+            }
+            self.region_log.checkpoint(new_epoch, novel);
+            let snapshot = self.region.snapshot();
+            self.intel = self.interner.intern(&snapshot);
+            self.snapshots.push(self.intel.clone());
+        }
+
+        // Install waves, neighborhood order. A wave is due on a fresh
+        // absorb, when a delayed wave lands, or — with reconciliation —
+        // whenever the neighborhood is behind (rejoined partitions,
+        // crashed-out aggregators, previously missed waves).
+        let goal = self.region.epoch();
+        for n in 0..self.dir.neighborhoods() {
+            let ni = n as usize;
+            if self.aggs[ni].partitioned_until != 0 {
+                continue; // cut off: no waves reach these homes
+            }
+            let range = self.dir.homes_of(n);
+            let behind = range.clone().any(|h| self.ledger.epoch_of(h) < goal);
+            let down = self.aggs[ni].down;
+            let wave_due =
+                self.aggs[ni].delayed_wave || (behind && !down && (absorbed || policy.reconcile));
+            if wave_due {
+                if !self.aggs[ni].delayed_wave && chaos.delays_install(round, n) {
+                    self.tracer.emit(
+                        tr,
+                        TraceEvent::FleetFault { neighborhood: n, kind: "install-delay" },
+                    );
+                    self.faults += 1;
+                    self.aggs[ni].delayed_wave = true;
+                } else {
+                    self.aggs[ni].delayed_wave = false;
+                    let advancing =
+                        range.clone().filter(|&h| self.ledger.epoch_of(h) < goal).count() as u32;
+                    if advancing > 0 {
+                        if self.aggs[ni].rejoined && policy.reconcile {
+                            self.tracer.emit(
+                                tr,
+                                TraceEvent::FleetRecover {
+                                    neighborhood: n,
+                                    kind: "rejoin-fast-forward",
+                                },
+                            );
+                            self.recoveries += 1;
+                        }
+                        self.tracer.emit(
+                            tr,
+                            TraceEvent::FleetBatch { neighborhood: n, installs: advancing },
+                        );
+                        for home in range.clone() {
+                            if self.ledger.epoch_of(home) < goal {
+                                self.tracer
+                                    .emit(tr, TraceEvent::FleetInstall { home, epoch: goal });
+                            }
+                        }
+                        let advanced = self.ledger.install_batch(range, goal);
+                        debug_assert_eq!(advanced, advancing);
+                    }
+                }
+            }
+            self.aggs[ni].rejoined = false;
+            self.aggs[ni].down = false;
+        }
+        self.installed_epoch = self.ledger.min_epoch();
+
+        // Degraded accounting: retire converged discoveries, then
+        // declare (once per round) if anything outstanding has blown the
+        // staleness budget. `unbounded-staleness` weakness: the fleet
+        // stays silent and the checker's `staleness-budget` invariant
+        // fires instead.
+        let ledger = &self.ledger;
+        self.outstanding.retain(|o| match o.goal {
+            Some(g) => !ledger.all_at_least(g),
+            None => true,
+        });
+        let mut worst_goal: Option<u32> = None;
+        for o in &self.outstanding {
+            if round - o.published >= policy.staleness_budget {
+                let g = o.goal.unwrap_or(goal + 1);
+                worst_goal = Some(worst_goal.map_or(g, |w: u32| w.max(g)));
+            }
+        }
+        if let Some(g) = worst_goal {
+            if policy.declare_degraded {
+                let waiting = if g <= goal { self.ledger.waiting_below(g) } else { self.cfg.homes };
+                self.tracer.emit(tr, TraceEvent::FleetDegraded { epoch: g, waiting });
+                self.degraded_rounds += 1;
+            }
+        }
+    }
+
+    /// Every published discovery absorbed, every retry drained, and
+    /// every home at the region epoch. Chaos-off this is trivially true
+    /// after any absorbing round's barrier.
+    pub fn converged(&self) -> bool {
+        self.outstanding.is_empty()
+            && self.ledger.all_at_least(self.region.epoch())
+            && self.aggs.iter().all(|a| a.retry.is_none())
+            && self.late_dups.is_empty()
     }
 
     /// Run `rounds` rounds and return the cumulative report.
@@ -441,6 +865,10 @@ impl<S: HomeWorld> Fleet<S> {
             compromised: self.compromised,
             leaked: self.leaked,
             flagged: self.flagged,
+            faults: self.faults,
+            recoveries: self.recoveries,
+            degraded_rounds: self.degraded_rounds,
+            converged: self.converged(),
         }
     }
 
@@ -598,5 +1026,250 @@ mod tests {
         assert_eq!(report.memo_misses, 16);
         assert_eq!(report.memo_hits, 16);
         assert_eq!(report.interned, 1);
+    }
+
+    // ---- E25 chaos / recovery ---------------------------------------
+
+    use crate::chaos::RecoveryPolicy;
+    use crate::safety::{check_fleet_trace, FleetTraceSpec};
+    use trace::tracer::TraceConfig;
+
+    const CHAOS_ROUNDS: u32 = 24;
+
+    fn chaos_cfg(seed: u64) -> FleetConfig {
+        FleetConfig { homes: 24, neighborhood: 4, chunk: 3, threads: 1, seed }
+    }
+
+    /// Run a chaos-on fleet with a trace attached; return the fleet and
+    /// its event stream.
+    fn run_chaos(
+        cfg: FleetConfig,
+        chaos: FleetChaos,
+        rounds: u32,
+    ) -> (Fleet<Synthetic>, Vec<(u64, TraceEvent)>) {
+        let tracer = Tracer::new(TraceConfig::control_only());
+        let mut fleet = Fleet::with_chaos(Synthetic { stride: 24 }, cfg, chaos, tracer.clone());
+        fleet.run(rounds);
+        (fleet, tracer.events())
+    }
+
+    fn spec_for(cfg: &FleetConfig, chaos: &FleetChaos, rounds: u32) -> FleetTraceSpec {
+        FleetTraceSpec {
+            homes: cfg.homes,
+            rounds,
+            staleness_budget: chaos.policy.staleness_budget,
+            grace: 2,
+        }
+    }
+
+    /// A schedule with every probability at zero is the clean fleet:
+    /// same digest, same report, converged.
+    #[test]
+    fn zero_intensity_chaos_matches_the_clean_fleet() {
+        let calm = FleetChaos {
+            drop_pm: 0,
+            dup_pm: 0,
+            reorder_pm: 0,
+            crash_pm: 0,
+            partition_pm: 0,
+            delay_pm: 0,
+            ..FleetChaos::new(99)
+        };
+        let cfg = chaos_cfg(7);
+        let mut clean = Fleet::new(Synthetic { stride: 24 }, cfg);
+        let clean_report = clean.run(CHAOS_ROUNDS);
+        let (chaotic, _) = run_chaos(cfg, calm, CHAOS_ROUNDS);
+        let report = chaotic.report();
+        assert_eq!(report.digest, clean_report.digest);
+        assert_eq!(report.faults, 0);
+        assert!(chaotic.converged());
+    }
+
+    /// The acceptance core: chaos-on runs are byte-identical across
+    /// thread counts and reruns (every fault decision is rolled serially
+    /// on the coordinator).
+    #[test]
+    fn chaos_reports_are_thread_invariant_and_rerun_stable() {
+        for chaos_seed in [1u64, 2, 3] {
+            let chaos = FleetChaos::new(chaos_seed);
+            let (reference, _) = run_chaos(chaos_cfg(7), chaos, CHAOS_ROUNDS);
+            let reference = reference.report();
+            let (rerun, _) = run_chaos(chaos_cfg(7), chaos, CHAOS_ROUNDS);
+            assert_eq!(rerun.report(), reference, "rerun diverged (chaos seed {chaos_seed})");
+            for threads in [2usize, 4] {
+                let (par, _) = run_chaos(chaos_cfg(7).with_threads(threads), chaos, CHAOS_ROUNDS);
+                assert_eq!(
+                    par.report(),
+                    reference,
+                    "{threads}-thread run diverged (chaos seed {chaos_seed})"
+                );
+            }
+        }
+    }
+
+    /// With the full recovery stack the fleet rides out real fault
+    /// weather: it converges and the trace checker finds nothing.
+    #[test]
+    fn standard_policy_recovers_and_passes_the_checker() {
+        let mut exercised = 0u64;
+        for chaos_seed in 0..8u64 {
+            let chaos = FleetChaos::new(chaos_seed);
+            let cfg = chaos_cfg(7);
+            let (fleet, events) = run_chaos(cfg, chaos, CHAOS_ROUNDS);
+            exercised += fleet.report().faults;
+            assert!(fleet.converged(), "fleet did not converge (chaos seed {chaos_seed})");
+            let violations = check_fleet_trace(&events, &spec_for(&cfg, &chaos, CHAOS_ROUNDS));
+            assert!(
+                violations.is_empty(),
+                "checker flagged a recovered run (chaos seed {chaos_seed}): {violations:?}"
+            );
+        }
+        assert!(exercised > 0, "no faults fired across any seed — schedule too calm to test");
+    }
+
+    /// The `no-retry` seeded weakness: with every flush dropped and no
+    /// retries, the sentinel's discovery never reaches the region and
+    /// the checker reports it lost. The standard policy is hammered by
+    /// the same total-loss weather, so this arm contrasts against the
+    /// zero-intensity clean run instead.
+    #[test]
+    fn no_retry_weakness_loses_the_discovery() {
+        let chaos = FleetChaos {
+            drop_pm: 1000,
+            dup_pm: 0,
+            reorder_pm: 0,
+            crash_pm: 0,
+            partition_pm: 0,
+            delay_pm: 0,
+            ..FleetChaos::new(5)
+        }
+        .with_policy(RecoveryPolicy::no_retry());
+        let cfg = chaos_cfg(7);
+        let (fleet, events) = run_chaos(cfg, chaos, CHAOS_ROUNDS);
+        assert!(!fleet.converged());
+        let violations = check_fleet_trace(&events, &spec_for(&cfg, &chaos, CHAOS_ROUNDS));
+        assert!(
+            violations.iter().any(|v| v.invariant == "lost-discovery"),
+            "expected lost-discovery, got {violations:?}"
+        );
+    }
+
+    /// The `no-reconcile` seeded weakness: a neighborhood partitioned
+    /// across the fleet's only absorbing round rejoins to silence —
+    /// nothing new is ever absorbed, so without reconciliation its homes
+    /// stay at epoch 0 forever and the checker reports them
+    /// unrecovered. The standard policy on the identical schedule
+    /// fast-forwards them and stays clean.
+    #[test]
+    fn no_reconcile_weakness_leaves_rejoined_homes_behind() {
+        let mut demonstrated = false;
+        for chaos_seed in 0..64u64 {
+            // Faults confined to the first 4 rounds so the checker's
+            // post-fault convergence window opens; the weakness is that
+            // rejoined neighborhoods never converge even in the calm.
+            let chaos = FleetChaos {
+                drop_pm: 0,
+                dup_pm: 0,
+                reorder_pm: 0,
+                crash_pm: 0,
+                partition_pm: 400,
+                partition_rounds: 2,
+                delay_pm: 0,
+                ..FleetChaos::new(chaos_seed)
+            }
+            .with_horizon(4);
+            let cfg = chaos_cfg(7);
+            let weak = chaos.with_policy(RecoveryPolicy::no_reconcile());
+            let (fleet, events) = run_chaos(cfg, weak, CHAOS_ROUNDS);
+            let violations = check_fleet_trace(&events, &spec_for(&cfg, &weak, CHAOS_ROUNDS));
+            if violations.iter().any(|v| v.invariant == "unrecovered") {
+                assert!(!fleet.converged());
+                // The full stack rides out the identical schedule.
+                let (sound, sound_events) = run_chaos(cfg, chaos, CHAOS_ROUNDS);
+                assert!(sound.converged(), "standard policy failed (chaos seed {chaos_seed})");
+                let sound_violations =
+                    check_fleet_trace(&sound_events, &spec_for(&cfg, &chaos, CHAOS_ROUNDS));
+                assert!(sound_violations.is_empty(), "{sound_violations:?}");
+                demonstrated = true;
+                break;
+            }
+        }
+        assert!(demonstrated, "no schedule in the scan demonstrated the weakness");
+    }
+
+    /// The `unbounded-staleness` seeded weakness: a long partition keeps
+    /// homes behind past the budget; the sound policy declares degraded
+    /// mode every overdue round, the weakened one stays silent and the
+    /// checker reports the blown budget.
+    #[test]
+    fn unbounded_staleness_weakness_blows_the_budget_silently() {
+        let tight = RecoveryPolicy { staleness_budget: 1, ..RecoveryPolicy::standard() };
+        let silent = RecoveryPolicy { declare_degraded: false, ..tight };
+        let mut demonstrated = false;
+        for chaos_seed in 0..64u64 {
+            let chaos = FleetChaos {
+                drop_pm: 0,
+                dup_pm: 0,
+                reorder_pm: 0,
+                crash_pm: 0,
+                partition_pm: 300,
+                partition_rounds: 4,
+                delay_pm: 0,
+                ..FleetChaos::new(chaos_seed)
+            };
+            let cfg = chaos_cfg(7);
+            let weak = chaos.with_policy(silent);
+            let (_, events) = run_chaos(cfg, weak, CHAOS_ROUNDS);
+            let violations = check_fleet_trace(&events, &spec_for(&cfg, &weak, CHAOS_ROUNDS));
+            if violations.iter().any(|v| v.invariant == "staleness-budget") {
+                // Same weather, declarations on: the budget overrun is
+                // announced, so the checker stays quiet.
+                let sound = chaos.with_policy(tight);
+                let (fleet, sound_events) = run_chaos(cfg, sound, CHAOS_ROUNDS);
+                assert!(fleet.report().degraded_rounds > 0);
+                let sound_violations =
+                    check_fleet_trace(&sound_events, &spec_for(&cfg, &sound, CHAOS_ROUNDS));
+                assert!(sound_violations.is_empty(), "{sound_violations:?}");
+                demonstrated = true;
+                break;
+            }
+        }
+        assert!(demonstrated, "no schedule in the scan demonstrated the weakness");
+    }
+
+    /// Crash-and-republish: an aggregator crash wipes its buffer before
+    /// that round's flush, losing the sentinel's buffered report — but
+    /// the cleared `published` flag makes the home republish from its
+    /// memoized outcome next round, so the discovery still lands. A
+    /// republication shows up as a second `fleet-discovery` for the same
+    /// home.
+    #[test]
+    fn aggregator_crash_republishes_lost_reports() {
+        let mut demonstrated = false;
+        for chaos_seed in 0..64u64 {
+            let chaos = FleetChaos {
+                drop_pm: 0,
+                dup_pm: 0,
+                reorder_pm: 0,
+                crash_pm: 400,
+                partition_pm: 0,
+                delay_pm: 0,
+                ..FleetChaos::new(chaos_seed)
+            };
+            let cfg = chaos_cfg(7);
+            let (fleet, events) = run_chaos(cfg, chaos, CHAOS_ROUNDS);
+            let republications = events
+                .iter()
+                .filter(|(_, e)| matches!(e, TraceEvent::FleetDiscovery { home: 0, .. }))
+                .count();
+            if republications >= 2 {
+                assert!(fleet.converged(), "republished discovery never landed");
+                let violations = check_fleet_trace(&events, &spec_for(&cfg, &chaos, CHAOS_ROUNDS));
+                assert!(violations.is_empty(), "{violations:?}");
+                demonstrated = true;
+                break;
+            }
+        }
+        assert!(demonstrated, "no schedule in the scan crashed a loaded aggregator");
     }
 }

@@ -15,6 +15,16 @@
 //! * [`scenario`] — the canonical E20 home template: a zero-day camera
 //!   only crowdsourced signatures can defend, so one sentinel home's
 //!   discovery flips the whole fleet from breached to protected.
+//! * [`chaos`] — the E25 fault-tolerance layer: a seeded
+//!   [`chaos::FleetChaos`] schedule that drops/duplicates/reorders
+//!   flushes, crashes aggregators, partitions neighborhoods and delays
+//!   install waves, paired with a [`chaos::RecoveryPolicy`]
+//!   (bounded-backoff retries, rejoin reconciliation, degraded-mode
+//!   declaration). Inert when absent; deterministic when present.
+//! * [`safety`] — [`safety::check_fleet_trace`]: the pure fleet-scale
+//!   trace checker (the E23 `check_trace` pattern) verifying epoch
+//!   monotonicity, no lost discoveries, bounded install staleness and
+//!   post-fault convergence from the trace stream alone.
 //!
 //! `World` is deliberately single-threaded, so the unit of parallelism
 //! is one whole home world, built and run inside whichever worker
@@ -24,8 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod fleet;
+pub mod safety;
 pub mod scenario;
 
+pub use chaos::{FleetChaos, RecoveryPolicy};
 pub use fleet::{home_seed, Fleet, FleetConfig, FleetReport, HomeOutcome, HomeWorld, RoundSummary};
+pub use safety::{check_fleet_trace, FleetTraceSpec, FleetViolation};
 pub use scenario::FleetScenario;

@@ -15,7 +15,7 @@ use iotlearn::AttackSignature;
 use iotnet::time::SimDuration;
 use iotsec::defense::Defense;
 use iotsec::deployment::Deployment;
-use iotsec::world::{HomeOverrides, World};
+use iotsec::world::{HomeOverrides, World, WorldScrap};
 use trace::digest::Fnv64;
 
 /// The shared home template plus the sentinel discovery rule.
@@ -87,6 +87,21 @@ impl HomeWorld for FleetScenario {
         let mut w = World::new_home(&self.template, &overrides);
         w.run_until_attack_done(self.horizon);
         self.outcome_of(home, seed, &mut w)
+    }
+
+    fn run_home_recycled(
+        &self,
+        home: u32,
+        seed: u64,
+        intel: &[AttackSignature],
+        scrap: &mut WorldScrap,
+    ) -> HomeOutcome {
+        let overrides = HomeOverrides { seed, extra_signatures: intel };
+        let mut w = World::new_home_recycled(&self.template, &overrides, scrap);
+        w.run_until_attack_done(self.horizon);
+        let out = self.outcome_of(home, seed, &mut w);
+        w.reclaim_into(scrap);
+        out
     }
 
     fn discovery(&self, _home: u32) -> Option<AttackSignature> {

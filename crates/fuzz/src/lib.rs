@@ -22,13 +22,23 @@
 //! The E23 campaign in `iotsec-bench` fans hundreds of these scenarios
 //! across the sweep engine and gates CI on zero violations and zero
 //! vacuous passes.
+//!
+//! E25 extends the pipeline from one home to the fleet: [`fleet`]
+//! generates seeded [`iotsec_fleet::FleetChaos`] schedules, judges them
+//! with the `check_fleet_trace` oracle, and ddmin-shrinks weakened-arm
+//! violations into the `tests/repros/fleet/` corpus.
 
 pub mod artifact;
+pub mod fleet;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
 pub mod spec;
 
+pub use fleet::{
+    fleet_violations, generate_fleet, parse_fleet, render_fleet, shrink_fleet, FleetRepro,
+    FleetSpec, FleetWeakness,
+};
 pub use gen::{generate, GenConfig};
 pub use oracle::{run as run_oracle, OracleReport, Verdict};
 pub use shrink::{shrink, MinimalRepro};

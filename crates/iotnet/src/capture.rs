@@ -74,6 +74,17 @@ impl Capture {
     pub fn clear(&mut self) {
         self.ring.clear();
     }
+
+    /// Return the buffer to its freshly-constructed state — empty, total
+    /// zero, same `capacity` bound — retaining the ring's allocation.
+    /// The ring is the single largest per-world buffer (E25 recycles it
+    /// across fleet homes), and since a `VecDeque`'s spare capacity is
+    /// behaviorally invisible, a recycled capture records and evicts
+    /// exactly like a cold one.
+    pub fn recycle(&mut self) {
+        self.ring.clear();
+        self.total = 0;
+    }
 }
 
 #[cfg(test)]

@@ -116,6 +116,17 @@ impl<E> EventArena<E> {
         self.slots.capacity()
     }
 
+    /// Return the arena to its freshly-constructed state, retaining the
+    /// slot storage. A reset arena assigns indices and generations
+    /// exactly like a cold one (slots refill in append order from index
+    /// 0), so recycled and cold worlds behave identically — only the
+    /// allocator sees the difference.
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.free_head = HANDLE_NIL;
+        self.len = 0;
+    }
+
     /// Store `event`, returning its handle. Reuses a freed slot when one
     /// is available; otherwise appends (the only allocating path).
     ///
@@ -331,6 +342,30 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Return the queue to its freshly-constructed state — clock at
+    /// zero, sequence counter at zero, nothing pending — retaining every
+    /// buffer's capacity (arena slots, wheel slot vectors, heaps,
+    /// cascade scratch). A reset queue schedules and pops exactly like a
+    /// cold one; recycling it across worlds is invisible to the
+    /// simulation (E25 arena-reuse).
+    pub fn reset(&mut self) {
+        self.arena.reset();
+        for level in &mut self.levels {
+            for slot in level {
+                slot.clear();
+            }
+        }
+        self.level_len = [0; LEVELS];
+        self.overflow.clear();
+        self.ready.clear();
+        self.cascade_scratch.clear();
+        self.cursor = 0;
+        self.len = 0;
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.processed = 0;
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -615,6 +650,15 @@ impl<E> HeapEventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Return the queue to its freshly-constructed state, retaining the
+    /// heap's capacity (see [`EventQueue::reset`]).
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.processed = 0;
+    }
 }
 
 /// Which [`AnyEventQueue`] backend a simulation runs on.
@@ -697,6 +741,23 @@ impl<E> AnyEventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Which backend this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        match self {
+            AnyEventQueue::Wheel(_) => QueueKind::Wheel,
+            AnyEventQueue::Heap(_) => QueueKind::Heap,
+        }
+    }
+
+    /// Return the queue to its freshly-constructed state, retaining
+    /// every buffer's capacity (see [`EventQueue::reset`]).
+    pub fn reset(&mut self) {
+        match self {
+            AnyEventQueue::Wheel(q) => q.reset(),
+            AnyEventQueue::Heap(q) => q.reset(),
+        }
     }
 
     /// Schedule `event` at absolute time `at` (clamped to `now`).

@@ -164,6 +164,20 @@ enum NetEvent {
     AtEndpoint { ep: EndpointId, pkt: Packet },
 }
 
+/// Recyclable network storage harvested from a finished simulation
+/// (E25 arena-reuse). Holds the buffers whose construction dominates a
+/// per-home world build — the event queue (arena + wheel + heaps), the
+/// capture ring and the delivery buffer — each already reset to its
+/// cold state so reuse is behaviorally invisible. Deliberately excludes
+/// the steer `HashMap`: recycled map capacity could perturb iteration
+/// order, and determinism outranks the few bytes it would save.
+#[derive(Debug, Default)]
+pub struct NetScrap {
+    queue: Option<AnyEventQueue<NetEvent>>,
+    capture: Option<Capture>,
+    deliveries: Vec<Delivery>,
+}
+
 /// The simulated network.
 ///
 /// ```
@@ -212,6 +226,21 @@ impl Network {
     /// wheel-vs-heap differential harness uses to run whole worlds against
     /// the reference queue.
     pub fn with_queue(topo: Topology, seed: u64, kind: QueueKind) -> Network {
+        Network::with_queue_recycled(topo, seed, kind, &mut NetScrap::default())
+    }
+
+    /// [`Network::with_queue`], rebuilding out of a [`NetScrap`]'s
+    /// retained buffers where their shapes match (queue backend) and
+    /// cold-allocating the rest. An empty scrap is exactly the cold
+    /// path; a scrap harvested by [`Network::reclaim`] skips the big
+    /// per-world allocations (event arena, capture ring, delivery
+    /// buffer) without changing a single simulated byte.
+    pub fn with_queue_recycled(
+        topo: Topology,
+        seed: u64,
+        kind: QueueKind,
+        scrap: &mut NetScrap,
+    ) -> Network {
         let switches = (0..topo.switch_count())
             .map(|i| Switch::new(SwitchId(i as u32), topo.ports_of(SwitchId(i as u32))))
             .collect();
@@ -219,15 +248,37 @@ impl Network {
         // packets per endpoint plus inter-switch hops — so the warm-up
         // phase fills capacity once and the steady state never reallocates.
         let in_flight = (topo.endpoint_count() * 4 + topo.switch_count() * 2).max(64);
+        let queue = match scrap.queue.take() {
+            Some(q) if q.kind() == kind => q,
+            _ => AnyEventQueue::with_capacity(kind, in_flight),
+        };
+        let capture = scrap.capture.take().unwrap_or_else(|| Capture::new(65_536));
+        let deliveries = std::mem::take(&mut scrap.deliveries);
         Network {
             topo,
             switches,
-            queue: AnyEventQueue::with_capacity(kind, in_flight),
+            queue,
             steer: std::collections::HashMap::new(),
-            deliveries: Vec::new(),
-            capture: Capture::new(65_536),
+            deliveries,
+            capture,
             rng: StdRng::seed_from_u64(seed ^ 0x006e_6574_776f_726b_u64),
             stats: NetStats::default(),
+        }
+    }
+
+    /// Tear the network down into recyclable storage: the event queue,
+    /// capture ring and delivery buffer, each reset to its
+    /// freshly-constructed state with capacity retained. The next
+    /// [`Network::with_queue_recycled`] build reuses them (E25
+    /// arena-reuse across fleet homes).
+    pub fn reclaim(mut self) -> NetScrap {
+        self.queue.reset();
+        self.capture.recycle();
+        self.deliveries.clear();
+        NetScrap {
+            queue: Some(self.queue),
+            capture: Some(self.capture),
+            deliveries: self.deliveries,
         }
     }
 

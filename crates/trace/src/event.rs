@@ -225,6 +225,49 @@ pub enum TraceEvent {
         /// Region intel epoch now installed at this home.
         epoch: u32,
     },
+    /// Fleet chaos injected a fault at the aggregation tier (E25):
+    /// a flush was dropped/duplicated, an aggregator crashed, a
+    /// neighborhood was partitioned from the region, or an install wave
+    /// was delayed. Emitted with `at_ns = round`, only on chaos-on runs.
+    FleetFault {
+        /// Affected neighborhood aggregator id.
+        neighborhood: u32,
+        /// Fault kind label: `"flush-drop"`, `"flush-dup"`,
+        /// `"agg-crash"`, `"partition"` or `"install-delay"`.
+        kind: &'static str,
+    },
+    /// The fleet recovery path repaired a prior fault (E25): a retried
+    /// flush landed, a crashed aggregator respawned from the region log,
+    /// or a partitioned neighborhood rejoined and was fast-forwarded.
+    /// Emitted with `at_ns = round`, only on chaos-on runs.
+    FleetRecover {
+        /// Recovered neighborhood aggregator id.
+        neighborhood: u32,
+        /// Recovery kind label: `"flush-retry"`, `"agg-respawn"` or
+        /// `"rejoin-fast-forward"`.
+        kind: &'static str,
+    },
+    /// The region absorbed a signature into its canonical intel set
+    /// (E25). Emitted with `at_ns = round` once per newly-known
+    /// signature, only on chaos-on runs, so `check_fleet_trace` can
+    /// join discoveries to region knowledge without the fleet state.
+    FleetAbsorb {
+        /// Repository-assigned signature id now known to the region.
+        signature: u64,
+        /// Region epoch after this absorbing round's bump.
+        epoch: u32,
+    },
+    /// The fleet declared degraded mode (E25): a published discovery has
+    /// exceeded its staleness budget without every home installing the
+    /// goal epoch. Emitted with `at_ns = round` once per overdue round,
+    /// only on chaos-on runs — the explicit fail-closed signal the
+    /// bounded-staleness invariant requires.
+    FleetDegraded {
+        /// Goal region epoch the fleet is still converging toward.
+        epoch: u32,
+        /// Number of homes still below the goal epoch.
+        waiting: u32,
+    },
     /// A packet entered a µmbox chain.
     UmboxEnter {
         /// Protected device id.
@@ -282,6 +325,10 @@ impl TraceEvent {
             TraceEvent::FleetDiscovery { .. } => "fleet-discovery",
             TraceEvent::FleetBatch { .. } => "fleet-batch",
             TraceEvent::FleetInstall { .. } => "fleet-install",
+            TraceEvent::FleetFault { .. } => "fleet-fault",
+            TraceEvent::FleetRecover { .. } => "fleet-recover",
+            TraceEvent::FleetAbsorb { .. } => "fleet-absorb",
+            TraceEvent::FleetDegraded { .. } => "fleet-degraded",
             TraceEvent::CacheHit { .. } => "cache-hit",
             TraceEvent::CacheMiss { .. } => "cache-miss",
             TraceEvent::PolicyDrop { .. } => "policy-drop",
@@ -324,7 +371,11 @@ impl TraceEvent {
             TraceEvent::SpaceFrontier { .. } => "iotpolicy",
             TraceEvent::FleetDiscovery { .. }
             | TraceEvent::FleetBatch { .. }
-            | TraceEvent::FleetInstall { .. } => "fleet",
+            | TraceEvent::FleetInstall { .. }
+            | TraceEvent::FleetFault { .. }
+            | TraceEvent::FleetRecover { .. }
+            | TraceEvent::FleetAbsorb { .. }
+            | TraceEvent::FleetDegraded { .. } => "fleet",
         }
     }
 
@@ -401,6 +452,16 @@ impl TraceEvent {
             TraceEvent::FleetInstall { home, epoch } => {
                 let _ = write!(out, ",\"home\":{home},\"epoch\":{epoch}");
             }
+            TraceEvent::FleetFault { neighborhood, kind }
+            | TraceEvent::FleetRecover { neighborhood, kind } => {
+                let _ = write!(out, ",\"nbhd\":{neighborhood},\"kind\":\"{kind}\"");
+            }
+            TraceEvent::FleetAbsorb { signature, epoch } => {
+                let _ = write!(out, ",\"sig\":{signature},\"epoch\":{epoch}");
+            }
+            TraceEvent::FleetDegraded { epoch, waiting } => {
+                let _ = write!(out, ",\"epoch\":{epoch},\"waiting\":{waiting}");
+            }
         }
         out.push('}');
     }
@@ -446,6 +507,18 @@ mod tests {
         out.clear();
         TraceEvent::FleetInstall { home: 0, epoch: 1 }.write_json(2, &mut out);
         assert_eq!(out, r#"{"t":2,"e":"fleet-install","home":0,"epoch":1}"#);
+        out.clear();
+        TraceEvent::FleetFault { neighborhood: 3, kind: "flush-drop" }.write_json(4, &mut out);
+        assert_eq!(out, r#"{"t":4,"e":"fleet-fault","nbhd":3,"kind":"flush-drop"}"#);
+        out.clear();
+        TraceEvent::FleetRecover { neighborhood: 3, kind: "flush-retry" }.write_json(5, &mut out);
+        assert_eq!(out, r#"{"t":5,"e":"fleet-recover","nbhd":3,"kind":"flush-retry"}"#);
+        out.clear();
+        TraceEvent::FleetAbsorb { signature: 9001, epoch: 2 }.write_json(4, &mut out);
+        assert_eq!(out, r#"{"t":4,"e":"fleet-absorb","sig":9001,"epoch":2}"#);
+        out.clear();
+        TraceEvent::FleetDegraded { epoch: 2, waiting: 40 }.write_json(9, &mut out);
+        assert_eq!(out, r#"{"t":9,"e":"fleet-degraded","epoch":2,"waiting":40}"#);
     }
 
     #[test]
@@ -467,6 +540,10 @@ mod tests {
             TraceEvent::FleetDiscovery { home: 0, signature: 1 },
             TraceEvent::FleetBatch { neighborhood: 0, installs: 1 },
             TraceEvent::FleetInstall { home: 0, epoch: 1 },
+            TraceEvent::FleetFault { neighborhood: 0, kind: "partition" },
+            TraceEvent::FleetRecover { neighborhood: 0, kind: "rejoin-fast-forward" },
+            TraceEvent::FleetAbsorb { signature: 1, epoch: 1 },
+            TraceEvent::FleetDegraded { epoch: 1, waiting: 1 },
         ] {
             assert_eq!(ev.class(), EventClass::Control, "{}", ev.kind());
             assert_eq!(ev.component(), "fleet", "{}", ev.kind());

@@ -14,10 +14,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
 
@@ -27,6 +29,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -40,6 +43,13 @@ fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
     let before = ALLOCS.load(Ordering::Relaxed);
     let result = f();
     (ALLOCS.load(Ordering::Relaxed) - before, result)
+}
+
+/// Bytes requested from the allocator while running `f`.
+fn bytes_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = BYTES.load(Ordering::Relaxed);
+    let result = f();
+    (BYTES.load(Ordering::Relaxed) - before, result)
 }
 
 /// Minimum allocation count over `n` trials (absorbs one-off lazy-init
@@ -130,6 +140,57 @@ fn world_construction_allocation_profile() {
     // payload decode, and pass/drop verdicts carry packets inline — so
     // a steady round never touches the allocator.
     steady_engine_tick_is_allocation_free();
+
+    // 7. Recycled home builds (E25): a fleet worker runs thousands of
+    // home worlds back to back, and each cold build's dominant cost is
+    // its network heap (capture ring, event arena, delivery scratch —
+    // roughly 400 KB per home, ~95% of the build's bytes).
+    // `World::new_home_recycled` rebuilds out of the previous home's
+    // reclaimed buffers: behaviorally identical, but a warm build must
+    // request hundreds of kilobytes less.
+    recycled_home_build_reuses_the_heap();
+}
+
+fn recycled_home_build_reuses_the_heap() {
+    use iotsec_fleet::{FleetScenario, HomeWorld};
+    use iotsec_repro::iotsec::world::{HomeOverrides, World, WorldScrap};
+
+    let scenario = FleetScenario::new(1);
+    let seed = 42u64;
+    let sig = scenario.discovery(0).expect("the E20 camera signature exists");
+
+    // Recycling is a capacity optimization, never a semantic one: the
+    // recycled run returns exactly what the cold run returns — naked
+    // (attacked) and defended alike, cold scrap and warm scrap alike.
+    let mut scrap = WorldScrap::default();
+    for intel in [&[][..], &[sig][..]] {
+        let cold = scenario.run_home(0, seed, intel);
+        let first = scenario.run_home_recycled(0, seed, intel, &mut scrap);
+        assert_eq!(first, cold, "recycled run (cold scrap) must equal the cold run");
+        let warm = scenario.run_home_recycled(0, seed, intel, &mut scrap);
+        assert_eq!(warm, cold, "recycled run (warm scrap) must equal the cold run");
+    }
+
+    // The heap pin: a warm recycled build skips the big network buffers.
+    let overrides = HomeOverrides { seed, extra_signatures: &[] };
+    let template = scenario.template();
+    let cold_bytes =
+        (0..3).map(|_| bytes_during(|| World::new_home(template, &overrides)).0).min().unwrap();
+    let warm_bytes = (0..3)
+        .map(|_| {
+            bytes_during(|| {
+                let w = World::new_home_recycled(template, &overrides, &mut scrap);
+                w.reclaim_into(&mut scrap);
+            })
+            .0
+        })
+        .min()
+        .unwrap();
+    assert!(
+        warm_bytes + 300_000 <= cold_bytes,
+        "a warm recycled build must save at least 300 KB over a cold one \
+         (cold {cold_bytes} B, warm {warm_bytes} B)"
+    );
 }
 
 /// Round spacing of the steady-state loop: 2^21 ns, an exact multiple of

@@ -1,0 +1,120 @@
+//! E25 fleet-chaos repro corpus: every artifact in `tests/repros/fleet/`
+//! must replay to the exact violations its `# violation=` trailers
+//! claim, stay minimal, and cover all three seeded weaknesses.
+//!
+//! Regenerate the corpus (after an intentional checker or chaos change)
+//! with:
+//!
+//! ```text
+//! FLEET_REPRO_BLESS=1 cargo test --test fleet_repro_replay
+//! ```
+//!
+//! which re-runs the weakened-arm seed sweep, ddmin-shrinks the first
+//! catch for each weakness and rewrites the three artifacts.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use iotsec_fuzz::fleet::{
+    fleet_violations, generate_fleet, parse_fleet, shrink_fleet, FleetWeakness,
+};
+
+/// The corpus contract: one artifact per seeded weakness, named by its
+/// label, demonstrating the named invariant.
+const CASES: [(FleetWeakness, &str); 3] = [
+    (FleetWeakness::NoRetry, "lost-discovery"),
+    (FleetWeakness::NoReconcile, "unrecovered"),
+    (FleetWeakness::UnboundedStaleness, "staleness-budget"),
+];
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/repros/fleet")
+}
+
+fn bless_corpus() {
+    fs::create_dir_all(corpus_dir()).expect("create corpus dir");
+    for (weakness, invariant) in CASES {
+        let repro = (0..256u64)
+            .map(|seed| generate_fleet(seed, weakness))
+            .find(|spec| fleet_violations(spec).iter().any(|v| v.invariant == invariant))
+            .and_then(|spec| shrink_fleet(&spec))
+            .unwrap_or_else(|| panic!("{}: no seed tripped {invariant}", weakness.label()));
+        assert!(
+            repro.violations.iter().any(|v| v.invariant == invariant),
+            "{}: shrink lost {invariant}",
+            weakness.label()
+        );
+        let path = corpus_dir().join(format!("{}.repro", weakness.label()));
+        fs::write(&path, &repro.artifact).expect("write artifact");
+        eprintln!(
+            "blessed {} ({} homes, {} rounds, {} oracle runs)",
+            path.display(),
+            repro.spec.homes,
+            repro.spec.rounds,
+            repro.oracle_runs
+        );
+    }
+}
+
+#[test]
+fn fleet_repro_corpus_replays_and_stays_minimal() {
+    if std::env::var("FLEET_REPRO_BLESS").is_ok() {
+        bless_corpus();
+    }
+    let mut seen = BTreeSet::new();
+    for entry in fs::read_dir(corpus_dir()).expect("tests/repros/fleet exists") {
+        let path = entry.expect("read corpus entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("repro") {
+            continue;
+        }
+        let name = path.file_stem().unwrap().to_str().unwrap().to_string();
+        let text = fs::read_to_string(&path).expect("read artifact");
+
+        // The artifact replays: parse back, re-run, and the produced
+        // invariant set matches the `# violation=` trailers exactly.
+        let spec = parse_fleet(&text)
+            .unwrap_or_else(|e| panic!("{}: artifact no longer parses: {e}", path.display()));
+        let produced: BTreeSet<&str> =
+            fleet_violations(&spec).iter().map(|v| v.invariant).collect();
+        let claimed: BTreeSet<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# violation="))
+            .map(|l| l.split_whitespace().next().unwrap())
+            .collect();
+        assert!(!claimed.is_empty(), "{}: artifact claims no violations", path.display());
+        assert_eq!(
+            produced,
+            claimed,
+            "{}: replay produced a different violation set",
+            path.display()
+        );
+
+        // The corpus stays minimal: ddmin has already run, so re-running
+        // it must not find anything smaller.
+        let repro = shrink_fleet(&spec).expect("violating artifact shrinks");
+        assert_eq!(
+            repro.spec,
+            spec,
+            "{}: artifact is not 1-minimal any more — re-bless with FLEET_REPRO_BLESS=1",
+            path.display()
+        );
+
+        seen.insert(name);
+    }
+    let expected: BTreeSet<String> = CASES.iter().map(|(w, _)| w.label().to_string()).collect();
+    assert_eq!(seen, expected, "corpus must hold exactly one artifact per seeded weakness");
+    // Each artifact demonstrates its weakness's headline invariant.
+    for (weakness, invariant) in CASES {
+        let text =
+            fs::read_to_string(corpus_dir().join(format!("{}.repro", weakness.label()))).unwrap();
+        assert!(
+            text.lines().any(|l| {
+                l.strip_prefix("# violation=")
+                    .is_some_and(|rest| rest.split_whitespace().next() == Some(invariant))
+            }),
+            "{}: artifact does not demonstrate {invariant}",
+            weakness.label()
+        );
+    }
+}

@@ -9,6 +9,10 @@
 //! cargo run --release -p iotsec-bench --bin experiments --trace    # E17 trace harness
 //! ```
 //!
+//! `--homes N` / `--rounds N` override the fleet-shaped arms'
+//! (e20/e25/e26) population and round count for ad-hoc scaling runs —
+//! leave them off when regenerating the checked-in BENCH_*.json files,
+//! which CI byte-compares at the committed defaults.
 //! `--threads N` sets the worker count for the E16 parallel sweep;
 //! `--json` writes `BENCH_E16.json` with one record per experiment run
 //! (wall-clock for each, plus engine/cache counters for E16). If E16's
@@ -45,11 +49,17 @@
 //! `wall_ms` volatile section) and exits non-zero if any chaos cell
 //! fails to recover by the deadline, trips the fleet trace checker, or
 //! diverges on rerun — the CI fleet-chaos-gate job depends on that.
+//! The `e26` arm always writes `BENCH_E26.json` (stable per-arm fleet
+//! digests, memo and resident-stats counters plus a `wall_ms` volatile
+//! section carrying steady-state homes/sec, bytes/home-round and the
+//! rebuild-vs-resident ratios) and exits non-zero if any resident leg
+//! diverges from its rebuild reference or the churn arms fail the
+//! amortization gate — the CI resident-gate job depends on that.
 
 use iotsec_bench::{
     exp_anomaly, exp_chaos, exp_crowd, exp_ctl, exp_engine, exp_fleet, exp_fleet_chaos, exp_models,
-    exp_perf, exp_pipeline, exp_policy, exp_safety, exp_space, exp_trace, exp_umbox, exp_vet,
-    exp_world, metrics,
+    exp_perf, exp_pipeline, exp_policy, exp_resident, exp_safety, exp_space, exp_trace, exp_umbox,
+    exp_vet, exp_world, metrics,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -107,7 +117,16 @@ struct Record {
     deterministic: bool,
 }
 
-fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
+/// CLI overrides for the fleet-shaped arms (e20/e25/e26): `--homes N`
+/// and `--rounds N`. `None` keeps each experiment's committed defaults
+/// (the byte-stable configuration CI gates on).
+#[derive(Clone, Copy, Default)]
+struct FleetOverrides {
+    homes: Option<u32>,
+    rounds: Option<u32>,
+}
+
+fn run(id: &str, threads: usize, fleet_cfg: FleetOverrides) -> Option<(u64, f64, bool)> {
     match id {
         "table1" | "t1" => exp_world::table1().print(),
         "table2" | "t2" => exp_policy::table2(SEED).print(),
@@ -197,7 +216,7 @@ fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
             return Some((report.states_total(), report.memo_hit_rate(), report.deterministic));
         }
         "fleet" | "e20" => {
-            let report = exp_fleet::fleet(&alloc_bytes);
+            let report = exp_fleet::fleet(&alloc_bytes, fleet_cfg.homes, fleet_cfg.rounds);
             report.table.print();
             println!("{}", report.summary);
             println!();
@@ -236,7 +255,7 @@ fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
             return Some((report.scenarios as u64, 0.0, report.deterministic()));
         }
         "fleet_chaos" | "e25" => {
-            let report = exp_fleet_chaos::fleet_chaos();
+            let report = exp_fleet_chaos::fleet_chaos(fleet_cfg.homes, fleet_cfg.rounds);
             report.table.print();
             println!("{}", report.summary);
             println!();
@@ -248,6 +267,20 @@ fn run(id: &str, threads: usize) -> Option<(u64, f64, bool)> {
             println!("wrote {path}");
             let faults: u64 = report.cells.iter().map(|c| c.faults).sum();
             return Some((faults, 0.0, report.deterministic));
+        }
+        "resident" | "e26" => {
+            let report = exp_resident::resident(&alloc_bytes, fleet_cfg.homes, fleet_cfg.rounds);
+            report.table.print();
+            println!("{}", report.summary);
+            println!();
+            let path = "BENCH_E26.json";
+            std::fs::write(path, report.render_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path}");
+            let runs: u64 = report.arms.iter().map(|a| a.stats.resident_runs).sum();
+            return Some((runs, 0.0, report.deterministic));
         }
         _ => return None,
     }
@@ -284,6 +317,7 @@ const ALL: &[&str] = &[
     "engine",
     "vet",
     "fleet_chaos",
+    "resident",
 ];
 
 fn render_json(seed: u64, threads: usize, records: &[Record]) -> String {
@@ -313,6 +347,7 @@ fn render_json(seed: u64, threads: usize, records: &[Record]) -> String {
 fn main() {
     let mut json = false;
     let mut threads = 2usize;
+    let mut fleet_cfg = FleetOverrides::default();
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -325,6 +360,20 @@ fn main() {
                     eprintln!("--threads needs a positive integer, got '{v}'");
                     std::process::exit(2);
                 });
+            }
+            "--homes" => {
+                let v = args.next().unwrap_or_default();
+                fleet_cfg.homes = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--homes needs a positive integer, got '{v}'");
+                    std::process::exit(2);
+                }));
+            }
+            "--rounds" => {
+                let v = args.next().unwrap_or_default();
+                fleet_cfg.rounds = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--rounds needs a positive integer, got '{v}'");
+                    std::process::exit(2);
+                }));
             }
             _ => ids.push(arg),
         }
@@ -341,7 +390,7 @@ fn main() {
     for id in &to_run {
         metrics::reset();
         let start = Instant::now();
-        let Some((events, hit_rate, deterministic)) = run(id, threads) else {
+        let Some((events, hit_rate, deterministic)) = run(id, threads, fleet_cfg) else {
             eprintln!("unknown experiment '{id}'. available: all {}", ALL.join(" "));
             std::process::exit(2);
         };

@@ -156,24 +156,32 @@ impl FleetBenchReport {
 }
 
 /// Run one cold fleet leg and return its cumulative report.
-fn run_leg(threads: usize, homes: u32) -> FleetReport {
+fn run_leg(threads: usize, homes: u32, rounds: u32) -> FleetReport {
     let cfg = FleetConfig { homes, neighborhood: NEIGHBORHOOD, chunk: CHUNK, threads, seed: SEED };
     // One sentinel (home 0): the whole fleet is protected by a single
     // crowdsourced discovery.
     let mut fleet = Fleet::new(FleetScenario::new(homes), cfg);
-    fleet.run(ROUNDS)
+    fleet.run(rounds)
 }
 
 /// E20 — run the fleet legs and build the report. `alloc_bytes` reads
 /// the process's cumulative heap-bytes counter (the `experiments`
 /// binary installs a counting global allocator and passes it in; unit
-/// tests pass a null reader).
-pub fn fleet(alloc_bytes: &dyn Fn() -> u64) -> FleetBenchReport {
+/// tests pass a null reader). `homes`/`rounds` are the CLI overrides
+/// (`--homes N` / `--rounds N`); `None` keeps the committed defaults,
+/// which is what the byte-stability gate compares against.
+pub fn fleet(
+    alloc_bytes: &dyn Fn() -> u64,
+    homes: Option<u32>,
+    rounds: Option<u32>,
+) -> FleetBenchReport {
+    let homes = homes.unwrap_or(FLEET_HOMES);
+    let rounds = rounds.unwrap_or(ROUNDS);
     let mut legs = Vec::new();
 
     let bytes_before = alloc_bytes();
     let start = Instant::now();
-    let reference = run_leg(1, FLEET_HOMES);
+    let reference = run_leg(1, homes, rounds);
     let ref_wall = start.elapsed().as_millis();
     let reference_bytes = alloc_bytes() - bytes_before;
     legs.push(FleetLeg {
@@ -184,7 +192,7 @@ pub fn fleet(alloc_bytes: &dyn Fn() -> u64) -> FleetBenchReport {
     });
 
     let start = Instant::now();
-    let rerun = run_leg(1, FLEET_HOMES);
+    let rerun = run_leg(1, homes, rounds);
     legs.push(FleetLeg {
         label: "fleet-serial-rerun".to_string(),
         threads: 1,
@@ -194,7 +202,7 @@ pub fn fleet(alloc_bytes: &dyn Fn() -> u64) -> FleetBenchReport {
 
     for &t in PAR_THREADS {
         let start = Instant::now();
-        let par = run_leg(t, FLEET_HOMES);
+        let par = run_leg(t, homes, rounds);
         legs.push(FleetLeg {
             label: format!("fleet-par{t}"),
             threads: t,
@@ -257,18 +265,18 @@ mod tests {
     fn small_fleet_legs_agree() {
         // A 60-home miniature of the real legs (the full 10⁴ run lives
         // in `experiments e20`).
-        let reference = run_leg(1, 60);
+        let reference = run_leg(1, 60, ROUNDS);
         assert_eq!(reference.discoveries, 1);
         assert_eq!(reference.epoch, 1);
         assert_eq!(reference.installs, 60);
         for t in [2usize, 4] {
-            assert_eq!(run_leg(t, 60), reference, "t={t}");
+            assert_eq!(run_leg(t, 60, ROUNDS), reference, "t={t}");
         }
     }
 
     #[test]
     fn json_volatile_lines_all_carry_wall_ms() {
-        let reference = run_leg(1, 12);
+        let reference = run_leg(1, 12, ROUNDS);
         let legs = vec![
             FleetLeg { label: "fleet-serial".into(), threads: 1, identical: true, wall_ms: 5 },
             FleetLeg { label: "fleet-par2".into(), threads: 2, identical: true, wall_ms: 3 },

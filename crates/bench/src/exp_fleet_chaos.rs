@@ -96,6 +96,10 @@ pub struct ChaosCell {
 pub struct FleetChaosReport {
     /// Rendered cell table.
     pub table: Table,
+    /// Homes per replicate fleet ([`HOMES`] unless `--homes` overrode it).
+    pub homes: u32,
+    /// Convergence deadline ([`MAX_ROUNDS`] unless `--rounds` overrode it).
+    pub max_rounds: u32,
     /// Every cell, axis-major, intensity ascending.
     pub cells: Vec<ChaosCell>,
     /// Every cell converged within the deadline.
@@ -134,19 +138,16 @@ fn run_rep(
     axis: &str,
     pm: u32,
     rep: u64,
+    homes: u32,
+    max_rounds: u32,
 ) -> (iotsec_fleet::FleetReport, Vec<(u64, trace::event::TraceEvent)>, u32) {
-    let cfg = FleetConfig {
-        homes: HOMES,
-        neighborhood: NEIGHBORHOOD,
-        chunk: CHUNK,
-        threads: 1,
-        seed: SEED,
-    };
+    let cfg =
+        FleetConfig { homes, neighborhood: NEIGHBORHOOD, chunk: CHUNK, threads: 1, seed: SEED };
     let tracer = Tracer::new(TraceConfig::control_only());
     let mut fleet =
-        Fleet::with_chaos(FleetScenario::new(HOMES), cfg, schedule(axis, pm, rep), tracer.clone());
-    let mut rounds = MAX_ROUNDS + 1;
-    for r in 1..=MAX_ROUNDS {
+        Fleet::with_chaos(FleetScenario::new(homes), cfg, schedule(axis, pm, rep), tracer.clone());
+    let mut rounds = max_rounds + 1;
+    for r in 1..=max_rounds {
         fleet.run(1);
         if fleet.converged() {
             rounds = r;
@@ -158,7 +159,7 @@ fn run_rep(
 
 /// Run one cell's replicates, judge every trace, and rerun the whole
 /// cell to pin determinism.
-fn run_cell(axis: &'static str, pm: u32) -> ChaosCell {
+fn run_cell(axis: &'static str, pm: u32, homes: u32, max_rounds: u32) -> ChaosCell {
     let start = Instant::now();
     let mut cell = ChaosCell {
         axis,
@@ -176,15 +177,15 @@ fn run_cell(axis: &'static str, pm: u32) -> ChaosCell {
     };
     let mut digest = trace::digest::Fnv64::new();
     for rep in 0..REPS {
-        let (report, events, rounds) = run_rep(axis, pm, rep);
+        let (report, events, rounds) = run_rep(axis, pm, rep, homes, max_rounds);
         let spec = FleetTraceSpec {
-            homes: HOMES,
-            rounds: rounds.min(MAX_ROUNDS),
+            homes,
+            rounds: rounds.min(max_rounds),
             staleness_budget: schedule(axis, pm, rep).policy.staleness_budget,
             grace: GRACE,
         };
         cell.violations += check_fleet_trace(&events, &spec).len();
-        cell.recovered &= rounds <= MAX_ROUNDS;
+        cell.recovered &= rounds <= max_rounds;
         cell.rounds.push(rounds);
         cell.worst_rounds = cell.worst_rounds.max(rounds);
         cell.faults += report.faults;
@@ -192,7 +193,7 @@ fn run_cell(axis: &'static str, pm: u32) -> ChaosCell {
         cell.degraded_rounds += report.degraded_rounds;
         digest.write_u64(report.digest);
 
-        let (rerun, rerun_events, rerun_rounds) = run_rep(axis, pm, rep);
+        let (rerun, rerun_events, rerun_rounds) = run_rep(axis, pm, rep, homes, max_rounds);
         cell.identical &= rerun == report && rerun_events == events && rerun_rounds == rounds;
     }
     cell.digest = digest.finish();
@@ -212,9 +213,10 @@ impl FleetChaosReport {
         out.push_str("  \"experiment\": \"e25\",\n");
         out.push_str(&format!("  \"seed\": {SEED},\n"));
         out.push_str(&format!(
-            "  \"fleet\": {{\"homes\": {HOMES}, \"neighborhood\": {NEIGHBORHOOD}, \
-             \"chunk\": {CHUNK}, \"horizon\": {HORIZON}, \"max_rounds\": {MAX_ROUNDS}, \
+            "  \"fleet\": {{\"homes\": {}, \"neighborhood\": {NEIGHBORHOOD}, \
+             \"chunk\": {CHUNK}, \"horizon\": {HORIZON}, \"max_rounds\": {}, \
              \"replicates\": {REPS}}},\n",
+            self.homes, self.max_rounds,
         ));
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
@@ -257,12 +259,17 @@ impl FleetChaosReport {
     }
 }
 
-/// E25 — sweep the axes and build the report.
-pub fn fleet_chaos() -> FleetChaosReport {
+/// E25 — sweep the axes and build the report. `homes`/`rounds` are the
+/// CLI overrides (`--homes N` scales each replicate fleet, `--rounds N`
+/// moves the convergence deadline); `None` keeps the committed
+/// defaults, which is what the byte-stability gate compares against.
+pub fn fleet_chaos(homes: Option<u32>, rounds: Option<u32>) -> FleetChaosReport {
+    let homes = homes.unwrap_or(HOMES);
+    let max_rounds = rounds.unwrap_or(MAX_ROUNDS);
     let mut cells = Vec::new();
     for &axis in AXES {
         for &pm in INTENSITIES {
-            cells.push(run_cell(axis, pm));
+            cells.push(run_cell(axis, pm, homes, max_rounds));
         }
     }
 
@@ -305,7 +312,7 @@ pub fn fleet_chaos() -> FleetChaosReport {
         "E25 summary: {} homes x {} cells ({} axes x {:?} pm, {REPS} replicates each), \
          {} faults -> {} recoveries, worst convergence {} rounds (horizon {HORIZON}), \
          all recovered: {}, checker-clean and rerun-stable: {}",
-        HOMES,
+        homes,
         cells.len(),
         AXES.len(),
         INTENSITIES,
@@ -315,7 +322,7 @@ pub fn fleet_chaos() -> FleetChaosReport {
         recovered,
         deterministic,
     );
-    FleetChaosReport { table, cells, recovered, deterministic, summary }
+    FleetChaosReport { table, homes, max_rounds, cells, recovered, deterministic, summary }
 }
 
 #[cfg(test)]
@@ -326,7 +333,7 @@ mod tests {
     fn zero_intensity_cells_converge_immediately_and_cleanly() {
         // One replicate is enough for the calm case: every replicate of
         // a 0-pm cell is the same clean fleet.
-        let (report, events, rounds) = run_rep("loss", 0, 0);
+        let (report, events, rounds) = run_rep("loss", 0, 0, HOMES, MAX_ROUNDS);
         assert_eq!(rounds, 1, "calm fleet converges at round 1");
         assert_eq!(report.faults, 0);
         let spec = FleetTraceSpec {
@@ -340,7 +347,7 @@ mod tests {
 
     #[test]
     fn a_stormy_cell_recovers_after_the_horizon() {
-        let cell = run_cell("loss", 750);
+        let cell = run_cell("loss", 750, HOMES, MAX_ROUNDS);
         assert!(cell.recovered, "loss-750 must converge within the deadline");
         assert!(cell.faults > 0, "a 750-pm cell with no faults across {REPS} replicates");
         assert_eq!(cell.violations, 0);
@@ -386,6 +393,8 @@ mod tests {
         ];
         let report = FleetChaosReport {
             table: Table::new("t", &["a"]),
+            homes: HOMES,
+            max_rounds: MAX_ROUNDS,
             cells,
             recovered: true,
             deterministic: true,

@@ -1,0 +1,616 @@
+//! E26 — resident home worlds: delta-driven fleet rounds, measured.
+//!
+//! E20 showed the fleet is digest-deterministic; ROADMAP flags its
+//! remaining head-room twice: an active round rebuilds every world
+//! from scratch (~0.8 MB and the dominant wall-time per home). This
+//! experiment measures the whole amortization ladder on identical
+//! round streams:
+//!
+//! * **rebuild-cold** — the from-scratch baseline the fleet started
+//!   from: every active home-round is a full [`iotsec_fleet::fleet::HomeWorld::run_home`]
+//!   build (no scrap reuse). This is the reference every other leg
+//!   must reproduce byte-for-byte, and the baseline the acceptance
+//!   ratios are quoted against.
+//! * **rebuild-recycled** — the production E25 path: full rebuild per
+//!   home-round, but out of the worker's reclaimed network buffers.
+//! * **resident** — the E26 mode ([`iotsec_fleet::fleet::Fleet::set_resident`]):
+//!   one persistent world per worker, **rebound** to each home
+//!   (`(home, seed, intel)` purity makes one machine serve any home)
+//!   with intel epochs **delta-installed**
+//!   ([`iotsec::world::World::apply_intel_delta`]) instead of
+//!   recompiled from scratch — measured serial, rerun, and at each
+//!   count in [`PAR_THREADS`].
+//!
+//! Three churn arms isolate the steady-state cost, each measured over
+//! [`ROUNDS`] post-warmup rounds:
+//!
+//! * **quiet** — no new intel after warmup; every measured round is
+//!   memo-served. Sanity: residency must not disturb the memo path.
+//! * **churn-miss** — one novel signature per round for a SKU no home
+//!   owns: every round is a new epoch (memo useless, all homes
+//!   execute), but the delta keeps every device untouched.
+//! * **churn-hit** — one novel signature per round for the camera SKU
+//!   every home owns: every round is a new epoch *and* every delta
+//!   splices the camera's signature list (no policy recompile — repo
+//!   membership never flips after warmup).
+//!
+//! Every leg must reproduce the cold reference's chained fleet digest
+//! byte-for-byte — the rebuild-equivalence oracle at bench scale. The
+//! headline numbers are steady-state homes/sec and heap bytes per
+//! home-round; the experiment fails (non-zero exit) unless the churn
+//! arms show the resident path ≥3× faster **or** ≥5× lighter per
+//! home-round than the from-scratch baseline. The recycled ratios are
+//! reported alongside so the resident mode's margin over the already-
+//! optimized E25 path stays visible.
+//!
+//! Digests, epochs, memo counters and the serial resident-stats
+//! counters are byte-stable in `BENCH_E26.json`; wall-clock and
+//! allocator-dependent numbers land only on `wall_ms`-marked volatile
+//! lines, and the CI `resident-gate` job diffs the file with
+//! `git diff -I'wall_ms'`.
+
+use crate::Table;
+use iotdev::registry::Sku;
+use iotlearn::signature::{Matcher, Severity};
+use iotlearn::AttackSignature;
+use iotsec::world::WorldScrap;
+use iotsec_fleet::{
+    Fleet, FleetConfig, FleetReport, FleetScenario, HomeOutcome, HomeWorld, ResidentStats,
+};
+use std::time::Instant;
+
+/// The repo-wide experiment seed.
+pub const SEED: u64 = 20151116;
+/// Homes in the fleet (20 neighborhoods of 100).
+pub const HOMES: u32 = 2_000;
+/// Homes per neighborhood aggregator.
+pub const NEIGHBORHOOD: u32 = 100;
+/// Homes per chunk (one chunk is the unit of worker assignment).
+pub const CHUNK: u32 = 64;
+/// Measured steady-state rounds per leg (post-warmup).
+pub const ROUNDS: u32 = 6;
+/// Warmup rounds: the breach round plus the first defended round, so
+/// the measurement window starts with every world built and epoch 1
+/// installed fleet-wide.
+pub const WARMUP: u32 = 2;
+/// Thread counts for the resident digest-gate legs.
+pub const PAR_THREADS: &[usize] = &[2, 4];
+/// Amortization gate: resident must be ≥ this many times faster than
+/// the from-scratch baseline…
+pub const MIN_SPEEDUP: f64 = 3.0;
+/// …or allocate ≤ 1/this of its bytes per home-round.
+pub const MIN_BYTES_RATIO: f64 = 5.0;
+
+/// The swept churn arms.
+const ARMS: &[Churn] = &[Churn::Quiet, Churn::Miss, Churn::Hit];
+
+/// What the intel feed does during the measured rounds.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Churn {
+    /// No new intel: steady state is fully memo-served.
+    Quiet,
+    /// A novel signature per round for a SKU no home owns.
+    Miss,
+    /// A novel signature per round for the camera SKU every home owns.
+    Hit,
+}
+
+impl Churn {
+    /// Stable arm label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Churn::Quiet => "quiet",
+            Churn::Miss => "churn-miss",
+            Churn::Hit => "churn-hit",
+        }
+    }
+
+    /// The round-`idx` injection for this arm (`None` for quiet).
+    /// Every signature is novel (distinct vuln id) so each injection
+    /// advances the region epoch by exactly one.
+    fn sig(self, idx: u32, cam_sku: &Sku) -> Option<AttackSignature> {
+        let sku = match self {
+            Churn::Quiet => return None,
+            Churn::Miss => Sku::new("e26", "no-such-device", "1"),
+            Churn::Hit => cam_sku.clone(),
+        };
+        Some(AttackSignature::new(
+            sku,
+            &format!("e26-{}-{idx}", self.label()),
+            Matcher::MatchAll,
+            Severity::Medium,
+        ))
+    }
+}
+
+/// The from-scratch baseline: wraps the real scenario but refuses the
+/// recycled build, so every active home-round is a cold
+/// [`HomeWorld::run_home`] — the world the fleet ran in before E25's
+/// scrap reuse, and the "~0.8 MB per home" the ROADMAP head-room notes
+/// point at.
+struct ColdRebuild(FleetScenario);
+
+impl HomeWorld for ColdRebuild {
+    type Resident = ();
+
+    fn run_home(&self, home: u32, seed: u64, intel: &[AttackSignature]) -> HomeOutcome {
+        self.0.run_home(home, seed, intel)
+    }
+
+    fn run_home_recycled(
+        &self,
+        home: u32,
+        seed: u64,
+        intel: &[AttackSignature],
+        _scrap: &mut WorldScrap,
+    ) -> HomeOutcome {
+        self.0.run_home(home, seed, intel)
+    }
+
+    fn discovery(&self, home: u32) -> Option<AttackSignature> {
+        self.0.discovery(home)
+    }
+}
+
+/// One measured leg: an execution mode at a thread count.
+pub struct ResidentLeg {
+    /// Stable label (`rebuild-cold`, `rebuild-recycled`, `resident`,
+    /// `resident-rerun`, `resident-par2`…).
+    pub label: String,
+    /// Worker threads (1 = serial).
+    pub threads: usize,
+    /// Whether the cumulative fleet report (digest included) matched
+    /// the cold rebuild reference.
+    pub identical: bool,
+    /// Steady-state wall time (volatile; never gated on).
+    pub steady_wall_ms: u128,
+    /// Heap bytes allocated during the steady-state window (volatile —
+    /// tracks allocator internals; only the rebuild/resident *ratio*
+    /// is meaningful).
+    pub steady_bytes: u64,
+    /// Scrap-reuse counters exported through the fleet's
+    /// [`trace::MetricsRegistry`] hookup: `[queue_reused, queue_cold,
+    /// capture_reused, capture_cold]`.
+    pub scrap: [u64; 4],
+}
+
+/// One arm's results: the cold reference plus every other leg.
+pub struct ResidentArm {
+    /// Which churn pattern.
+    pub churn: Churn,
+    /// The cold rebuild reference's cumulative report.
+    pub reference: FleetReport,
+    /// Serial resident leg's pool stats (deterministic: one worker).
+    pub stats: ResidentStats,
+    /// Every leg: `rebuild-cold`, `rebuild-recycled`, `resident`,
+    /// `resident-rerun`, then one `resident-parN` per [`PAR_THREADS`].
+    pub legs: Vec<ResidentLeg>,
+}
+
+/// Leg indices in [`ResidentArm::legs`].
+const COLD: usize = 0;
+const RECYCLED: usize = 1;
+const RESIDENT: usize = 2;
+
+impl ResidentArm {
+    /// Steady-state home-rounds served per second for a leg (volatile).
+    fn homes_per_sec(&self, wall_ms: u128) -> f64 {
+        let served = u64::from(self.reference.homes) * u64::from(ROUNDS);
+        served as f64 / (wall_ms.max(1) as f64 / 1000.0)
+    }
+
+    /// Steady-state heap bytes per home-round for a leg (volatile).
+    fn bytes_per_home_round(&self, bytes: u64) -> u64 {
+        bytes / (u64::from(self.reference.homes) * u64::from(ROUNDS)).max(1)
+    }
+
+    fn wall_ratio(&self, base: usize) -> f64 {
+        self.legs[base].steady_wall_ms.max(1) as f64
+            / self.legs[RESIDENT].steady_wall_ms.max(1) as f64
+    }
+
+    fn byte_ratio_vs(&self, base: usize) -> f64 {
+        self.legs[base].steady_bytes.max(1) as f64 / self.legs[RESIDENT].steady_bytes.max(1) as f64
+    }
+
+    /// cold wall / resident wall (≥ 1 means resident is faster).
+    pub fn speedup(&self) -> f64 {
+        self.wall_ratio(COLD)
+    }
+
+    /// cold bytes / resident bytes (≥ 1 means resident is lighter).
+    pub fn bytes_ratio(&self) -> f64 {
+        self.byte_ratio_vs(COLD)
+    }
+
+    /// recycled wall / resident wall — resident's margin over E25.
+    pub fn recycled_speedup(&self) -> f64 {
+        self.wall_ratio(RECYCLED)
+    }
+
+    /// recycled bytes / resident bytes — resident's margin over E25.
+    pub fn recycled_bytes_ratio(&self) -> f64 {
+        self.byte_ratio_vs(RECYCLED)
+    }
+
+    /// The amortization verdict for this arm (vs the cold baseline).
+    pub fn amortized(&self) -> bool {
+        self.speedup() >= MIN_SPEEDUP || self.bytes_ratio() >= MIN_BYTES_RATIO
+    }
+}
+
+/// The E26 report: the printed table plus everything the JSON needs.
+pub struct ResidentBenchReport {
+    /// Rendered leg table.
+    pub table: Table,
+    /// Homes per fleet ([`HOMES`] unless `--homes` overrode it).
+    pub homes: u32,
+    /// Measured rounds ([`ROUNDS`] unless `--rounds` overrode it).
+    pub rounds: u32,
+    /// Every arm, in [`ARMS`] order.
+    pub arms: Vec<ResidentArm>,
+    /// Every leg of every arm reproduced its cold rebuild reference.
+    pub identical: bool,
+    /// Both churn arms passed the amortization gate.
+    pub amortized: bool,
+    /// `identical && amortized` — what the CI gate checks.
+    pub deterministic: bool,
+    /// One-line human summary.
+    pub summary: String,
+}
+
+/// Drive one fleet through warmup plus `rounds` measured rounds under
+/// the arm's churn, and collect the measurement bundle.
+///
+/// The injection schedule is phase-shifted so every measured round of a
+/// churn arm is *active*: signature `idx` enters the feed one round
+/// before measured round `idx` runs, so its epoch installs at the
+/// preceding barrier and forces a memo miss.
+fn drive<S: HomeWorld + Sync>(
+    fleet: &mut Fleet<S>,
+    churn: Churn,
+    cam_sku: &Sku,
+    rounds: u32,
+    alloc_bytes: &dyn Fn() -> u64,
+) -> (FleetReport, ResidentStats, [u64; 4], u64, u128) {
+    for g in 0..WARMUP {
+        if g + 1 == WARMUP {
+            if let Some(sig) = churn.sig(0, cam_sku) {
+                fleet.inject_intel(vec![sig]);
+            }
+        }
+        fleet.round();
+    }
+    let bytes_before = alloc_bytes();
+    let start = Instant::now();
+    for r in 0..rounds {
+        if let Some(sig) = churn.sig(r + 1, cam_sku) {
+            fleet.inject_intel(vec![sig]);
+        }
+        fleet.round();
+    }
+    let steady_wall_ms = start.elapsed().as_millis();
+    let steady_bytes = alloc_bytes() - bytes_before;
+    let mut reg = trace::MetricsRegistry::new();
+    fleet.export_metrics(&mut reg);
+    let read = |name: &str| match reg.get(name) {
+        Some(trace::registry::MetricValue::Counter(c)) => c,
+        _ => 0,
+    };
+    let scrap = [
+        read("fleet.scrap.queue_reused"),
+        read("fleet.scrap.queue_cold"),
+        read("fleet.scrap.capture_reused"),
+        read("fleet.scrap.capture_cold"),
+    ];
+    (fleet.report(), fleet.resident_stats(), scrap, steady_bytes, steady_wall_ms)
+}
+
+fn fleet_cfg(homes: u32, threads: usize) -> FleetConfig {
+    FleetConfig { homes, neighborhood: NEIGHBORHOOD, chunk: CHUNK, threads, seed: SEED }
+}
+
+/// The camera SKU the churn-hit arm targets.
+fn cam_sku(homes: u32) -> Sku {
+    FleetScenario::new(homes)
+        .discovery(0)
+        .expect("the fleet scenario always has a discoverable camera signature")
+        .sku
+}
+
+/// Run one arm's legs against its cold rebuild reference.
+fn run_arm(churn: Churn, homes: u32, rounds: u32, alloc_bytes: &dyn Fn() -> u64) -> ResidentArm {
+    let sku = cam_sku(homes);
+    let mut legs = Vec::new();
+
+    let mut cold = Fleet::new(ColdRebuild(FleetScenario::new(homes)), fleet_cfg(homes, 1));
+    let (reference, _, scrap, bytes, wall) = drive(&mut cold, churn, &sku, rounds, alloc_bytes);
+    legs.push(ResidentLeg {
+        label: "rebuild-cold".to_string(),
+        threads: 1,
+        identical: true,
+        steady_wall_ms: wall,
+        steady_bytes: bytes,
+        scrap,
+    });
+
+    let mut recycled = Fleet::new(FleetScenario::new(homes), fleet_cfg(homes, 1));
+    let (rec, _, scrap, bytes, wall) = drive(&mut recycled, churn, &sku, rounds, alloc_bytes);
+    legs.push(ResidentLeg {
+        label: "rebuild-recycled".to_string(),
+        threads: 1,
+        identical: rec == reference,
+        steady_wall_ms: wall,
+        steady_bytes: bytes,
+        scrap,
+    });
+
+    let mut resident = Fleet::new(FleetScenario::new(homes), fleet_cfg(homes, 1));
+    resident.set_resident(true);
+    let (res, stats, scrap, bytes, wall) = drive(&mut resident, churn, &sku, rounds, alloc_bytes);
+    legs.push(ResidentLeg {
+        label: "resident".to_string(),
+        threads: 1,
+        identical: res == reference,
+        steady_wall_ms: wall,
+        steady_bytes: bytes,
+        scrap,
+    });
+
+    let mut rerun = Fleet::new(FleetScenario::new(homes), fleet_cfg(homes, 1));
+    rerun.set_resident(true);
+    let (rer, _, scrap, bytes, wall) = drive(&mut rerun, churn, &sku, rounds, alloc_bytes);
+    legs.push(ResidentLeg {
+        label: "resident-rerun".to_string(),
+        threads: 1,
+        identical: rer == reference,
+        steady_wall_ms: wall,
+        steady_bytes: bytes,
+        scrap,
+    });
+
+    for &t in PAR_THREADS {
+        let mut par = Fleet::new(FleetScenario::new(homes), fleet_cfg(homes, t));
+        par.set_resident(true);
+        let (p, _, scrap, bytes, wall) = drive(&mut par, churn, &sku, rounds, alloc_bytes);
+        legs.push(ResidentLeg {
+            label: format!("resident-par{t}"),
+            threads: t,
+            identical: p == reference,
+            steady_wall_ms: wall,
+            steady_bytes: bytes,
+            scrap,
+        });
+    }
+
+    ResidentArm { churn, reference, stats, legs }
+}
+
+impl ResidentBenchReport {
+    /// `BENCH_E26.json`: a stable section (per-arm digest, epoch and
+    /// memo counters, the serial resident-stats counters, leg
+    /// agreement, gate verdicts) plus a `timing_wall_ms` section where
+    /// **every** volatile line contains `wall_ms`, so CI can assert
+    /// byte stability with `git diff -I'wall_ms'`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"e26\",\n");
+        out.push_str(&format!("  \"seed\": {SEED},\n"));
+        out.push_str(&format!(
+            "  \"fleet\": {{\"homes\": {}, \"rounds\": {}, \"warmup\": {WARMUP}, \
+             \"neighborhood\": {NEIGHBORHOOD}, \"chunk\": {CHUNK}}},\n",
+            self.homes, self.rounds,
+        ));
+        out.push_str("  \"arms\": [\n");
+        for (i, a) in self.arms.iter().enumerate() {
+            let r = &a.reference;
+            let s = &a.stats;
+            let legs: Vec<String> = a
+                .legs
+                .iter()
+                .map(|l| {
+                    format!(
+                        "{{\"label\": \"{}\", \"threads\": {}, \"identical\": {}}}",
+                        l.label, l.threads, l.identical,
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "    {{\"arm\": \"{}\", \"digest\": \"{}\", \"epoch\": {}, \"installs\": {}, \
+                 \"memo\": {{\"hits\": {}, \"misses\": {}, \"interned_snapshots\": {}}}, \
+                 \"resident_serial\": {{\"full_builds\": {}, \"resident_runs\": {}, \
+                 \"delta_installs\": {}, \"noop_installs\": {}, \"policy_recompiles\": {}, \
+                 \"devices_patched\": {}, \"devices_kept\": {}, \"dropped\": {}}}, \
+                 \"legs\": [{}], \"amortized\": {}}}{}\n",
+                a.churn.label(),
+                r.digest_hex(),
+                r.epoch,
+                r.installs,
+                r.memo_hits,
+                r.memo_misses,
+                r.interned,
+                s.full_builds,
+                s.resident_runs,
+                s.delta_installs,
+                s.noop_installs,
+                s.policy_recompiles,
+                s.devices_patched,
+                s.devices_kept,
+                s.dropped,
+                legs.join(", "),
+                // Quiet is memo-served on both paths — its ratios are
+                // noise over ~0-cost legs, so it carries no claim.
+                match a.churn {
+                    Churn::Quiet => "null".to_string(),
+                    _ => a.amortized().to_string(),
+                },
+                if i + 1 == self.arms.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"identical\": {},\n", self.identical));
+        out.push_str(&format!("  \"amortized\": {},\n", self.amortized));
+        out.push_str(&format!("  \"deterministic\": {},\n", self.deterministic));
+        out.push_str("  \"timing_wall_ms\": [\n");
+        let mut lines = Vec::new();
+        for a in &self.arms {
+            for l in &a.legs {
+                lines.push(format!(
+                    "    {{\"leg\": \"{}-{}\", \"wall_ms\": {}, \"homes_per_sec\": {:.0}, \
+                     \"bytes_per_home_round\": {}}}",
+                    a.churn.label(),
+                    l.label,
+                    l.steady_wall_ms,
+                    a.homes_per_sec(l.steady_wall_ms),
+                    a.bytes_per_home_round(l.steady_bytes),
+                ));
+            }
+            lines.push(format!(
+                "    {{\"ratio\": \"{}\", \"ref_wall_ms\": {}, \"speedup_vs_cold\": {:.2}, \
+                 \"bytes_ratio_vs_cold\": {:.2}, \"speedup_vs_recycled\": {:.2}, \
+                 \"bytes_ratio_vs_recycled\": {:.2}}}",
+                a.churn.label(),
+                a.legs[COLD].steady_wall_ms,
+                a.speedup(),
+                a.bytes_ratio(),
+                a.recycled_speedup(),
+                a.recycled_bytes_ratio(),
+            ));
+            let s = a.legs[RESIDENT].scrap;
+            lines.push(format!(
+                "    {{\"scrap\": \"{}\", \"res_wall_ms\": {}, \"queue_reused\": {}, \
+                 \"queue_cold\": {}, \"capture_reused\": {}, \"capture_cold\": {}}}",
+                a.churn.label(),
+                a.legs[RESIDENT].steady_wall_ms,
+                s[0],
+                s[1],
+                s[2],
+                s[3],
+            ));
+        }
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// E26 — run the arms and build the report. `alloc_bytes` reads the
+/// process's cumulative heap-bytes counter (the `experiments` binary
+/// installs a counting global allocator; unit tests pass a null
+/// reader). `homes`/`rounds` are the CLI overrides (`--homes N` /
+/// `--rounds N`); `None` keeps the committed defaults, which is what
+/// the byte-stability gate compares against.
+pub fn resident(
+    alloc_bytes: &dyn Fn() -> u64,
+    homes: Option<u32>,
+    rounds: Option<u32>,
+) -> ResidentBenchReport {
+    let homes = homes.unwrap_or(HOMES);
+    let rounds = rounds.unwrap_or(ROUNDS);
+    let arms: Vec<ResidentArm> =
+        ARMS.iter().map(|&c| run_arm(c, homes, rounds, alloc_bytes)).collect();
+
+    let mut table = Table::new(
+        "E26: resident home worlds — cold rebuild vs recycled rebuild vs delta-driven resident",
+        &["arm", "leg", "threads", "digest", "identical", "steady wall ms", "bytes/home-round"],
+    );
+    for a in &arms {
+        for l in &a.legs {
+            table.rowd(&[
+                a.churn.label().to_string(),
+                l.label.clone(),
+                l.threads.to_string(),
+                a.reference.digest_hex(),
+                l.identical.to_string(),
+                l.steady_wall_ms.to_string(),
+                a.bytes_per_home_round(l.steady_bytes).to_string(),
+            ]);
+        }
+    }
+
+    let identical = arms.iter().all(|a| a.legs.iter().all(|l| l.identical));
+    // Quiet steady state is memo-served on both paths, so only the
+    // churn arms carry the amortization claim.
+    let amortized = arms.iter().filter(|a| a.churn != Churn::Quiet).all(|a| a.amortized());
+    let deterministic = identical && amortized;
+    let churn_hit = arms.iter().find(|a| a.churn == Churn::Hit);
+    let summary = format!(
+        "E26 summary: {} homes x {} steady rounds x {} arms, all legs digest-identical: {}, \
+         churn-hit vs cold rebuild {:.2}x wall / {:.2}x bytes (gate: >={MIN_SPEEDUP}x or \
+         >={MIN_BYTES_RATIO}x), vs recycled rebuild {:.2}x wall / {:.2}x bytes, \
+         serial resident stats {:?}, amortized: {}",
+        homes,
+        rounds,
+        arms.len(),
+        identical,
+        churn_hit.map_or(0.0, |a| a.speedup()),
+        churn_hit.map_or(0.0, |a| a.bytes_ratio()),
+        churn_hit.map_or(0.0, |a| a.recycled_speedup()),
+        churn_hit.map_or(0.0, |a| a.recycled_bytes_ratio()),
+        churn_hit.map(|a| a.stats),
+        amortized,
+    );
+    ResidentBenchReport { table, homes, rounds, arms, identical, amortized, deterministic, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 24-home miniature of the real arms (the full run lives in
+    /// `experiments e26`). Digest equality is the oracle; the
+    /// amortization ratios are only meaningful at bench scale.
+    #[test]
+    fn miniature_arms_are_digest_identical_and_run_resident() {
+        for &churn in ARMS {
+            let arm = run_arm(churn, 24, 2, &|| 0);
+            assert!(arm.legs.iter().all(|l| l.identical), "arm {}", churn.label());
+            assert!(arm.stats.resident_runs > 0, "arm {}: {:?}", churn.label(), arm.stats);
+            match churn {
+                // Measured rounds are memo hits; only warmup executes.
+                Churn::Quiet => assert_eq!(arm.stats.delta_installs, 1),
+                // Every measured round delta-installs a fresh epoch.
+                Churn::Miss | Churn::Hit => {
+                    assert!(arm.stats.delta_installs >= 2, "{:?}", arm.stats);
+                    assert_eq!(arm.stats.noop_installs, 0);
+                }
+            }
+            if churn == Churn::Hit {
+                assert!(arm.stats.devices_patched > 0, "{:?}", arm.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn json_volatile_lines_all_carry_wall_ms() {
+        let arm = run_arm(Churn::Quiet, 12, 1, &|| 0);
+        let report = ResidentBenchReport {
+            table: Table::new("t", &["a"]),
+            homes: 12,
+            rounds: 1,
+            arms: vec![arm],
+            identical: true,
+            amortized: true,
+            deterministic: true,
+            summary: String::new(),
+        };
+        let json = report.render_json();
+        let mut in_timing = false;
+        for line in json.lines() {
+            if line.contains("\"timing_wall_ms\"") {
+                in_timing = true;
+            }
+            if in_timing && line.contains('{') {
+                assert!(line.contains("wall_ms"), "volatile line lacks marker: {line}");
+            }
+            if line.contains("per_sec") || line.contains("bytes_per_home_round") {
+                assert!(line.contains("wall_ms"), "host-dependent line lacks marker: {line}");
+            }
+        }
+        assert!(json.contains("\"experiment\": \"e26\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.ends_with("}\n"));
+    }
+}

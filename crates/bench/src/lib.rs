@@ -27,6 +27,7 @@
 //! | E21 | [`exp_engine`] (the arena event engine + packed fast path) |
 //! | E23 | [`exp_vet`] (the adversarial vet campaign and CI gate) |
 //! | E25 | [`exp_fleet_chaos`] (fleet fault tolerance and recovery) |
+//! | E26 | [`exp_resident`] (resident worlds and delta intel installs) |
 //!
 //! [`metrics`] holds the runner's thread-local engine-counter registry,
 //! drained into each experiment's `BENCH_E16.json` record.
@@ -45,6 +46,7 @@ pub mod exp_models;
 pub mod exp_perf;
 pub mod exp_pipeline;
 pub mod exp_policy;
+pub mod exp_resident;
 pub mod exp_safety;
 pub mod exp_space;
 pub mod exp_trace;

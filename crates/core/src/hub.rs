@@ -45,6 +45,15 @@ impl Hub {
         }
     }
 
+    /// Reset runtime state (environment edge-detector, fired counter)
+    /// back to freshly-constructed values, keeping the registered
+    /// recipes, directory and credentials. Resident worlds (E26) reuse
+    /// the hub across rounds.
+    pub fn reset_runtime(&mut self) {
+        self.prev_env = None;
+        self.fired = 0;
+    }
+
     /// Register a device in the directory.
     pub fn register(&mut self, id: DeviceId, ip: Ipv4Addr, class: DeviceClass) {
         self.directory.insert(id, (ip, class));

@@ -52,7 +52,11 @@
 //! assert!(!run(Defense::iotsec()).campaign_succeeded());
 //! ```
 
-#![forbid(unsafe_code)]
+// Deny rather than forbid: the single exemption is the documented
+// `unsafe impl Send for ResidentWorld` in `world` (E26), which asserts
+// the fleet's serial cross-round hand-off invariant. No other unsafe
+// code is permitted.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;

@@ -18,11 +18,12 @@ use iotctl::failover::ReplicatedController;
 use iotctl::hier::{HierarchicalController, Partitioning};
 use iotctl::safety::{self, DeviceFacts, SafetyMonitor};
 use iotdev::attacker::{AttackPlan, AttackStep, Attacker, AttackerEmit};
-use iotdev::classes::DeviceLogic;
-use iotdev::device::{AdminCreds, DeviceId, DeviceOutput, IoTDevice, OutMessage};
+use iotdev::classes::{DeviceLogic, PlugLoad};
+use iotdev::device::{AdminCreds, DeviceClass, DeviceId, DeviceOutput, IoTDevice, OutMessage};
 use iotdev::env::{EnvVar, Environment};
 use iotdev::events::SecurityEvent;
 use iotdev::proto::AppMessage;
+use iotdev::registry::Sku;
 use iotdev::vuln::Vulnerability;
 use iotlearn::signature::{AttackSignature, Matcher, Severity};
 use iotnet::addr::{EndpointId, Ipv4Addr, NodeId, SwitchId};
@@ -40,6 +41,7 @@ use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
+use std::sync::Arc;
 use trace::tracer::TraceConfig;
 use trace::{MetricsRegistry, TraceEvent, Tracer};
 use umbox::breaker::{BreakerBank, BreakerEvent};
@@ -258,6 +260,154 @@ pub struct World {
     env_scratch: Vec<(EnvVar, &'static str)>,
     /// Per-device fact rows rebuilt for the safety monitor each tick.
     facts_scratch: Vec<DeviceFacts>,
+    /// Resident-mode bookkeeping (E26): `Some` only for worlds built by
+    /// [`World::new_home_resident`], which survive across fleet rounds
+    /// and take intel updates via [`World::apply_intel_delta`] instead
+    /// of being rebuilt.
+    resident: Option<Box<ResidentBind>>,
+}
+
+/// Everything a resident world (E26) needs to take an intel delta and a
+/// rebind without re-reading its deployment template: the per-device
+/// signature bases and policy-compile inputs captured at build time,
+/// plus the intel epoch currently installed.
+struct ResidentBind {
+    /// Intel epoch currently installed on this world.
+    epoch: u32,
+    /// The installed snapshot itself (content, not just the number —
+    /// the delta path diffs old-vs-new per device).
+    intel: Arc<[AttackSignature]>,
+    /// Per-device signature ruleset built with *no* extra intel:
+    /// subscribed-matching signatures first, vuln-derived rules after.
+    /// Extra (region) signatures splice between the two, exactly where
+    /// `build_signatures` puts them on a cold build.
+    base: Vec<Rc<[AttackSignature]>>,
+    /// Per-device count of subscribed-matching signatures — the splice
+    /// point for extra intel within `base`.
+    prefix: Vec<usize>,
+    /// Per-device extra-matching signatures currently installed.
+    extra: Vec<Vec<AttackSignature>>,
+    /// Per-device standing-IDS membership (any matching signature,
+    /// subscribed or extra). A membership flip forces a policy
+    /// recompile; a same-membership signature change only repatches the
+    /// device's ruleset.
+    matched: Vec<bool>,
+    // Policy-recompile inputs, captured from the template verbatim.
+    classes: Vec<DeviceClass>,
+    vulns: Vec<Vec<Vulnerability>>,
+    skus: Vec<Sku>,
+    gates: Vec<(DeviceId, EnvVar, &'static str)>,
+    protect_pairs: Vec<(DeviceId, DeviceId)>,
+    // Rebind inputs.
+    loads: Vec<Option<PlugLoad>>,
+    pre_stolen_keys: Vec<u64>,
+    site: crate::deployment::Site,
+}
+
+impl ResidentBind {
+    /// Capture the delta-install and rebind inputs from a template and a
+    /// freshly built world installed at `(epoch, intel)`.
+    fn capture(
+        template: &Deployment,
+        world: &World,
+        epoch: u32,
+        intel: &Arc<[AttackSignature]>,
+    ) -> ResidentBind {
+        let base: Vec<Rc<[AttackSignature]>> = template
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, setup)| {
+                build_signatures(
+                    world.cfg.as_ref(),
+                    &world.devices[i].sku,
+                    &setup.vulns,
+                    &template.subscribed_signatures,
+                    &[],
+                )
+            })
+            .collect();
+        let prefix: Vec<usize> = template
+            .devices
+            .iter()
+            .map(|setup| {
+                template.subscribed_signatures.iter().filter(|s| s.sku == setup.sku).count()
+            })
+            .collect();
+        let extra: Vec<Vec<AttackSignature>> = template
+            .devices
+            .iter()
+            .map(|setup| intel.iter().filter(|s| s.sku == setup.sku).cloned().collect())
+            .collect();
+        let matched: Vec<bool> = prefix
+            .iter()
+            .zip(extra.iter())
+            .map(|(&p, e): (&usize, &Vec<AttackSignature>)| p > 0 || !e.is_empty())
+            .collect();
+        ResidentBind {
+            epoch,
+            intel: Arc::clone(intel),
+            base,
+            prefix,
+            extra,
+            matched,
+            classes: template.devices.iter().map(|s| s.class).collect(),
+            vulns: template.devices.iter().map(|s| s.vulns.clone()).collect(),
+            skus: template.devices.iter().map(|s| s.sku.clone()).collect(),
+            gates: template.gates.clone(),
+            protect_pairs: template.protect_pairs.clone(),
+            loads: template.devices.iter().map(|s| s.load).collect(),
+            pre_stolen_keys: template.pre_stolen_keys.clone(),
+            site: template.site,
+        }
+    }
+}
+
+/// What [`World::apply_intel_delta`] did, for the fleet's
+/// delta-vs-full install accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaInstall {
+    /// The new snapshot was content-identical: only the epoch advanced.
+    pub noop: bool,
+    /// A standing-IDS membership flip forced a policy recompile.
+    pub recompiled: bool,
+    /// Devices whose signature ruleset was repatched.
+    pub devices_patched: u32,
+    /// Devices whose matching set was unchanged and kept as-is.
+    pub devices_kept: u32,
+}
+
+/// A resident [`World`] handed off between fleet rounds (E26).
+///
+/// `World` is not `Send`: its interior uses `Rc`/`RefCell` for state
+/// shared *within one home* (signature rulesets, µmbox chains, the gate
+/// view). A resident world, however, must outlive the scoped worker
+/// thread that ran it and be picked up by the next round's worker. That
+/// hand-off is serial — the fleet stores each slot behind a `Mutex` and
+/// statically assigns each home's chunk to exactly one worker per
+/// round, so no two threads ever touch a world concurrently, and every
+/// `Rc` clone lives inside the world being moved (none escapes to
+/// another thread). Under those invariants a cross-thread *move* is
+/// sound, which is exactly what this wrapper's `unsafe impl Send`
+/// asserts.
+pub struct ResidentWorld(World);
+
+// SAFETY: see the type-level docs — the fleet moves a ResidentWorld
+// between rounds but never shares it across threads, and all interior
+// shared pointers are confined to the wrapped world.
+#[allow(unsafe_code)]
+unsafe impl Send for ResidentWorld {}
+
+impl ResidentWorld {
+    /// Wrap a world for cross-round residency.
+    pub fn new(world: World) -> ResidentWorld {
+        ResidentWorld(world)
+    }
+
+    /// Exclusive access to the wrapped world.
+    pub fn get_mut(&mut self) -> &mut World {
+        &mut self.0
+    }
 }
 
 /// Per-home construction overrides for fleet worlds (E20).
@@ -336,7 +486,215 @@ impl World {
     /// Tear the world down, banking its recyclable heap into `scrap` for
     /// the next [`World::new_home_recycled`] build.
     pub fn reclaim_into(self, scrap: &mut WorldScrap) {
-        scrap.net = self.net.reclaim();
+        scrap.net.refill(self.net.reclaim());
+    }
+
+    /// Whether a deployment template is eligible for resident-world
+    /// execution (E26). Residency requires that a world's behavior be a
+    /// pure function of `(template, seed, intel)` reachable by in-place
+    /// reset: chaos schedules and the safety monitor thread their own
+    /// cross-round state, and the perimeter and hierarchical defenses
+    /// install build-time structure the reset path does not replay, so
+    /// those fall back to rebuild-per-round.
+    pub fn supports_resident(template: &Deployment) -> bool {
+        template.chaos.is_none()
+            && template.safety.is_none()
+            && match &template.defense {
+                Defense::None => true,
+                Defense::IoTSec(c) => !c.hierarchical,
+                Defense::Perimeter => false,
+            }
+    }
+
+    /// Build a resident home world (E26): a [`World::new_home_recycled`]
+    /// build plus the captured [`ResidentBind`] that later rounds use to
+    /// install intel deltas ([`World::apply_intel_delta`]) and rebind to
+    /// a new `(seed)` in place ([`World::rebind_home`]) instead of
+    /// rebuilding from scratch.
+    pub fn new_home_resident(
+        template: &Deployment,
+        seed: u64,
+        epoch: u32,
+        intel: &Arc<[AttackSignature]>,
+        scrap: &mut WorldScrap,
+    ) -> World {
+        debug_assert!(World::supports_resident(template));
+        let overrides = HomeOverrides { seed, extra_signatures: intel };
+        let mut world =
+            World::build_with_scrap(template, Tracer::disabled(), Some(&overrides), Some(scrap));
+        world.resident = Some(Box::new(ResidentBind::capture(template, &world, epoch, intel)));
+        world
+    }
+
+    /// The intel epoch installed on a resident world (`None` for
+    /// ordinary worlds).
+    pub fn resident_epoch(&self) -> Option<u32> {
+        self.resident.as_ref().map(|b| b.epoch)
+    }
+
+    /// Install a new intel snapshot on a resident world without
+    /// rebuilding it: hot-swap the interned snapshot, diff old-vs-new
+    /// signatures per device, repatch only the rulesets whose matching
+    /// set changed, and recompile the controller policy only when a
+    /// device's standing-IDS membership flipped. Content-identical
+    /// snapshots advance the epoch and touch nothing else.
+    ///
+    /// Must be called between runs (before [`World::rebind_home`]); the
+    /// next rebind launches chains against the patched rulesets, so the
+    /// patched world is byte-identical to a cold build at the new epoch.
+    pub fn apply_intel_delta(
+        &mut self,
+        epoch: u32,
+        intel: &Arc<[AttackSignature]>,
+    ) -> DeltaInstall {
+        let mut bind = self.resident.take().expect("apply_intel_delta needs a resident world");
+        let mut out = DeltaInstall::default();
+        bind.epoch = epoch;
+        if Arc::ptr_eq(&bind.intel, intel) || bind.intel[..] == intel[..] {
+            bind.intel = Arc::clone(intel);
+            out.noop = true;
+            self.resident = Some(bind);
+            return out;
+        }
+        bind.intel = Arc::clone(intel);
+        let mut membership_changed = false;
+        if self.cfg.is_some() {
+            for i in 0..self.devices.len() {
+                let matching = || intel.iter().filter(|s| s.sku == bind.skus[i]);
+                if matching().eq(bind.extra[i].iter()) {
+                    out.devices_kept += 1;
+                    continue;
+                }
+                let new_extra: Vec<AttackSignature> = matching().cloned().collect();
+                let base = &bind.base[i];
+                let p = bind.prefix[i].min(base.len());
+                let mut sigs = Vec::with_capacity(base.len() + new_extra.len());
+                sigs.extend_from_slice(&base[..p]);
+                sigs.extend(new_extra.iter().cloned());
+                sigs.extend_from_slice(&base[p..]);
+                self.device_signatures[i] = sigs.into();
+                let now_matched = p > 0 || !new_extra.is_empty();
+                if now_matched != bind.matched[i] {
+                    bind.matched[i] = now_matched;
+                    membership_changed = true;
+                }
+                bind.extra[i] = new_extra;
+                out.devices_patched += 1;
+            }
+            if membership_changed {
+                // Recompile the policy exactly as the builder does, from
+                // the captured template inputs and the updated
+                // membership vector. Rule-for-rule identical output
+                // keeps the oracle's byte-equivalence intact.
+                let mut compiler = PolicyCompiler::new();
+                for i in 0..self.devices.len() {
+                    compiler.device(DeviceId(i as u32), bind.classes[i], &bind.vulns[i]);
+                    if bind.matched[i] {
+                        compiler.rule(
+                            iotpolicy::policy::PolicyRule::new(
+                                iotpolicy::compile::priority::MITIGATION,
+                                iotpolicy::policy::StatePattern::any(),
+                                DeviceId(i as u32),
+                                Posture::of(iotpolicy::posture::SecurityModule::Ids { ruleset: 1 }),
+                            )
+                            .with_origin(&format!("repo:{}", bind.skus[i])),
+                        );
+                    }
+                }
+                for var in EnvVar::ALL {
+                    compiler.env(var);
+                }
+                for (device, var, value) in &bind.gates {
+                    compiler.gate_actuation(*device, *var, value);
+                }
+                for (watched, protected) in &bind.protect_pairs {
+                    compiler.protect_on_suspicion(*watched, *protected);
+                }
+                if let Some(ControlPlane::Flat(c)) = &mut self.control {
+                    c.policy = compiler.build();
+                }
+                out.recompiled = true;
+            }
+        }
+        self.resident = Some(bind);
+        out
+    }
+
+    /// Rebind a resident world to a new home `(seed)` in place: reset
+    /// every runtime subsystem to its freshly-constructed state (network
+    /// buffers keep their capacity), reseed the traffic RNG, and replay
+    /// the initial reconciliation — after which the world is observably
+    /// identical to a cold [`World::new_home_recycled`] build at the
+    /// currently installed intel epoch.
+    pub fn rebind_home(&mut self, seed: u64) {
+        let bind = self.resident.take().expect("rebind_home needs a resident world");
+        self.clock = SimTime::ZERO;
+        self.net.reset_resident(seed);
+        self.env = Environment::new();
+        for (i, dev) in self.devices.iter_mut().enumerate() {
+            dev.reset_runtime();
+            if let (Some(load), DeviceLogic::SmartPlug(plug)) = (bind.loads[i], &mut dev.logic) {
+                plug.load = load;
+            }
+        }
+        if let Some((hub, _)) = &mut self.hub {
+            hub.reset_runtime();
+        }
+        if let Some((attacker, _)) = &mut self.attacker {
+            attacker.reset_runtime();
+            for key in &bind.pre_stolen_keys {
+                attacker.learn_key(*key);
+            }
+        }
+        self.victim_bytes = 0;
+        self.gate_view = ViewHandle::new();
+        self.event_sink = EventSink::new();
+        if let Some(ControlPlane::Flat(c)) = &mut self.control {
+            c.reset_runtime(self.gate_view.clone());
+        }
+        if let Some(cfg) = &self.cfg {
+            self.lifecycle = Some(LifecycleManager::new(cfg.pool));
+            self.cluster = Some(match bind.site {
+                crate::deployment::Site::Home => Cluster::iot_router(),
+                crate::deployment::Site::Enterprise { .. } => {
+                    Cluster::enterprise(4, 8192, umbox::resource::PlacementPolicy::LeastLoaded)
+                }
+            });
+        }
+        self.chains.clear();
+        self.pending_steers.clear();
+        self.pending_swaps.clear();
+        self.next_steer = 1;
+        self.pending_events.clear();
+        self.physical_breach = false;
+        self.breach_at = None;
+        self.retired_drops = 0;
+        self.retired_intercepts = 0;
+        self.recipes_fired_seed = 0;
+        self.unprotected.clear();
+        self.fail_open_exposure = SimDuration::ZERO;
+        self.blocked_reaction.clear();
+        self.retired_fail_open = 0;
+        self.retired_fail_closed = 0;
+        self.last_failovers = 0;
+        self.admission_shed = 0;
+        self.delivery_scratch.clear();
+        self.env_scratch.clear();
+        self.facts_scratch.clear();
+        self.resident = Some(bind);
+
+        // Replay the initial reconciliation exactly as the builder does:
+        // standing mitigations install before any traffic flows.
+        if let Some(mut control) = self.control.take() {
+            let directives = control.reconcile(SimTime::ZERO);
+            self.control = Some(control);
+            for d in directives {
+                let (device, kind) = (d.device().0, directive_kind(&d));
+                self.tracer.emit(0, TraceEvent::DirectiveIssued { device, kind });
+                self.tracer.emit(0, TraceEvent::DirectiveDelivered { device, kind });
+                self.execute_directive(d, SimTime::ZERO);
+            }
+        }
     }
 
     fn build(deployment: &Deployment, tracer: Tracer, home: Option<&HomeOverrides<'_>>) -> World {
@@ -651,6 +1009,7 @@ impl World {
             delivery_scratch: Vec::new(),
             env_scratch: Vec::with_capacity(EnvVar::ALL.len()),
             facts_scratch: Vec::with_capacity(deployment.devices.len()),
+            resident: None,
         };
 
         if let Some(chaos) = &deployment.chaos {
@@ -1701,6 +2060,63 @@ mod tests {
         assert_eq!(m.safety.quarantines, 0);
         assert_eq!(m.breaker_trips, 0);
         assert_eq!(m.admission_shed, 0);
+    }
+
+    /// Observable fingerprint of a finished run — the same quantities
+    /// the fleet folds into its home-outcome digest.
+    fn run_fingerprint(w: &mut World) -> (Vec<u32>, Vec<u32>, u64, u64, usize, u64) {
+        w.run_until_attack_done(SimDuration::from_secs(120));
+        let m = w.report();
+        (
+            m.compromised.iter().map(|d| d.0).collect(),
+            m.privacy_leaked.iter().map(|d| d.0).collect(),
+            m.umbox_drops + m.umbox_intercepts,
+            m.controller_events,
+            m.steps_succeeded(),
+            w.net.events_processed(),
+        )
+    }
+
+    #[test]
+    fn resident_world_is_byte_equivalent_to_rebuild() {
+        // The E26 oracle in miniature: one resident world carried across
+        // (seed, intel) legs must match a cold rebuild on every leg —
+        // including an intel delta that flips the camera's standing-IDS
+        // membership (policy recompile) and one that is a pure no-op.
+        let (template, cam) = crate::scenario::fleet_home(Defense::iotsec(), 0);
+        assert!(World::supports_resident(&template));
+        let sig = AttackSignature::for_table1_row(1, &template.devices[cam.0 as usize].sku)
+            .expect("row 1 has a signature");
+        let empty: Arc<[AttackSignature]> = Vec::new().into();
+        let armed: Arc<[AttackSignature]> = vec![sig].into();
+        // (seed, epoch, snapshot) legs: reseed at same epoch, epoch bump
+        // with a membership flip, then a same-content "bump" (no-op).
+        let legs: Vec<(u64, u32, &Arc<[AttackSignature]>)> =
+            vec![(7, 0, &empty), (8, 0, &empty), (9, 1, &armed), (10, 1, &armed)];
+
+        let mut scrap = WorldScrap::default();
+        let mut resident =
+            World::new_home_resident(&template, legs[0].0, legs[0].1, legs[0].2, &mut scrap);
+        for (i, (seed, epoch, intel)) in legs.iter().enumerate() {
+            if i > 0 {
+                if resident.resident_epoch() != Some(*epoch) {
+                    let d = resident.apply_intel_delta(*epoch, intel);
+                    assert!(!d.noop);
+                    assert!(d.recompiled, "camera membership flips at epoch 1");
+                }
+                resident.rebind_home(*seed);
+            }
+            let got = run_fingerprint(&mut resident);
+            let mut cold_scrap = WorldScrap::default();
+            let overrides = HomeOverrides { seed: *seed, extra_signatures: intel };
+            let mut cold = World::new_home_recycled(&template, &overrides, &mut cold_scrap);
+            let want = run_fingerprint(&mut cold);
+            assert_eq!(got, want, "leg {i} (seed {seed}, epoch {epoch}) diverged");
+        }
+        // A same-content epoch advance is a pure no-op install.
+        let d = resident.apply_intel_delta(2, &armed);
+        assert!(d.noop);
+        assert_eq!(resident.resident_epoch(), Some(2));
     }
 
     #[test]

@@ -75,12 +75,72 @@ pub struct HomeOutcome {
     pub flagged: u32,
 }
 
+/// Resident-pool accounting (E26): how home runs were served and what
+/// each epoch install cost. Aggregated across workers by
+/// [`Fleet::resident_stats`] and exported through `MetricsRegistry`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidentStats {
+    /// Homes that built a world from scratch (cold slot, unsupported
+    /// template, or post-crash rebuild).
+    pub full_builds: u64,
+    /// Homes served by rebinding a resident world in place.
+    pub resident_runs: u64,
+    /// Epoch advances installed as per-device patches (content changed).
+    pub delta_installs: u64,
+    /// Epoch advances with content-identical intel (epoch bump only).
+    pub noop_installs: u64,
+    /// Delta installs that flipped a standing-IDS membership and
+    /// recompiled the policy.
+    pub policy_recompiles: u64,
+    /// Devices whose signature ruleset was repatched across all delta
+    /// installs.
+    pub devices_patched: u64,
+    /// Devices kept as-is across all delta installs.
+    pub devices_kept: u64,
+    /// Resident worlds dropped by chaos worker crashes (each forces one
+    /// full rebuild).
+    pub dropped: u64,
+}
+
+impl ResidentStats {
+    fn merge(&mut self, o: &ResidentStats) {
+        self.full_builds += o.full_builds;
+        self.resident_runs += o.resident_runs;
+        self.delta_installs += o.delta_installs;
+        self.noop_installs += o.noop_installs;
+        self.policy_recompiles += o.policy_recompiles;
+        self.devices_patched += o.devices_patched;
+        self.devices_kept += o.devices_kept;
+        self.dropped += o.dropped;
+    }
+}
+
+/// One worker's resident pool: its persistent world slot plus the
+/// stats it accumulates. Behind a `Mutex` in the fleet; each round's
+/// static home→worker assignment guarantees exactly one worker touches
+/// a pool at a time.
+struct ResidentPool<R> {
+    slot: Option<R>,
+    stats: ResidentStats,
+}
+
+impl<R> Default for ResidentPool<R> {
+    fn default() -> ResidentPool<R> {
+        ResidentPool { slot: None, stats: ResidentStats::default() }
+    }
+}
+
 /// One home scenario family: how to run home `h` against an intel
 /// snapshot, and what a discovering home publishes.
 ///
 /// `run_home` must be a **pure function** of `(home, seed, intel)` —
 /// the memo and the serial≡parallel digest both assume it.
 pub trait HomeWorld: Sync {
+    /// The per-worker resident state (E26): a persistent constructed
+    /// world the scenario rebinds per home instead of rebuilding.
+    /// Scenarios without a resident mode use `()`.
+    type Resident: Send;
+
     /// Build and run one home world entirely on the calling thread.
     fn run_home(&self, home: u32, seed: u64, intel: &[AttackSignature]) -> HomeOutcome;
 
@@ -99,6 +159,32 @@ pub trait HomeWorld: Sync {
         _scrap: &mut WorldScrap,
     ) -> HomeOutcome {
         self.run_home(home, seed, intel)
+    }
+
+    /// [`HomeWorld::run_home_recycled`] with a persistent per-worker
+    /// resident slot (E26). When the slot holds a world, the scenario
+    /// installs the intel epoch as a delta and rebinds in place; when it
+    /// is empty (first round, or after a chaos crash dropped it), the
+    /// scenario builds fresh and parks the world in the slot. Must
+    /// return **exactly** what `run_home` returns — residency is a
+    /// construction-amortization, never a semantic one; the rebuild-
+    /// equivalence oracle in `tests/fleet_resident_props.rs` pins digest
+    /// and trace byte-equality. The default ignores the slot and always
+    /// rebuilds, so synthetic scenarios need not care.
+    #[allow(clippy::too_many_arguments)]
+    fn run_home_resident(
+        &self,
+        home: u32,
+        seed: u64,
+        epoch: u32,
+        intel: &Arc<[AttackSignature]>,
+        _slot: &mut Option<Self::Resident>,
+        scrap: &mut WorldScrap,
+        stats: &mut ResidentStats,
+    ) -> HomeOutcome {
+        let _ = epoch;
+        stats.full_builds += 1;
+        self.run_home_recycled(home, seed, intel, scrap)
     }
 
     /// Materialize the signature home `home` publishes on discovery.
@@ -301,8 +387,11 @@ pub struct Fleet<S: HomeWorld> {
     /// epoch `e`; index 0 is the empty pre-discovery snapshot). Epochs
     /// are dense, so this grows by one per absorbing round. Under chaos
     /// homes sit at different epochs and execution serves each from its
-    /// own entry; chaos-off only the top entry is ever read.
-    snapshots: Vec<Arc<[AttackSignature]>>,
+    /// own entry; chaos-off only the top entry is ever read. Entries
+    /// below the installed-epoch floor are GC'd to `None` (E26) — no
+    /// home can ever read them again, and dropping the `Arc` lets the
+    /// interner retire the allocation.
+    snapshots: Vec<Option<Arc<[AttackSignature]>>>,
     /// Fleet-wide installed-epoch floor (`ledger.min_epoch()`; chaos-off
     /// every home is equal, so it is also every home's epoch).
     installed_epoch: u32,
@@ -326,6 +415,14 @@ pub struct Fleet<S: HomeWorld> {
     outstanding: Vec<Outstanding>,
     /// Per-worker recycled world heaps (index = worker, slot 0 serial).
     scraps: Vec<Mutex<WorldScrap>>,
+    /// Whether rounds run in resident mode (E26): persistent per-worker
+    /// worlds, home-affine static chunk assignment, delta installs.
+    resident_on: bool,
+    /// Per-worker resident pools (index = worker, slot 0 serial).
+    residents: Vec<Mutex<ResidentPool<S::Resident>>>,
+    /// Out-of-band intel queued by [`Fleet::inject_intel`]; drained into
+    /// the next barrier's upward flow (bench/test epoch-churn driver).
+    feed: Vec<AttackSignature>,
     /// Chained fleet digest across rounds.
     digest: Fnv64,
     tracer: Tracer,
@@ -389,7 +486,7 @@ impl<S: HomeWorld> Fleet<S> {
             interner: Interner::new(),
             ledger: InstallLedger::new(homes as usize),
             intel: empty.clone(),
-            snapshots: vec![empty],
+            snapshots: vec![Some(empty)],
             installed_epoch: 0,
             published: vec![false; homes as usize],
             chaos,
@@ -398,6 +495,11 @@ impl<S: HomeWorld> Fleet<S> {
             late_dups: Vec::new(),
             outstanding: Vec::new(),
             scraps: (0..cfg.threads.max(1)).map(|_| Mutex::new(WorldScrap::default())).collect(),
+            resident_on: false,
+            residents: (0..cfg.threads.max(1))
+                .map(|_| Mutex::new(ResidentPool::default()))
+                .collect(),
+            feed: Vec::new(),
             digest: Fnv64::new(),
             tracer,
             round: 0,
@@ -438,11 +540,16 @@ impl<S: HomeWorld> Fleet<S> {
             let scenario = &self.scenario;
             let memo = &self.memo;
             let slots = &self.slots;
-            let snapshots: &[Arc<[AttackSignature]>] = &self.snapshots;
+            let snapshots: &[Option<Arc<[AttackSignature]>>] = &self.snapshots;
             let ledger = &self.ledger;
             let scraps = &self.scraps;
             let (hits, misses) = (&self.memo_hits, &self.memo_misses);
             let seed = self.cfg.seed;
+            let intel_of = |epoch: u32| -> &Arc<[AttackSignature]> {
+                snapshots[epoch as usize]
+                    .as_ref()
+                    .expect("a home's installed epoch never drops below the GC floor")
+            };
             let exec = |home: u32, scrap: &mut WorldScrap| {
                 let home_epoch = ledger.epoch_of(home);
                 let key = memo_key(home, home_epoch);
@@ -451,13 +558,74 @@ impl<S: HomeWorld> Fleet<S> {
                     hits.fetch_add(1, Ordering::Relaxed);
                     return *out;
                 }
-                let intel: &[AttackSignature] = &snapshots[home_epoch as usize];
+                let intel: &[AttackSignature] = intel_of(home_epoch);
                 let out = scenario.run_home_recycled(home, home_seed(seed, home), intel, scrap);
                 shard.lock().unwrap().insert(key, out);
                 misses.fetch_add(1, Ordering::Relaxed);
                 out
             };
-            if self.cfg.threads <= 1 {
+            let exec_resident =
+                |home: u32, scrap: &mut WorldScrap, pool: &mut ResidentPool<S::Resident>| {
+                    let home_epoch = ledger.epoch_of(home);
+                    let key = memo_key(home, home_epoch);
+                    let shard = &memo[memo_shard(key)];
+                    if let Some(out) = shard.lock().unwrap().get(&key) {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        return *out;
+                    }
+                    let out = scenario.run_home_resident(
+                        home,
+                        home_seed(seed, home),
+                        home_epoch,
+                        intel_of(home_epoch),
+                        &mut pool.slot,
+                        scrap,
+                        &mut pool.stats,
+                    );
+                    shard.lock().unwrap().insert(key, out);
+                    misses.fetch_add(1, Ordering::Relaxed);
+                    out
+                };
+            if self.resident_on {
+                // Resident mode: static home-affine assignment — chunk
+                // `c` always runs on worker `c % threads`, so each
+                // worker's resident world only ever serves "its" homes
+                // and no slot crosses a thread mid-round. (Work stealing
+                // would migrate state; affinity is the point.)
+                let residents = &self.residents;
+                let nworkers = self.cfg.threads.max(1);
+                if nworkers == 1 {
+                    let scrap = &mut *scraps[0].lock().unwrap();
+                    let pool = &mut *residents[0].lock().unwrap();
+                    for &(start, end) in &self.chunks {
+                        for home in start..end {
+                            *slots[home as usize].lock().unwrap() =
+                                Some(exec_resident(home, scrap, pool));
+                        }
+                    }
+                } else {
+                    let chunks = &self.chunks;
+                    crossbeam::scope(|s| {
+                        for me in 0..nworkers {
+                            let exec_resident = &exec_resident;
+                            s.spawn(move |_| {
+                                let scrap = &mut *scraps[me].lock().unwrap();
+                                let pool = &mut *residents[me].lock().unwrap();
+                                for (ci, &(start, end)) in chunks.iter().enumerate() {
+                                    if ci % nworkers != me {
+                                        continue;
+                                    }
+                                    for home in start..end {
+                                        *slots[home as usize].lock().unwrap() =
+                                            Some(exec_resident(home, scrap, pool));
+                                    }
+                                }
+                            });
+                        }
+                    })
+                    .unwrap();
+                }
+            } else if self.cfg.threads <= 1 {
                 let scrap = &mut *scraps[0].lock().unwrap();
                 for &(start, end) in &self.chunks {
                     for home in start..end {
@@ -545,6 +713,7 @@ impl<S: HomeWorld> Fleet<S> {
             self.barrier_clean(round);
         }
         self.digest.write_u32(self.installed_epoch);
+        self.gc_intel();
 
         self.round += 1;
         RoundSummary {
@@ -562,18 +731,23 @@ impl<S: HomeWorld> Fleet<S> {
     /// installs to every neighborhood — the exact pre-E25 branch
     /// structure, emitting the exact pre-E25 events.
     fn barrier_clean(&mut self, round: u32) {
-        let mut upward: Vec<AttackSignature> = Vec::new();
+        let mut upward: Vec<AttackSignature> = std::mem::take(&mut self.feed);
         for n in 0..self.dir.neighborhoods() {
             let batch = self.buffers[n as usize].flush();
             if !batch.is_empty() {
                 upward.extend(batch);
             }
         }
-        if self.region.absorb(upward) {
+        let novel = self.region.absorb_returning_novel(upward);
+        if !novel.is_empty() {
+            let new_epoch = self.region.epoch();
+            // Checkpoint the per-epoch delta into the region log — the
+            // delta stream resident installs and respawn-by-replay both
+            // read — on the clean path exactly as the chaos path does.
+            self.region_log.checkpoint(new_epoch, novel);
             let snapshot = self.region.snapshot();
             self.intel = self.interner.intern(&snapshot);
-            self.snapshots.push(self.intel.clone());
-            let new_epoch = self.region.epoch();
+            self.snapshots.push(Some(self.intel.clone()));
             self.installed_epoch = new_epoch;
             for n in 0..self.dir.neighborhoods() {
                 let range = self.dir.homes_of(n);
@@ -603,10 +777,10 @@ impl<S: HomeWorld> Fleet<S> {
         let tr = u64::from(round);
         let policy = chaos.policy;
 
-        // Duplicated flushes from earlier rounds land first — the
-        // at-least-once leg the region's epoch contract absorbs as a
-        // no-op.
-        let mut upward: Vec<AttackSignature> = Vec::new();
+        // Injected out-of-band intel and duplicated flushes from earlier
+        // rounds land first — the at-least-once leg the region's epoch
+        // contract absorbs as a no-op.
+        let mut upward: Vec<AttackSignature> = std::mem::take(&mut self.feed);
         let mut i = 0;
         while i < self.late_dups.len() {
             if self.late_dups[i].0 == round {
@@ -647,6 +821,18 @@ impl<S: HomeWorld> Fleet<S> {
                 let replayed_to = self.region_log.epoch();
                 self.aggs[ni].known_epoch = replayed_to;
                 self.aggs[ni].down = true;
+                // In resident mode the crash also takes down the worker
+                // co-located with this aggregator: its resident worlds
+                // are lost and rebuild from `(home, seed, intel)` — the
+                // pure function is the recovery story, so outcomes (and
+                // thus digest and trace) are unchanged.
+                if self.resident_on {
+                    let wi = ni % self.residents.len();
+                    let mut pool = self.residents[wi].lock().unwrap();
+                    if pool.slot.take().is_some() {
+                        pool.stats.dropped += 1;
+                    }
+                }
                 self.tracer
                     .emit(tr, TraceEvent::FleetRecover { neighborhood: n, kind: "agg-respawn" });
                 self.recoveries += 1;
@@ -741,7 +927,7 @@ impl<S: HomeWorld> Fleet<S> {
             self.region_log.checkpoint(new_epoch, novel);
             let snapshot = self.region.snapshot();
             self.intel = self.interner.intern(&snapshot);
-            self.snapshots.push(self.intel.clone());
+            self.snapshots.push(Some(self.intel.clone()));
         }
 
         // Install waves, neighborhood order. A wave is due on a fresh
@@ -828,6 +1014,87 @@ impl<S: HomeWorld> Fleet<S> {
         }
     }
 
+    /// Epoch GC (E26), run after every barrier: no home can ever again
+    /// read a snapshot below the installed-epoch floor (ledger epochs
+    /// only advance), so those entries drop their `Arc` and the interner
+    /// retires allocations nothing else references. Bounds intel memory
+    /// by the live epoch *window* instead of the full epoch history;
+    /// idempotent and allocation-free on quiesced rounds.
+    fn gc_intel(&mut self) {
+        let floor = self.ledger.min_epoch();
+        for e in self.snapshots.iter_mut().take(floor as usize) {
+            *e = None;
+        }
+        self.interner.retain_shared();
+    }
+
+    /// Switch resident-world execution (E26) on or off for subsequent
+    /// rounds. Off (the default) is byte-for-byte the rebuild-per-round
+    /// fleet; on, each worker keeps a persistent world, takes intel
+    /// epochs as delta installs, and rebinds per home — same digest,
+    /// same trace, amortized construction. Turning residency off leaves
+    /// parked worlds in place; they are simply not used.
+    pub fn set_resident(&mut self, on: bool) {
+        self.resident_on = on;
+    }
+
+    /// Queue out-of-band intel for the next barrier's upward flow, as if
+    /// a neighborhood had flushed it (deduplicated by the region's
+    /// canonical union exactly like any discovery). The epoch-churn
+    /// driver for `bench::exp_resident` and the resident proptests.
+    pub fn inject_intel(&mut self, sigs: Vec<AttackSignature>) {
+        self.feed.extend(sigs);
+    }
+
+    /// Aggregated resident-pool stats across all workers.
+    pub fn resident_stats(&self) -> ResidentStats {
+        let mut total = ResidentStats::default();
+        for pool in &self.residents {
+            total.merge(&pool.lock().unwrap().stats);
+        }
+        total
+    }
+
+    /// The per-epoch signature delta the region checkpointed at `epoch`
+    /// (`None` for epoch 0 or a not-yet-reached epoch). Chaining deltas
+    /// from 1 reconstructs every snapshot — the companion stream to the
+    /// interned full snapshots.
+    pub fn delta_of(&self, epoch: u32) -> Option<&[AttackSignature]> {
+        self.region_log.delta_of(epoch)
+    }
+
+    /// Export fleet-level reuse and residency counters into `reg` so
+    /// bench `wall_ms` lines carry them: resident-pool serving mix,
+    /// delta-vs-full install counts, scrap reuse, memo and intern
+    /// traffic.
+    pub fn export_metrics(&self, reg: &mut trace::MetricsRegistry) {
+        let rs = self.resident_stats();
+        reg.counter("fleet.resident.full_builds", rs.full_builds);
+        reg.counter("fleet.resident.resident_runs", rs.resident_runs);
+        reg.counter("fleet.resident.delta_installs", rs.delta_installs);
+        reg.counter("fleet.resident.noop_installs", rs.noop_installs);
+        reg.counter("fleet.resident.policy_recompiles", rs.policy_recompiles);
+        reg.counter("fleet.resident.devices_patched", rs.devices_patched);
+        reg.counter("fleet.resident.devices_kept", rs.devices_kept);
+        reg.counter("fleet.resident.dropped", rs.dropped);
+        let (mut q_reused, mut q_cold, mut c_reused, mut c_cold) = (0u64, 0u64, 0u64, 0u64);
+        for scrap in &self.scraps {
+            let s = scrap.lock().unwrap();
+            q_reused += s.net.queue_reused;
+            q_cold += s.net.queue_cold;
+            c_reused += s.net.capture_reused;
+            c_cold += s.net.capture_cold;
+        }
+        reg.counter("fleet.scrap.queue_reused", q_reused);
+        reg.counter("fleet.scrap.queue_cold", q_cold);
+        reg.counter("fleet.scrap.capture_reused", c_reused);
+        reg.counter("fleet.scrap.capture_cold", c_cold);
+        reg.counter("fleet.memo.hits", self.memo_hits.load(Ordering::Relaxed));
+        reg.counter("fleet.memo.misses", self.memo_misses.load(Ordering::Relaxed));
+        reg.counter("fleet.intel.interned_live", self.interner.distinct() as u64);
+        reg.counter("fleet.intel.interned_retired", self.interner.retired());
+    }
+
     /// Every published discovery absorbed, every retry drained, and
     /// every home at the region epoch. Chaos-off this is trivially true
     /// after any absorbing round's barrier.
@@ -859,7 +1126,9 @@ impl<S: HomeWorld> Fleet<S> {
             batches: self.ledger.batches(),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
-            interned: self.interner.distinct(),
+            // GC-invariant: live + retired, i.e. exactly the pre-GC
+            // distinct count, so epoch GC never changes reported dedup.
+            interned: self.interner.distinct_total(),
             events: self.events,
             blocks: self.blocks,
             compromised: self.compromised,
@@ -952,6 +1221,8 @@ mod tests {
     }
 
     impl HomeWorld for Synthetic {
+        type Resident = ();
+
         fn run_home(&self, home: u32, seed: u64, intel: &[AttackSignature]) -> HomeOutcome {
             let mut h = Fnv64::new();
             h.write_u64(seed);
@@ -1013,6 +1284,27 @@ mod tests {
         let r2 = fleet.round();
         assert_eq!(r2.executed, 0);
         assert_eq!(r2.memo_hits, 12);
+    }
+
+    /// Resident dispatch (static chunk→worker assignment) must produce
+    /// the same report as the work-stealing rebuild path at every
+    /// thread count, even when the scenario only implements the
+    /// fallback (`Resident = ()` ⇒ every run is a full build).
+    #[test]
+    fn resident_dispatch_matches_rebuild_at_every_thread_count() {
+        let cfg = FleetConfig { homes: 37, neighborhood: 5, chunk: 3, threads: 1, seed: 7 };
+        let mut rebuild = Fleet::new(Synthetic { stride: 10 }, cfg);
+        let baseline = rebuild.run(3);
+        for threads in [1usize, 2, 4] {
+            let cfg = FleetConfig { homes: 37, neighborhood: 5, chunk: 3, threads, seed: 7 };
+            let mut fleet = Fleet::new(Synthetic { stride: 10 }, cfg);
+            fleet.set_resident(true);
+            let report = fleet.run(3);
+            assert_eq!(report, baseline, "threads={threads}");
+            let stats = fleet.resident_stats();
+            assert_eq!(stats.resident_runs, 0, "fallback scenario never goes resident");
+            assert!(stats.full_builds > 0);
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   quiesced rounds re-serve outcomes without rebuilding worlds, a
 //!   hierarchical home → neighborhood → region intel path with batched
 //!   directive installs, and a chained FNV digest merged in home order
-//!   so `--threads N` is byte-identical to serial.
+//!   so `--threads N` is byte-identical to serial. The E26 resident
+//!   mode ([`fleet::Fleet::set_resident`]) keeps one persistent world
+//!   per worker, rebinding it to each home and delta-installing intel
+//!   epochs instead of rebuilding from scratch.
 //! * [`scenario`] — the canonical E20 home template: a zero-day camera
 //!   only crowdsourced signatures can defend, so one sentinel home's
 //!   discovery flips the whole fleet from breached to protected.
@@ -40,6 +43,8 @@ pub mod safety;
 pub mod scenario;
 
 pub use chaos::{FleetChaos, RecoveryPolicy};
-pub use fleet::{home_seed, Fleet, FleetConfig, FleetReport, HomeOutcome, HomeWorld, RoundSummary};
+pub use fleet::{
+    home_seed, Fleet, FleetConfig, FleetReport, HomeOutcome, HomeWorld, ResidentStats, RoundSummary,
+};
 pub use safety::{check_fleet_trace, FleetTraceSpec, FleetViolation};
 pub use scenario::FleetScenario;

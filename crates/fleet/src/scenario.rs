@@ -9,13 +9,14 @@
 //! `admin`/`admin` login fleet-wide and the same campaign dies — the
 //! paper's crowdsourcing story (§4.1) at population scale.
 
-use crate::fleet::{HomeOutcome, HomeWorld};
+use crate::fleet::{HomeOutcome, HomeWorld, ResidentStats};
 use iotdev::device::DeviceId;
 use iotlearn::AttackSignature;
 use iotnet::time::SimDuration;
 use iotsec::defense::Defense;
 use iotsec::deployment::Deployment;
-use iotsec::world::{HomeOverrides, World, WorldScrap};
+use iotsec::world::{HomeOverrides, ResidentWorld, World, WorldScrap};
+use std::sync::Arc;
 use trace::digest::Fnv64;
 
 /// The shared home template plus the sentinel discovery rule.
@@ -82,6 +83,8 @@ impl FleetScenario {
 }
 
 impl HomeWorld for FleetScenario {
+    type Resident = ResidentWorld;
+
     fn run_home(&self, home: u32, seed: u64, intel: &[AttackSignature]) -> HomeOutcome {
         let overrides = HomeOverrides { seed, extra_signatures: intel };
         let mut w = World::new_home(&self.template, &overrides);
@@ -102,6 +105,53 @@ impl HomeWorld for FleetScenario {
         let out = self.outcome_of(home, seed, &mut w);
         w.reclaim_into(scrap);
         out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_home_resident(
+        &self,
+        home: u32,
+        seed: u64,
+        epoch: u32,
+        intel: &Arc<[AttackSignature]>,
+        slot: &mut Option<Self::Resident>,
+        scrap: &mut WorldScrap,
+        stats: &mut ResidentStats,
+    ) -> HomeOutcome {
+        if !World::supports_resident(&self.template) {
+            stats.full_builds += 1;
+            return self.run_home_recycled(home, seed, intel, scrap);
+        }
+        match slot {
+            Some(res) => {
+                let w = res.get_mut();
+                if w.resident_epoch() != Some(epoch) {
+                    let d = w.apply_intel_delta(epoch, intel);
+                    if d.noop {
+                        stats.noop_installs += 1;
+                    } else {
+                        stats.delta_installs += 1;
+                        if d.recompiled {
+                            stats.policy_recompiles += 1;
+                        }
+                        stats.devices_patched += u64::from(d.devices_patched);
+                        stats.devices_kept += u64::from(d.devices_kept);
+                    }
+                }
+                w.rebind_home(seed);
+                stats.resident_runs += 1;
+                w.run_until_attack_done(self.horizon);
+                self.outcome_of(home, seed, w)
+            }
+            None => {
+                stats.full_builds += 1;
+                let mut w = World::new_home_resident(&self.template, seed, epoch, intel, scrap);
+                w.run_until_attack_done(self.horizon);
+                let out = self.outcome_of(home, seed, &mut w);
+                *slot = Some(ResidentWorld::new(w));
+                out
+            }
+        }
     }
 
     fn discovery(&self, _home: u32) -> Option<AttackSignature> {
@@ -141,5 +191,32 @@ mod tests {
         // Round 0: all homes leak. Round 1: none do.
         assert_eq!(report.leaked, 6);
         assert!(fleet.outcome(3).blocks > 0);
+    }
+
+    /// The E26 oracle at fleet scale: a resident fleet (persistent
+    /// per-worker worlds, delta intel installs) must be byte-identical
+    /// to the rebuild fleet — same chained digest, same report — at
+    /// every thread count, and must actually run resident (not fall
+    /// back to full builds).
+    #[test]
+    fn resident_fleet_is_byte_identical_to_rebuild_fleet() {
+        let cfg = FleetConfig { homes: 8, neighborhood: 4, chunk: 2, threads: 1, seed: 42 };
+        let mut rebuild = Fleet::new(FleetScenario::new(8), cfg);
+        let baseline = rebuild.run(3);
+        for threads in [1usize, 2, 4] {
+            let cfg = FleetConfig { homes: 8, neighborhood: 4, chunk: 2, threads, seed: 42 };
+            let mut fleet = Fleet::new(FleetScenario::new(8), cfg);
+            fleet.set_resident(true);
+            let report = fleet.run(3);
+            assert_eq!(report, baseline, "threads={threads}");
+            let stats = fleet.resident_stats();
+            assert!(stats.resident_runs > 0, "must reuse worlds: {stats:?}");
+            assert!(
+                stats.full_builds <= threads.max(1) as u64,
+                "at most one cold build per worker: {stats:?}"
+            );
+            assert!(stats.delta_installs > 0, "epoch 1 must delta-install: {stats:?}");
+            assert!(stats.policy_recompiles > 0, "camera signature flips membership: {stats:?}");
+        }
     }
 }

@@ -145,6 +145,8 @@ impl FleetSpec {
 struct SyntheticHome;
 
 impl HomeWorld for SyntheticHome {
+    type Resident = ();
+
     fn run_home(&self, _home: u32, seed: u64, intel: &[AttackSignature]) -> HomeOutcome {
         let mut h = Fnv64::new();
         h.write_u64(seed);

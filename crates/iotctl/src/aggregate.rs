@@ -280,6 +280,18 @@ impl<T: Clone + Ord> RegionLog<T> {
         &self.entries[(since_epoch as usize).min(self.entries.len())..]
     }
 
+    /// The per-epoch delta: exactly the items first absorbed at `epoch`
+    /// (`None` for epoch 0 or an epoch not yet checkpointed). This is
+    /// the delta stream the resident-world fleet (E26) publishes
+    /// alongside full snapshots — chaining `delta_of(1..=epoch())`
+    /// reconstructs every snapshot, which the fleet tests pin.
+    pub fn delta_of(&self, epoch: u32) -> Option<&[T]> {
+        if epoch == 0 {
+            return None;
+        }
+        self.entries.get(epoch as usize - 1).map(|e| e.items.as_slice())
+    }
+
     /// Number of checkpointed absorbing rounds.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -100,6 +100,23 @@ impl Controller {
         }
     }
 
+    /// Reset all runtime state back to the freshly-constructed values —
+    /// empty view and queues, idle, nothing installed, zeroed stats —
+    /// keeping the compiled policy and configuration, and rebinding the
+    /// gate view to the resident world's fresh handle. After this call
+    /// the controller behaves byte-identically to one built by
+    /// [`Controller::new`] with the same policy and config (E26).
+    pub fn reset_runtime(&mut self, gate_view: ViewHandle) {
+        self.view = GlobalView::new();
+        self.queue.clear();
+        self.busy_until = SimTime::ZERO;
+        self.installed = PostureVector::new();
+        self.gate_view = gate_view;
+        self.pending_view.clear();
+        self.outage_until = SimTime::ZERO;
+        self.stats = ControllerStats::default();
+    }
+
     /// Take the controller down from `from` for `duration` (fault
     /// injection, or a failover re-sync window). Events keep queueing;
     /// they are served once the outage ends, paying the full backlog

@@ -218,6 +218,21 @@ impl Attacker {
         matches!(self.state, AttackerState::Done)
     }
 
+    /// Rewind the campaign to its freshly-constructed state — step 0,
+    /// idle, no tokens, keys, or outcomes — keeping the plan, source IP
+    /// and dictionary. Resident worlds (E26) reuse the attacker across
+    /// rounds; callers re-seed any out-of-band keys afterwards exactly
+    /// as the builder does via [`Attacker::learn_key`].
+    pub fn reset_runtime(&mut self) {
+        self.step_idx = 0;
+        self.state = AttackerState::Idle;
+        self.tokens.clear();
+        self.stolen_keys.clear();
+        self.outcomes.clear();
+        self.next_src_port = 40_000;
+        self.dns_queries_sent = 0;
+    }
+
     /// Per-step outcomes so far.
     pub fn outcomes(&self) -> &[AttackOutcome] {
         &self.outcomes

@@ -227,6 +227,24 @@ impl IoTDevice {
         }
     }
 
+    /// Reset all runtime state back to the freshly-constructed values
+    /// while keeping the device's identity (id, SKU, class, IP, creds,
+    /// vulns, hub/owner binding). A resident world (E26) reuses the
+    /// device across rounds; after this call its behavior is
+    /// byte-identical to a cold-built instance.
+    pub fn reset_runtime(&mut self) {
+        self.logic = DeviceLogic::new(self.class);
+        self.telemetry_period = SimDuration::from_secs(5);
+        self.sessions.clear();
+        self.next_token = 1;
+        self.auth_failures.clear();
+        self.last_telemetry = SimTime::ZERO;
+        self.compromised = false;
+        self.privacy_leaked = false;
+        self.dns_reflections = 0;
+        self.alive = true;
+    }
+
     /// Whether this instance carries a given vulnerability class.
     pub fn has_vuln(&self, id: &str) -> bool {
         self.vulns.iter().any(|v| v.id() == id)

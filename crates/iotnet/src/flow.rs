@@ -504,6 +504,23 @@ impl FlowTable {
         self.epoch += 1;
     }
 
+    /// Reset the table to an observably freshly-constructed state while
+    /// retaining allocated capacity. Unlike [`FlowTable::clear`], this
+    /// also rewinds `next_seq` (install order participates in priority
+    /// tie-breaks), the table epoch, and the miss counter, so a resident
+    /// world's reused table behaves byte-identically to a cold build.
+    /// The `packed_lookup` setting is configuration, not runtime state,
+    /// and is preserved.
+    pub fn recycle(&mut self) {
+        self.rules.clear();
+        self.compiled.clear();
+        self.hits.clear();
+        self.install_seq.clear();
+        self.next_seq = 0;
+        self.epoch = 0;
+        self.misses = 0;
+    }
+
     /// Number of installed rules.
     pub fn len(&self) -> usize {
         self.rules.len()

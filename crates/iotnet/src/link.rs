@@ -101,6 +101,22 @@ impl Link {
         }
     }
 
+    /// Reset every runtime field back to its freshly-constructed value
+    /// (up, idle transmitter, zeroed counters, no fault overrides) while
+    /// keeping the static parameters. A resident world reuses its wiring
+    /// across rounds; this makes a reused link indistinguishable from a
+    /// cold-built one.
+    pub fn reset_runtime(&mut self) {
+        self.up = true;
+        self.tx_free_at = SimTime::ZERO;
+        self.dropped = 0;
+        self.carried = 0;
+        self.bytes = 0;
+        self.burst_loss = None;
+        self.corrupt_rate = 0.0;
+        self.corrupted = 0;
+    }
+
     /// The loss probability currently in force: the burst override if one
     /// is active, the static parameter otherwise.
     pub fn effective_loss(&self) -> f64 {

@@ -176,6 +176,30 @@ pub struct NetScrap {
     queue: Option<AnyEventQueue<NetEvent>>,
     capture: Option<Capture>,
     deliveries: Vec<Delivery>,
+    /// Builds that reused this scrap's retained event queue.
+    pub queue_reused: u64,
+    /// Builds that cold-allocated their event queue (no matching scrap).
+    pub queue_cold: u64,
+    /// Builds that reused this scrap's retained capture ring.
+    pub capture_reused: u64,
+    /// Builds that cold-allocated their capture ring.
+    pub capture_cold: u64,
+}
+
+impl NetScrap {
+    /// Refill this scrap's buffers from a freshly harvested one while
+    /// accumulating the reuse counters — [`Network::reclaim`] produces a
+    /// counter-free scrap, so a plain assignment would silently zero the
+    /// lifetime reuse statistics the fleet reports.
+    pub fn refill(&mut self, harvested: NetScrap) {
+        self.queue = harvested.queue;
+        self.capture = harvested.capture;
+        self.deliveries = harvested.deliveries;
+        self.queue_reused += harvested.queue_reused;
+        self.queue_cold += harvested.queue_cold;
+        self.capture_reused += harvested.capture_reused;
+        self.capture_cold += harvested.capture_cold;
+    }
 }
 
 /// The simulated network.
@@ -249,10 +273,25 @@ impl Network {
         // phase fills capacity once and the steady state never reallocates.
         let in_flight = (topo.endpoint_count() * 4 + topo.switch_count() * 2).max(64);
         let queue = match scrap.queue.take() {
-            Some(q) if q.kind() == kind => q,
-            _ => AnyEventQueue::with_capacity(kind, in_flight),
+            Some(q) if q.kind() == kind => {
+                scrap.queue_reused += 1;
+                q
+            }
+            _ => {
+                scrap.queue_cold += 1;
+                AnyEventQueue::with_capacity(kind, in_flight)
+            }
         };
-        let capture = scrap.capture.take().unwrap_or_else(|| Capture::new(65_536));
+        let capture = match scrap.capture.take() {
+            Some(c) => {
+                scrap.capture_reused += 1;
+                c
+            }
+            None => {
+                scrap.capture_cold += 1;
+                Capture::new(65_536)
+            }
+        };
         let deliveries = std::mem::take(&mut scrap.deliveries);
         Network {
             topo,
@@ -279,7 +318,30 @@ impl Network {
             queue: Some(self.queue),
             capture: Some(self.capture),
             deliveries: self.deliveries,
+            ..NetScrap::default()
         }
+    }
+
+    /// Reset the network in place to an observably freshly-built state —
+    /// the resident-world (E26) counterpart of tearing down via
+    /// [`Network::reclaim`] and rebuilding. Links, switches, the event
+    /// queue, capture ring, delivery buffer and counters all return to
+    /// their cold values with capacity retained; the loss-process RNG is
+    /// reseeded exactly as [`Network::with_queue_recycled`] seeds it. The
+    /// steer map is replaced by a brand-new `HashMap` for the same
+    /// determinism reason the scrap excludes it: recycled map capacity
+    /// could perturb iteration order.
+    pub fn reset_resident(&mut self, seed: u64) {
+        self.topo.reset_links();
+        for sw in &mut self.switches {
+            sw.reset_resident();
+        }
+        self.queue.reset();
+        self.steer = std::collections::HashMap::new();
+        self.deliveries.clear();
+        self.capture.recycle();
+        self.rng = StdRng::seed_from_u64(seed ^ 0x006e_6574_776f_726b_u64);
+        self.stats = NetStats::default();
     }
 
     /// Select the flow-table lookup engine on every switch: packed-key

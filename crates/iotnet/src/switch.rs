@@ -108,6 +108,22 @@ impl Switch {
         }
     }
 
+    /// Reset the switch to an observably freshly-constructed state
+    /// (empty flow table at epoch 0, cleared MAC/decision caches, zeroed
+    /// counters) while retaining allocated capacity and the attached
+    /// tracer. Resident worlds call this between rounds so a reused
+    /// switch forwards byte-identically to a cold-built one.
+    pub fn reset_resident(&mut self) {
+        self.table.recycle();
+        self.mac_table.clear();
+        self.cache.clear();
+        self.cache_epoch = 0;
+        self.rx_packets = 0;
+        self.policy_drops = 0;
+        self.cache_lookups = 0;
+        self.cache_hits = 0;
+    }
+
     /// Attach a tracer for cache and policy-drop events.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;

@@ -147,6 +147,16 @@ impl Topology {
         }
     }
 
+    /// Reset the runtime state of every link (both directions) back to
+    /// freshly-built: up, idle, zeroed counters, no fault overrides.
+    /// Per-link and order-independent, so map iteration order is
+    /// irrelevant to the result.
+    pub fn reset_links(&mut self) {
+        for link in self.links.values_mut() {
+            link.reset_runtime();
+        }
+    }
+
     /// All undirected wires, each reported once as its lexicographically
     /// smaller directed key, in sorted order (deterministic regardless of
     /// insertion order — fault planning iterates this).

@@ -23,12 +23,13 @@ pub struct Interner<T> {
     snapshots: Vec<Arc<[T]>>,
     hits: u64,
     misses: u64,
+    retired: u64,
 }
 
 impl<T: Clone + PartialEq> Interner<T> {
     /// An empty intern table.
     pub fn new() -> Interner<T> {
-        Interner { snapshots: Vec::new(), hits: 0, misses: 0 }
+        Interner { snapshots: Vec::new(), hits: 0, misses: 0, retired: 0 }
     }
 
     /// Intern a snapshot: returns the shared allocation for this exact
@@ -58,6 +59,39 @@ impl<T: Clone + PartialEq> Interner<T> {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Epoch GC (E26): retire every interned snapshot whose only
+    /// remaining owner is the table itself (`Arc::strong_count == 1`).
+    /// The caller first drops its own handles to unreachable epochs —
+    /// anything below the fleet's minimum installed epoch — and then
+    /// this sweep bounds the table's footprint by the *live* epoch
+    /// window instead of the full epoch history. Returns the number of
+    /// snapshots retired this sweep.
+    ///
+    /// A retired snapshot's content could in principle recur; it would
+    /// simply be re-interned as a new allocation. Retirement trades that
+    /// (never observed in practice — intel snapshots grow monotonically)
+    /// for a bounded footprint.
+    pub fn retain_shared(&mut self) -> usize {
+        let before = self.snapshots.len();
+        self.snapshots.retain(|s| Arc::strong_count(s) > 1);
+        let retired = before - self.snapshots.len();
+        self.retired += retired as u64;
+        retired
+    }
+
+    /// Snapshots retired by [`Interner::retain_shared`] over the table's
+    /// lifetime.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Total distinct snapshots ever interned: currently live plus
+    /// retired. This is the GC-invariant counter fleet reports use, so
+    /// enabling epoch GC does not change reported dedup figures.
+    pub fn distinct_total(&self) -> usize {
+        self.snapshots.len() + self.retired as usize
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +119,42 @@ mod tests {
         let c = t.intern(&[2, 1]);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(t.distinct(), 3);
+    }
+
+    #[test]
+    fn retain_shared_retires_only_unreferenced_snapshots() {
+        let mut t: Interner<u32> = Interner::new();
+        let live = t.intern(&[1, 2]);
+        let dead = t.intern(&[3, 4]);
+        drop(dead);
+        assert_eq!(t.retain_shared(), 1);
+        assert_eq!(t.distinct(), 1);
+        assert_eq!(t.retired(), 1);
+        // The GC-invariant total still counts the retired snapshot.
+        assert_eq!(t.distinct_total(), 2);
+        // The live snapshot survives and is still shared.
+        let again = t.intern(&[1, 2]);
+        assert!(Arc::ptr_eq(&live, &again));
+        // A second sweep with no drops retires nothing.
+        assert_eq!(t.retain_shared(), 0);
+        assert_eq!(t.distinct_total(), 2);
+    }
+
+    #[test]
+    fn footprint_is_bounded_under_epoch_churn() {
+        // Long-run pin: an ever-growing epoch history with a sliding
+        // live window must not grow the table monotonically.
+        let mut t: Interner<u32> = Interner::new();
+        let mut window: std::collections::VecDeque<Arc<[u32]>> = Default::default();
+        for epoch in 0..1000u32 {
+            window.push_back(t.intern(&[epoch]));
+            while window.len() > 4 {
+                window.pop_front();
+            }
+            t.retain_shared();
+            assert!(t.distinct() <= 5, "interner footprint grew past the live window");
+        }
+        assert_eq!(t.distinct_total(), 1000);
     }
 
     #[test]

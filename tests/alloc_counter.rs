@@ -149,6 +149,97 @@ fn world_construction_allocation_profile() {
     // reclaimed buffers: behaviorally identical, but a warm build must
     // request hundreds of kilobytes less.
     recycled_home_build_reuses_the_heap();
+
+    // 8. Resident home rounds (E26): even a warm recycled build still
+    // re-interns signatures, recompiles the policy and reconstructs
+    // every device. A resident world serves the next home by resetting
+    // in place (`rebind_home`), so a steady-state home-round must
+    // allocate a small fraction of what a recycled build does.
+    resident_rebind_amortizes_construction();
+}
+
+fn resident_rebind_amortizes_construction() {
+    use iotsec_fleet::{FleetScenario, HomeWorld};
+    use iotsec_repro::iotlearn::AttackSignature;
+    use iotsec_repro::iotsec::world::{HomeOverrides, World, WorldScrap};
+    use std::sync::Arc;
+
+    let scenario = FleetScenario::new(1);
+    let template = scenario.template();
+    assert!(World::supports_resident(template), "the E20 home must support residency");
+    let sig = scenario.discovery(0).expect("the E20 camera signature exists");
+    let intel: Arc<[AttackSignature]> = vec![sig].into();
+    let horizon = scenario.horizon();
+    let seed = 42u64;
+
+    // The resident machine, built once and carried across rounds.
+    let mut scrap = WorldScrap::default();
+    let mut w = World::new_home_resident(template, seed, 1, &intel, &mut scrap);
+    w.run_until_attack_done(horizon);
+
+    // Semantics first: a rebound resident run is byte-equal to a cold run.
+    let cold = scenario.run_home(0, seed, &intel);
+    w.rebind_home(seed);
+    w.run_until_attack_done(horizon);
+    assert_eq!(scenario.outcome_of(0, seed, &mut w), cold, "rebind must not change the outcome");
+
+    // The from-scratch baseline the ROADMAP head-room notes point at:
+    // every active home-round pays a full `World::new_home` build.
+    let overrides = HomeOverrides { seed, extra_signatures: &intel };
+    let cold_bytes = (0..3)
+        .map(|_| {
+            bytes_during(|| {
+                let mut c = World::new_home(template, &overrides);
+                c.run_until_attack_done(horizon);
+            })
+            .0
+        })
+        .min()
+        .unwrap();
+    // The E25 warm recycled build (its own scrap, warmed by one cycle):
+    // rebind must never regress below the path it replaces.
+    let mut rescrap = WorldScrap::default();
+    {
+        let r = World::new_home_recycled(template, &overrides, &mut rescrap);
+        r.reclaim_into(&mut rescrap);
+    }
+    let recycled_bytes = (0..3)
+        .map(|_| {
+            bytes_during(|| {
+                let mut r = World::new_home_recycled(template, &overrides, &mut rescrap);
+                r.run_until_attack_done(horizon);
+                r.reclaim_into(&mut rescrap);
+            })
+            .0
+        })
+        .min()
+        .unwrap();
+    let rebind_bytes = (0..3)
+        .map(|_| {
+            bytes_during(|| {
+                w.rebind_home(seed);
+                w.run_until_attack_done(horizon);
+            })
+            .0
+        })
+        .min()
+        .unwrap();
+    assert!(
+        rebind_bytes * 5 <= cold_bytes,
+        "a resident home-round must be >=5x lighter than a from-scratch build \
+         (rebind {rebind_bytes} B, cold {cold_bytes} B)"
+    );
+    assert!(
+        rebind_bytes <= recycled_bytes,
+        "a resident home-round must not out-allocate the warm recycled build it replaces \
+         (rebind {rebind_bytes} B, recycled {recycled_bytes} B)"
+    );
+
+    // A content-identical install is a no-op epoch bump: zero allocations.
+    let same: Arc<[AttackSignature]> = intel.to_vec().into();
+    let (allocs, delta) = allocs_during(|| w.apply_intel_delta(2, &same));
+    assert!(delta.noop, "content-equal intel must install as a noop: {delta:?}");
+    assert_eq!(allocs, 0, "a noop delta install must not allocate");
 }
 
 fn recycled_home_build_reuses_the_heap() {

@@ -24,6 +24,8 @@ use trace::event::TraceEvent;
 struct Synthetic;
 
 impl HomeWorld for Synthetic {
+    type Resident = ();
+
     fn run_home(&self, _home: u32, seed: u64, intel: &[AttackSignature]) -> HomeOutcome {
         let mut h = Fnv64::new();
         h.write_u64(seed);

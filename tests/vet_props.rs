@@ -95,6 +95,8 @@ struct VetFleet {
 }
 
 impl iotsec_fleet::HomeWorld for VetFleet {
+    type Resident = ();
+
     fn run_home(
         &self,
         home: u32,
